@@ -1,0 +1,28 @@
+//! Regenerates Table 1 of the paper and prints the comparison against the
+//! paper's classification.
+//!
+//! ```bash
+//! cargo run --release -p btadt-bench --bin table1 [replicas] [duration] [seed]
+//! ```
+
+use btadt_protocols::table1;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let replicas: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
+    let duration: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(20);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(2019);
+
+    println!("Table 1 — mapping of existing systems (replicas={replicas}, duration={duration}, seed={seed})");
+    println!("{}", "=".repeat(100));
+    let rows = table1(replicas, duration, seed);
+    for row in &rows {
+        println!("{}", row.format());
+    }
+    println!("{}", "=".repeat(100));
+    let ok = rows.iter().filter(|r| r.matches_paper).count();
+    println!("{ok}/{} rows match the paper's classification", rows.len());
+    if ok != rows.len() {
+        std::process::exit(1);
+    }
+}

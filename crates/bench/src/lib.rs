@@ -1,0 +1,117 @@
+//! # `btadt-bench` — benchmark and figure/table regeneration harness
+//!
+//! Each table and figure of the paper maps to a Criterion benchmark group
+//! (see `benches/paper.rs` and DESIGN.md's per-experiment index) and to a
+//! section of the text reports printed by the two binaries:
+//!
+//! * `cargo run --release -p btadt-bench --bin table1` — regenerates
+//!   Table 1 (the classification of Bitcoin, Ethereum, Algorand, ByzCoin,
+//!   PeerCensus, Red Belly and Hyperledger Fabric);
+//! * `cargo run --release -p btadt-bench --bin figures` — regenerates the
+//!   figure experiments (example histories, oracle transitions, hierarchy
+//!   inclusions, consensus reductions, update-agreement necessity).
+//!
+//! The library part hosts the shared experiment drivers so that the benches
+//! and the binaries measure exactly the same code paths.
+
+#![warn(missing_docs)]
+
+use std::sync::Arc;
+
+use btadt_core::hierarchy::{
+    fork_bound_inclusion, run_contended, sc_subset_ec, strong_prefix_violations,
+    ContendedRunConfig, InclusionReport, OracleKind,
+};
+use btadt_core::{eventual_consistency, strong_consistency};
+use btadt_history::ConsistencyCriterion;
+use btadt_types::{AlwaysValid, LengthScore};
+
+/// Default contended-run configuration used by the hierarchy experiments.
+pub fn default_contention(seed: u64) -> ContendedRunConfig {
+    ContendedRunConfig {
+        processes: 4,
+        rounds: 40,
+        sync_probability: 0.25,
+        seed,
+    }
+}
+
+/// Outcome of the Figure 8 / Figure 14 hierarchy experiment.
+#[derive(Clone, Debug)]
+pub struct HierarchyReport {
+    /// Θ_F,k1 ⊆ Θ_F,k2 inclusions, per (k1, k2) pair.
+    pub fork_inclusions: Vec<(usize, Option<usize>, InclusionReport)>,
+    /// SC ⊆ EC inclusion.
+    pub sc_ec: InclusionReport,
+    /// Strong-Prefix violations per oracle kind: (label, violating, total).
+    pub strong_prefix: Vec<(String, usize, usize)>,
+}
+
+/// Runs the hierarchy experiments of Figures 8 and 14 over the given seeds.
+pub fn hierarchy_report(seeds: &[u64]) -> HierarchyReport {
+    let base = default_contention(0);
+    let fork_pairs: [(usize, Option<usize>); 3] = [(1, Some(2)), (2, Some(4)), (2, None)];
+    let fork_inclusions = fork_pairs
+        .iter()
+        .map(|&(k1, k2)| (k1, k2, fork_bound_inclusion(k1, k2, seeds, base)))
+        .collect();
+    let sc_ec = sc_subset_ec(
+        &[OracleKind::Frugal(1), OracleKind::Frugal(4), OracleKind::Prodigal],
+        seeds,
+        base,
+    );
+    let strong_prefix = [OracleKind::Frugal(1), OracleKind::Frugal(4), OracleKind::Prodigal]
+        .iter()
+        .map(|&kind| {
+            let (v, t) = strong_prefix_violations(kind, seeds, base);
+            (kind.label(), v, t)
+        })
+        .collect();
+    HierarchyReport {
+        fork_inclusions,
+        sc_ec,
+        strong_prefix,
+    }
+}
+
+/// Classifies one contended run under both criteria; returns
+/// `(strong, eventual, max_forks)`.  Shared by the Figure 2–4 benches.
+pub fn classify_contended(kind: OracleKind, seed: u64) -> (bool, bool, usize) {
+    let run = run_contended(kind, default_contention(seed));
+    let sc = strong_consistency(Arc::new(LengthScore), Arc::new(AlwaysValid));
+    let ec = eventual_consistency(Arc::new(LengthScore), Arc::new(AlwaysValid));
+    (
+        sc.admits(&run.history),
+        ec.admits(&run.history),
+        run.max_forks(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hierarchy_report_confirms_the_paper() {
+        let seeds: Vec<u64> = (0..4).collect();
+        let report = hierarchy_report(&seeds);
+        for (k1, k2, inc) in &report.fork_inclusions {
+            assert!(inc.inclusion_holds(), "k1={k1}, k2={k2:?}");
+        }
+        assert!(report.sc_ec.inclusion_holds());
+        assert!(report.sc_ec.is_strict());
+        // frugal(k=1) never violates Strong Prefix; the others do.
+        assert_eq!(report.strong_prefix[0].1, 0);
+        assert!(report.strong_prefix[2].1 > 0);
+    }
+
+    #[test]
+    fn classify_contended_matches_expectations() {
+        let (strong, eventual, forks) = classify_contended(OracleKind::Frugal(1), 3);
+        assert!(strong && eventual);
+        assert!(forks <= 1);
+        let (strong, eventual, forks) = classify_contended(OracleKind::Prodigal, 3);
+        assert!(!strong && eventual);
+        assert!(forks > 1);
+    }
+}

@@ -1,0 +1,87 @@
+//! A generic Compare&Swap object.
+//!
+//! `compare_and_swap(old, new)` atomically replaces the register content
+//! with `new` iff it currently equals `old`, and in every case returns the
+//! value the register held at the beginning of the operation — exactly the
+//! pseudo-code of Figure 9.  CAS has consensus number ∞ (Herlihy), which is
+//! the anchor of Theorem 4.2.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// A linearizable Compare&Swap register holding a value of type `T`.
+pub struct CasRegister<T> {
+    inner: Arc<Mutex<T>>,
+}
+
+impl<T> Clone for CasRegister<T> {
+    fn clone(&self) -> Self {
+        CasRegister {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T: Clone + PartialEq> CasRegister<T> {
+    /// Creates a register holding `initial`.
+    pub fn new(initial: T) -> Self {
+        CasRegister {
+            inner: Arc::new(Mutex::new(initial)),
+        }
+    }
+
+    /// Atomically: if the register equals `old`, store `new`.  Returns the
+    /// value held at the start of the operation.
+    pub fn compare_and_swap(&self, old: &T, new: T) -> T {
+        let mut guard = self.inner.lock();
+        let previous = guard.clone();
+        if previous == *old {
+            *guard = new;
+        }
+        previous
+    }
+
+    /// Atomically reads the current value.
+    pub fn load(&self) -> T {
+        self.inner.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn cas_succeeds_when_expected_value_matches() {
+        let r = CasRegister::new(0u64);
+        assert_eq!(r.compare_and_swap(&0, 5), 0);
+        assert_eq!(r.load(), 5);
+    }
+
+    #[test]
+    fn cas_fails_and_returns_current_value_on_mismatch() {
+        let r = CasRegister::new(3u64);
+        assert_eq!(r.compare_and_swap(&0, 5), 3);
+        assert_eq!(r.load(), 3);
+    }
+
+    #[test]
+    fn exactly_one_concurrent_cas_from_the_initial_value_wins() {
+        let r: CasRegister<Option<u64>> = CasRegister::new(None);
+        let handles: Vec<_> = (0..8u64)
+            .map(|i| {
+                let r = r.clone();
+                thread::spawn(move || r.compare_and_swap(&None, Some(i)) == None)
+            })
+            .collect();
+        let winners = handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .filter(|&w| w)
+            .count();
+        assert_eq!(winners, 1);
+        assert!(r.load().is_some());
+    }
+}

@@ -1,0 +1,47 @@
+//! # `btadt-concurrent` — shared-memory implementability of the oracles
+//!
+//! Section 4.1 of the paper places the two token oracles in Herlihy's
+//! consensus hierarchy:
+//!
+//! * **Θ_F,k=1 has consensus number ∞** (Theorem 4.2): `consumeToken` with
+//!   `k = 1` wait-free implements Compare&Swap (Figure 10 / Theorem 4.1),
+//!   and combining it with `getToken` yields a wait-free Consensus protocol
+//!   (Figure 11).
+//! * **Θ_P has consensus number 1** (Theorem 4.3): the prodigal oracle's
+//!   `consumeToken` can be wait-free implemented from an Atomic Snapshot
+//!   object (Figure 12), which itself has consensus number 1.
+//!
+//! This crate builds the substrate (atomic registers, an atomic-snapshot
+//! object, a CAS object, a consensus interface) and the two reductions, and
+//! exercises them with genuinely multi-threaded stress tests so that the
+//! wait-freedom and agreement claims are checked under real interleavings.
+//!
+//! Modules:
+//!
+//! * [`register`] — single-writer multi-reader atomic registers;
+//! * [`snapshot`] — a wait-free atomic snapshot (unbounded sequence numbers,
+//!   double collect with helping);
+//! * [`cas`] — a generic Compare&Swap object;
+//! * [`cas_from_oracle`] — Figure 10: CAS implemented from `consumeToken`
+//!   of Θ_F,k=1;
+//! * [`consensus`] — the Consensus interface (Definition 4.1), consensus
+//!   from CAS, and Figure 11's consensus from the frugal oracle;
+//! * [`prodigal_from_snapshot`] — Figure 12: the prodigal `consumeToken`
+//!   from update/scan of an atomic snapshot.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cas;
+pub mod cas_from_oracle;
+pub mod consensus;
+pub mod prodigal_from_snapshot;
+pub mod register;
+pub mod snapshot;
+
+pub use cas::CasRegister;
+pub use cas_from_oracle::OracleCas;
+pub use consensus::{CasConsensus, Consensus, OracleConsensus};
+pub use prodigal_from_snapshot::SnapshotConsumeToken;
+pub use register::AtomicRegister;
+pub use snapshot::AtomicSnapshot;

@@ -1,0 +1,171 @@
+//! The Block Validity property (Definition 3.2, first bullet).
+//!
+//! Every block `b` of every blockchain returned by a `read()` must (i) be
+//! valid (`b ∈ B'`, checked with the predicate `P` against the prefix of
+//! the chain preceding `b`) and (ii) have been inserted with an `append(b)`
+//! operation whose invocation precedes the read's response in program order.
+
+use std::sync::Arc;
+
+use btadt_history::{ConsistencyCriterion, Verdict, Violation};
+use btadt_types::{BlockId, ValidityPredicate};
+
+use crate::ops::{BtHistory, BtHistoryExt, BtOperation, BtResponse};
+
+/// Checks the Block Validity property.
+pub struct BlockValidity {
+    validity: Arc<dyn ValidityPredicate>,
+}
+
+impl BlockValidity {
+    /// Creates the property for the given validity predicate `P`.
+    pub fn new(validity: Arc<dyn ValidityPredicate>) -> Self {
+        BlockValidity { validity }
+    }
+}
+
+impl ConsistencyCriterion<BtOperation, BtResponse> for BlockValidity {
+    fn check(&self, history: &BtHistory) -> Verdict {
+        let mut violations = Vec::new();
+        let appends = history.appends();
+
+        for (read, chain) in history.reads() {
+            for (idx, block) in chain.blocks().iter().enumerate() {
+                if block.is_genesis() {
+                    continue;
+                }
+                // (i) validity against the prefix preceding the block.
+                let context = chain.truncated(idx - 1);
+                if !self.validity.is_valid(block, &context) {
+                    violations.push(Violation {
+                        property: "block-validity",
+                        witnesses: vec![read.id],
+                        detail: format!(
+                            "read returned block {} which is invalid in its chain context",
+                            block.id
+                        ),
+                    });
+                }
+                // (ii) the block was appended, and the append's invocation
+                // precedes this read's response (e_inv(append) ↗ e_rsp(read)).
+                let appended_before = appends.iter().any(|(a, b, _ok)| {
+                    b.id == block.id
+                        && (a.invoked_at < read.responded_at.unwrap_or(a.invoked_at)
+                            || (a.process == read.process && a.seq < read.seq))
+                });
+                if !appended_before {
+                    violations.push(Violation {
+                        property: "block-validity",
+                        witnesses: vec![read.id],
+                        detail: format!(
+                            "read returned block {} with no preceding append({}) invocation",
+                            block.id, block.id
+                        ),
+                    });
+                }
+            }
+        }
+        Verdict::from_violations(violations)
+    }
+
+    fn name(&self) -> &'static str {
+        "block-validity"
+    }
+}
+
+/// Convenience used by tests and the protocol classifier: the set of block
+/// ids ever appended successfully in a history.
+pub fn appended_block_ids(history: &BtHistory) -> Vec<BlockId> {
+    let mut ids: Vec<BlockId> = history
+        .appends()
+        .into_iter()
+        .filter(|(_, _, ok)| *ok)
+        .map(|(_, b, _)| b.id)
+        .collect();
+    ids.sort_unstable();
+    ids.dedup();
+    ids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btadt_history::ProcessId;
+    use btadt_types::{AlwaysValid, Block, BlockBuilder, Blockchain, MaxPayload, Transaction};
+
+    use crate::ops::BtRecorder;
+
+    fn prop() -> BlockValidity {
+        BlockValidity::new(Arc::new(AlwaysValid))
+    }
+
+    #[test]
+    fn read_of_appended_valid_block_is_admitted() {
+        let mut rec = BtRecorder::new();
+        let b1 = BlockBuilder::new(&Block::genesis()).nonce(1).build();
+        let chain = Blockchain::genesis_only().extended_with(b1.clone()).unwrap();
+        rec.instantaneous(ProcessId(0), BtOperation::Append(b1), BtResponse::Appended(true));
+        rec.instantaneous(ProcessId(1), BtOperation::Read, BtResponse::Chain(chain));
+        assert!(prop().admits(&rec.into_history()));
+    }
+
+    #[test]
+    fn read_of_never_appended_block_is_rejected() {
+        let mut rec = BtRecorder::new();
+        let b1 = BlockBuilder::new(&Block::genesis()).nonce(1).build();
+        let chain = Blockchain::genesis_only().extended_with(b1).unwrap();
+        rec.instantaneous(ProcessId(0), BtOperation::Read, BtResponse::Chain(chain));
+        let verdict = prop().check(&rec.into_history());
+        assert!(!verdict.is_admitted());
+        assert!(verdict.violations[0].detail.contains("no preceding append"));
+    }
+
+    #[test]
+    fn read_of_block_appended_later_is_rejected() {
+        let mut rec = BtRecorder::new();
+        let b1 = BlockBuilder::new(&Block::genesis()).nonce(1).build();
+        let chain = Blockchain::genesis_only().extended_with(b1.clone()).unwrap();
+        // read at p0 happens strictly before the append at p1
+        rec.instantaneous(ProcessId(0), BtOperation::Read, BtResponse::Chain(chain));
+        rec.instantaneous(ProcessId(1), BtOperation::Append(b1), BtResponse::Appended(true));
+        assert!(!prop().admits(&rec.into_history()));
+    }
+
+    #[test]
+    fn read_of_invalid_block_is_rejected_even_if_appended() {
+        let prop = BlockValidity::new(Arc::new(MaxPayload::new(0)));
+        let mut rec = BtRecorder::new();
+        let fat = BlockBuilder::new(&Block::genesis())
+            .nonce(1)
+            .push_tx(Transaction::transfer(1, 1, 2, 3))
+            .build();
+        let chain = Blockchain::genesis_only().extended_with(fat.clone()).unwrap();
+        rec.instantaneous(ProcessId(0), BtOperation::Append(fat), BtResponse::Appended(true));
+        rec.instantaneous(ProcessId(0), BtOperation::Read, BtResponse::Chain(chain));
+        let verdict = prop.check(&rec.into_history());
+        assert!(!verdict.is_admitted());
+        assert!(verdict.violations[0].detail.contains("invalid"));
+    }
+
+    #[test]
+    fn genesis_only_reads_are_always_admitted() {
+        let mut rec = BtRecorder::new();
+        rec.instantaneous(
+            ProcessId(0),
+            BtOperation::Read,
+            BtResponse::Chain(Blockchain::genesis_only()),
+        );
+        assert!(prop().admits(&rec.into_history()));
+    }
+
+    #[test]
+    fn appended_block_ids_lists_successful_appends_only() {
+        let mut rec = BtRecorder::new();
+        let b1 = BlockBuilder::new(&Block::genesis()).nonce(1).build();
+        let b2 = BlockBuilder::new(&Block::genesis()).nonce(2).build();
+        rec.instantaneous(ProcessId(0), BtOperation::Append(b1.clone()), BtResponse::Appended(true));
+        rec.instantaneous(ProcessId(0), BtOperation::Append(b2), BtResponse::Appended(false));
+        let ids = appended_block_ids(&rec.into_history());
+        assert_eq!(ids, vec![b1.id]);
+    }
+}

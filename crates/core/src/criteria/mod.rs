@@ -1,0 +1,107 @@
+//! BT consistency criteria (Section 3.1.2).
+//!
+//! The paper defines two criteria as conjunctions of properties over
+//! concurrent histories of the BT-ADT:
+//!
+//! * **BT Strong Consistency** (Definition 3.2) =
+//!   Block Validity ∧ Local Monotonic Read ∧ Strong Prefix ∧ Ever-Growing Tree;
+//! * **BT Eventual Consistency** (Definition 3.4) =
+//!   Block Validity ∧ Local Monotonic Read ∧ Ever-Growing Tree ∧ Eventual Prefix.
+//!
+//! Theorem 3.1 (SC ⊂ EC) is exercised by the hierarchy experiments and by
+//! the property tests in `crates/core/tests/`.
+//!
+//! ## Finite-history interpretation
+//!
+//! Ever-Growing Tree and Eventual Prefix quantify over *infinite* histories
+//! ("the set of reads that … is finite").  Recorded executions are finite,
+//! so the checkers implement the standard finite-trace reading, documented
+//! on each property: growth/convergence must be *witnessed by the end of
+//! the trace*, with a configurable grace window for operations too close to
+//! the end of the recording to have had a chance to observe it.  The
+//! protocol simulations always end with a quiescent round so that the grace
+//! window can be zero.
+
+mod block_validity;
+mod eventual_prefix;
+mod ever_growing;
+mod local_monotonic;
+mod strong_prefix;
+
+pub use block_validity::{appended_block_ids, BlockValidity};
+pub use eventual_prefix::EventualPrefix;
+pub use ever_growing::EverGrowingTree;
+pub use local_monotonic::LocalMonotonicRead;
+pub use strong_prefix::StrongPrefix;
+
+use std::sync::Arc;
+
+use btadt_history::Conjunction;
+use btadt_types::{Score, ValidityPredicate};
+
+use crate::ops::{BtOperation, BtResponse};
+
+/// A consistency criterion over BT histories.
+pub type BtCriterion = Conjunction<BtOperation, BtResponse>;
+
+/// Builds the **BT Strong Consistency** criterion (Definition 3.2) for the
+/// given score function and validity predicate.
+pub fn strong_consistency(
+    score: Arc<dyn Score>,
+    validity: Arc<dyn ValidityPredicate>,
+) -> BtCriterion {
+    Conjunction::named("BT Strong Consistency")
+        .and(BlockValidity::new(validity))
+        .and(LocalMonotonicRead::new(score.clone()))
+        .and(StrongPrefix::new())
+        .and(EverGrowingTree::new(score))
+}
+
+/// Builds the **BT Eventual Consistency** criterion (Definition 3.4) for the
+/// given score function and validity predicate.
+pub fn eventual_consistency(
+    score: Arc<dyn Score>,
+    validity: Arc<dyn ValidityPredicate>,
+) -> BtCriterion {
+    Conjunction::named("BT Eventual Consistency")
+        .and(BlockValidity::new(validity))
+        .and(LocalMonotonicRead::new(score.clone()))
+        .and(EverGrowingTree::new(score.clone()))
+        .and(EventualPrefix::new(score))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btadt_types::{AlwaysValid, LengthScore};
+
+    #[test]
+    fn strong_consistency_has_four_properties() {
+        let sc = strong_consistency(Arc::new(LengthScore), Arc::new(AlwaysValid));
+        assert_eq!(sc.len(), 4);
+        assert_eq!(
+            sc.part_names(),
+            vec![
+                "block-validity",
+                "local-monotonic-read",
+                "strong-prefix",
+                "ever-growing-tree"
+            ]
+        );
+    }
+
+    #[test]
+    fn eventual_consistency_has_four_properties() {
+        let ec = eventual_consistency(Arc::new(LengthScore), Arc::new(AlwaysValid));
+        assert_eq!(ec.len(), 4);
+        assert_eq!(
+            ec.part_names(),
+            vec![
+                "block-validity",
+                "local-monotonic-read",
+                "ever-growing-tree",
+                "eventual-prefix"
+            ]
+        );
+    }
+}

@@ -1,0 +1,128 @@
+//! The Strong Prefix property (Definition 3.2, third bullet).
+//!
+//! For every pair of `read()` operations in the history, one of the two
+//! returned blockchains must be a prefix of the other — reads may lag but
+//! their prefixes never diverge.  This is the property that separates
+//! Consensus-based blockchains from proof-of-work ones (Theorem 4.8 shows
+//! it cannot be guaranteed as soon as the oracle allows forks).
+
+use btadt_history::{ConsistencyCriterion, Verdict, Violation};
+
+use crate::ops::{BtHistory, BtHistoryExt, BtOperation, BtResponse};
+
+/// Checks the Strong Prefix property.
+#[derive(Default)]
+pub struct StrongPrefix {
+    _private: (),
+}
+
+impl StrongPrefix {
+    /// Creates the property.
+    pub fn new() -> Self {
+        StrongPrefix::default()
+    }
+}
+
+impl ConsistencyCriterion<BtOperation, BtResponse> for StrongPrefix {
+    fn check(&self, history: &BtHistory) -> Verdict {
+        let reads = history.reads();
+        let mut violations = Vec::new();
+        for i in 0..reads.len() {
+            for j in (i + 1)..reads.len() {
+                let (ri, ci) = reads[i];
+                let (rj, cj) = reads[j];
+                if !ci.prefix_compatible(cj) {
+                    violations.push(Violation {
+                        property: "strong-prefix",
+                        witnesses: vec![ri.id, rj.id],
+                        detail: format!(
+                            "reads returned diverging chains {:?} and {:?} (neither prefixes the other)",
+                            ci, cj
+                        ),
+                    });
+                }
+            }
+        }
+        Verdict::from_violations(violations)
+    }
+
+    fn name(&self) -> &'static str {
+        "strong-prefix"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btadt_history::ProcessId;
+    use btadt_types::workload::Workload;
+    use btadt_types::{Blockchain, LongestChain, SelectionFunction};
+
+    use crate::ops::BtRecorder;
+
+    fn read(rec: &mut BtRecorder, p: u32, chain: Blockchain) {
+        rec.instantaneous(ProcessId(p), BtOperation::Read, BtResponse::Chain(chain));
+    }
+
+    #[test]
+    fn prefix_compatible_reads_are_admitted() {
+        let mut w = Workload::new(2);
+        let chain = w.linear_chain(6, 0);
+        let mut rec = BtRecorder::new();
+        read(&mut rec, 0, chain.truncated(2));
+        read(&mut rec, 1, chain.truncated(4));
+        read(&mut rec, 0, chain.truncated(6));
+        assert!(StrongPrefix::new().admits(&rec.into_history()));
+    }
+
+    #[test]
+    fn diverging_reads_are_rejected_with_both_witnesses() {
+        let mut w = Workload::new(2);
+        let tree = w.forked_tree(1, 2, 2);
+        let chains = tree.all_chains();
+        assert_eq!(chains.len(), 2);
+        let mut rec = BtRecorder::new();
+        read(&mut rec, 0, chains[0].clone());
+        read(&mut rec, 1, chains[1].clone());
+        let verdict = StrongPrefix::new().check(&rec.into_history());
+        assert!(!verdict.is_admitted());
+        assert_eq!(verdict.violations.len(), 1);
+        assert_eq!(verdict.violations[0].witnesses.len(), 2);
+    }
+
+    #[test]
+    fn divergence_within_a_single_process_is_also_rejected() {
+        // Strong Prefix quantifies over all pairs of reads, not only reads at
+        // different processes.
+        let mut w = Workload::new(3);
+        let tree = w.forked_tree(0, 2, 1);
+        let chains = tree.all_chains();
+        let mut rec = BtRecorder::new();
+        read(&mut rec, 0, chains[0].clone());
+        read(&mut rec, 0, chains[1].clone());
+        assert!(!StrongPrefix::new().admits(&rec.into_history()));
+    }
+
+    #[test]
+    fn reads_of_a_selected_chain_from_a_growing_tree_are_admitted() {
+        // A single sequential writer: every read returns the chain selected
+        // from a monotonically growing tree, hence prefixes never diverge
+        // along a single branch.
+        let mut w = Workload::new(4);
+        let chain = w.linear_chain(8, 0);
+        let mut tree = btadt_types::BlockTree::new();
+        let f = LongestChain::new();
+        let mut rec = BtRecorder::new();
+        for b in chain.blocks().iter().skip(1) {
+            tree.insert(b.clone()).unwrap();
+            read(&mut rec, 0, f.select(&tree));
+        }
+        assert!(StrongPrefix::new().admits(&rec.into_history()));
+    }
+
+    #[test]
+    fn history_without_reads_is_trivially_admitted() {
+        let rec = BtRecorder::new();
+        assert!(StrongPrefix::new().admits(&rec.into_history()));
+    }
+}

@@ -1,0 +1,226 @@
+//! The transducer view of an abstract data type (Definitions 2.1–2.3).
+//!
+//! An abstract data type is a 6-tuple `T = ⟨A, B, Z, ξ0, τ, δ⟩`: input and
+//! output alphabets, abstract states with an initial state, a transition
+//! function and an output function.  A *sequential history* is a word over
+//! the operations `Σ = A ∪ (A×B)` that can be produced by walking the
+//! transition system from the initial state while the outputs match; the set
+//! of all such words is the sequential specification `L(T)`.
+//!
+//! In Rust we express the tuple as a trait: `Input` plays the role of `A`,
+//! `Output` of `B`, `State` of `Z`, [`AbstractDataType::initial_state`] of
+//! `ξ0`, [`AbstractDataType::transition`] of `τ` and
+//! [`AbstractDataType::output`] of `δ`.  The [`SequentialChecker`] walks a
+//! word and decides membership in `L(T)`, reporting the first offending
+//! position otherwise — this is what the figure-replay tests use to verify
+//! the transition-system examples of Figures 1, 6 and 7.
+
+use std::fmt::Debug;
+
+/// An abstract data type `T = ⟨A, B, Z, ξ0, τ, δ⟩` (Definition 2.1).
+///
+/// Implementations must be deterministic: `transition` and `output` are pure
+/// functions of `(state, input)`.
+pub trait AbstractDataType {
+    /// The input alphabet `A`.  Each operation call with specific arguments
+    /// is a distinct symbol, so inputs typically carry their arguments.
+    type Input: Clone + Debug;
+    /// The output alphabet `B`.
+    type Output: Clone + Debug + PartialEq;
+    /// The abstract states `Z`.
+    type State: Clone + Debug;
+
+    /// The initial abstract state `ξ0`.
+    fn initial_state(&self) -> Self::State;
+
+    /// The transition function `τ : Z × A → Z`.
+    fn transition(&self, state: &Self::State, input: &Self::Input) -> Self::State;
+
+    /// The output function `δ : Z × A → B`.
+    fn output(&self, state: &Self::State, input: &Self::Input) -> Self::Output;
+
+    /// Applies one operation: returns the output produced in `state` and the
+    /// successor state (the extension of `τ` to operations, Definition 2.2).
+    fn step(&self, state: &Self::State, input: &Self::Input) -> (Self::Output, Self::State) {
+        (self.output(state, input), self.transition(state, input))
+    }
+}
+
+/// Error produced when a word is not a sequential history of the ADT.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SequentialError {
+    /// Index of the first offending operation in the word.
+    pub position: usize,
+    /// Human-readable description of the mismatch.
+    pub reason: String,
+}
+
+impl std::fmt::Display for SequentialError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "operation {}: {}", self.position, self.reason)
+    }
+}
+
+impl std::error::Error for SequentialError {}
+
+/// Membership checker for the sequential specification `L(T)`
+/// (Definition 2.3).
+pub struct SequentialChecker<T: AbstractDataType> {
+    adt: T,
+}
+
+impl<T: AbstractDataType> SequentialChecker<T> {
+    /// Wraps an ADT in a checker.
+    pub fn new(adt: T) -> Self {
+        SequentialChecker { adt }
+    }
+
+    /// Grants access to the wrapped ADT.
+    pub fn adt(&self) -> &T {
+        &self.adt
+    }
+
+    /// Checks that the word `(input, expected_output)*` is a sequential
+    /// history of the ADT: starting from `ξ0`, each operation's output must
+    /// equal the output function applied to the current state, and the state
+    /// advances through the transition function.
+    ///
+    /// On success returns the sequence of traversed states (`ξ1 … ξn`, i.e.
+    /// excluding `ξ0`); on failure returns the first offending position.
+    pub fn check_word(
+        &self,
+        word: &[(T::Input, T::Output)],
+    ) -> Result<Vec<T::State>, SequentialError> {
+        let mut state = self.adt.initial_state();
+        let mut states = Vec::with_capacity(word.len());
+        for (i, (input, expected)) in word.iter().enumerate() {
+            let (produced, next) = self.adt.step(&state, input);
+            if &produced != expected {
+                return Err(SequentialError {
+                    position: i,
+                    reason: format!(
+                        "output mismatch for {:?}: specification produces {:?}, word expects {:?}",
+                        input, produced, expected
+                    ),
+                });
+            }
+            state = next;
+            states.push(state.clone());
+        }
+        Ok(states)
+    }
+
+    /// Runs a word of inputs through the specification, collecting the
+    /// produced outputs (the unique legal completion of the input word).
+    pub fn run(&self, inputs: &[T::Input]) -> Vec<(T::Input, T::Output)> {
+        let mut state = self.adt.initial_state();
+        let mut word = Vec::with_capacity(inputs.len());
+        for input in inputs {
+            let (out, next) = self.adt.step(&state, input);
+            word.push((input.clone(), out));
+            state = next;
+        }
+        word
+    }
+
+    /// Returns the final state reached after running a word of inputs.
+    pub fn final_state(&self, inputs: &[T::Input]) -> T::State {
+        let mut state = self.adt.initial_state();
+        for input in inputs {
+            state = self.adt.transition(&state, input);
+        }
+        state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy ADT: a counter with `Incr(n)` and `Get` inputs, used to test the
+    /// generic machinery independently of the BlockTree.
+    struct Counter;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum CIn {
+        Incr(u64),
+        Get,
+    }
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum COut {
+        Ack,
+        Value(u64),
+    }
+
+    impl AbstractDataType for Counter {
+        type Input = CIn;
+        type Output = COut;
+        type State = u64;
+
+        fn initial_state(&self) -> u64 {
+            0
+        }
+
+        fn transition(&self, state: &u64, input: &CIn) -> u64 {
+            match input {
+                CIn::Incr(n) => state + n,
+                CIn::Get => *state,
+            }
+        }
+
+        fn output(&self, state: &u64, input: &CIn) -> COut {
+            match input {
+                CIn::Incr(_) => COut::Ack,
+                CIn::Get => COut::Value(*state),
+            }
+        }
+    }
+
+    #[test]
+    fn legal_word_is_accepted_with_states() {
+        let checker = SequentialChecker::new(Counter);
+        let word = vec![
+            (CIn::Incr(2), COut::Ack),
+            (CIn::Get, COut::Value(2)),
+            (CIn::Incr(3), COut::Ack),
+            (CIn::Get, COut::Value(5)),
+        ];
+        let states = checker.check_word(&word).unwrap();
+        assert_eq!(states, vec![2, 2, 5, 5]);
+    }
+
+    #[test]
+    fn illegal_word_reports_first_offending_position() {
+        let checker = SequentialChecker::new(Counter);
+        let word = vec![
+            (CIn::Incr(2), COut::Ack),
+            (CIn::Get, COut::Value(99)), // wrong output
+        ];
+        let err = checker.check_word(&word).unwrap_err();
+        assert_eq!(err.position, 1);
+        assert!(err.reason.contains("output mismatch"));
+        assert!(err.to_string().contains("operation 1"));
+    }
+
+    #[test]
+    fn run_produces_the_legal_completion() {
+        let checker = SequentialChecker::new(Counter);
+        let word = checker.run(&[CIn::Incr(1), CIn::Incr(1), CIn::Get]);
+        assert_eq!(word[2].1, COut::Value(2));
+        assert!(checker.check_word(&word).is_ok());
+    }
+
+    #[test]
+    fn final_state_follows_transitions() {
+        let checker = SequentialChecker::new(Counter);
+        assert_eq!(checker.final_state(&[CIn::Incr(4), CIn::Incr(6)]), 10);
+        assert_eq!(checker.final_state(&[]), 0);
+    }
+
+    #[test]
+    fn empty_word_is_a_sequential_history() {
+        let checker = SequentialChecker::new(Counter);
+        assert_eq!(checker.check_word(&[]).unwrap(), Vec::<u64>::new());
+    }
+}

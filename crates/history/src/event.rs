@@ -1,0 +1,127 @@
+//! Processes, operations and events.
+//!
+//! A concurrent history (Definition 2.4) is built from a countable set of
+//! events `E` containing the invocation and the response of every operation,
+//! a labelling `Λ : E → Σ`, and three order relations.  The types here give
+//! events and operations stable identifiers plus the timestamps used to
+//! derive the orders:
+//!
+//! * the **process order** `e ↦ e'` relates events produced by the same
+//!   process, in the order the process produced them;
+//! * the **operation order** `e ≺ e'` relates a response at real time `t` to
+//!   every invocation occurring at a later real time `t' > t` (and each
+//!   invocation to its own response);
+//! * the **program order** `e ↗ e'` is the union of the two.
+//!
+//! Real time is the "fictional global clock" of the paper — a logical
+//! timestamp assigned by the recorder or by the discrete-event simulator,
+//! never accessible to the processes themselves.
+
+use std::fmt;
+
+/// Identifier of a sequential process.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcessId(pub u32);
+
+impl fmt::Debug for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<u32> for ProcessId {
+    fn from(v: u32) -> Self {
+        ProcessId(v)
+    }
+}
+
+/// Identifier of an operation instance (one invocation/response pair).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OpId(pub u64);
+
+impl fmt::Debug for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op{}", self.0)
+    }
+}
+
+/// Identifier of a single event (invocation or response).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(pub u64);
+
+impl fmt::Debug for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// Logical timestamp on the fictional global clock.
+///
+/// Timestamps are totally ordered; two events may share a timestamp, in
+/// which case they are considered concurrent by the operation order.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Timestamp(pub u64);
+
+impl Timestamp {
+    /// The origin of the global clock.
+    pub const ZERO: Timestamp = Timestamp(0);
+
+    /// The next instant.
+    pub fn next(self) -> Timestamp {
+        Timestamp(self.0 + 1)
+    }
+}
+
+impl fmt::Debug for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl From<u64> for Timestamp {
+    fn from(v: u64) -> Self {
+        Timestamp(v)
+    }
+}
+
+/// Whether an event is the invocation or the response of its operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// The invocation event `e_inv(o)`.
+    Invocation,
+    /// The response event `e_rsp(o)`.
+    Response,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identifiers_format_compactly() {
+        assert_eq!(format!("{:?}", ProcessId(3)), "p3");
+        assert_eq!(format!("{}", ProcessId(3)), "p3");
+        assert_eq!(format!("{:?}", OpId(7)), "op7");
+        assert_eq!(format!("{:?}", EventId(9)), "e9");
+        assert_eq!(format!("{:?}", Timestamp(4)), "t4");
+    }
+
+    #[test]
+    fn timestamps_are_ordered_and_advance() {
+        assert!(Timestamp(1) < Timestamp(2));
+        assert_eq!(Timestamp::ZERO.next(), Timestamp(1));
+        assert_eq!(Timestamp::from(5).next(), Timestamp(6));
+    }
+
+    #[test]
+    fn conversions_from_primitives() {
+        assert_eq!(ProcessId::from(2), ProcessId(2));
+        assert_eq!(Timestamp::from(9), Timestamp(9));
+    }
+}

@@ -1,0 +1,321 @@
+//! Channel models.
+//!
+//! The paper distinguishes (Section 4.2):
+//!
+//! * **synchronous** channels — a message sent by a correct process at time
+//!   `t` is delivered by `t + δ`;
+//! * **weakly / partially synchronous** channels — there exists an unknown
+//!   time `τ` (the global stabilisation time, GST) after which the channels
+//!   behave synchronously;
+//! * **asynchronous** channels — no bound on delivery delay.
+//!
+//! On top of these we provide the failure-prone variants needed by the
+//! necessity experiments: **lossy** channels (each message independently
+//! dropped with some probability — Theorem 4.7 shows even a single lost
+//! message among correct processes breaks Eventual Prefix) and
+//! **partitioned** channels (two groups cannot communicate until the
+//! partition heals).
+
+use rand::Rng;
+
+use crate::time::SimTime;
+
+/// The outcome the channel model assigns to one message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Delivery {
+    /// Deliver the message at the given time.
+    At(SimTime),
+    /// Drop the message.
+    Drop,
+}
+
+/// A channel model: decides, per message, when (and whether) it is
+/// delivered.
+#[derive(Clone, Debug)]
+pub enum ChannelModel {
+    /// Synchronous: delivery within `[min_delay, delta]` ticks.
+    Synchronous {
+        /// Minimum delivery delay (≥ 1 tick).
+        min_delay: u64,
+        /// Maximum delivery delay `δ`.
+        delta: u64,
+    },
+    /// Partially synchronous: before `gst` delays are arbitrary up to
+    /// `max_delay_before_gst`; from `gst` on the channel is synchronous with
+    /// bound `delta`.
+    PartiallySynchronous {
+        /// Global stabilisation time.
+        gst: SimTime,
+        /// Worst-case delay before GST.
+        max_delay_before_gst: u64,
+        /// Synchronous bound after GST.
+        delta: u64,
+    },
+    /// Asynchronous: delays drawn uniformly from `[1, max_delay]` with no
+    /// bound promised to the processes (the simulator still needs a finite
+    /// horizon to terminate).
+    Asynchronous {
+        /// Largest delay the simulator will generate.
+        max_delay: u64,
+    },
+    /// Like the inner model, but each message is independently dropped with
+    /// probability `drop_probability`.
+    Lossy {
+        /// The underlying timing model.
+        inner: Box<ChannelModel>,
+        /// Per-message drop probability in `[0, 1]`.
+        drop_probability: f64,
+    },
+    /// Processes are split into two groups; messages across groups are
+    /// dropped until `heals_at`, after which the channel behaves like the
+    /// inner model.
+    Partitioned {
+        /// The underlying timing model.
+        inner: Box<ChannelModel>,
+        /// Members of the first group (everyone else is in the second).
+        group_a: Vec<usize>,
+        /// When the partition heals.
+        heals_at: SimTime,
+    },
+}
+
+impl ChannelModel {
+    /// A synchronous channel with delays in `[1, delta]`.
+    pub fn synchronous(delta: u64) -> Self {
+        ChannelModel::Synchronous {
+            min_delay: 1,
+            delta: delta.max(1),
+        }
+    }
+
+    /// A partially synchronous channel.
+    pub fn partially_synchronous(gst: u64, max_delay_before_gst: u64, delta: u64) -> Self {
+        ChannelModel::PartiallySynchronous {
+            gst: SimTime(gst),
+            max_delay_before_gst: max_delay_before_gst.max(1),
+            delta: delta.max(1),
+        }
+    }
+
+    /// An asynchronous channel with simulator-horizon delays up to
+    /// `max_delay`.
+    pub fn asynchronous(max_delay: u64) -> Self {
+        ChannelModel::Asynchronous {
+            max_delay: max_delay.max(1),
+        }
+    }
+
+    /// Wraps a model with independent message loss.
+    pub fn lossy(inner: ChannelModel, drop_probability: f64) -> Self {
+        ChannelModel::Lossy {
+            inner: Box::new(inner),
+            drop_probability: drop_probability.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Wraps a model with a partition separating `group_a` from the rest
+    /// until `heals_at`.
+    pub fn partitioned(inner: ChannelModel, group_a: Vec<usize>, heals_at: u64) -> Self {
+        ChannelModel::Partitioned {
+            inner: Box::new(inner),
+            group_a,
+            heals_at: SimTime(heals_at),
+        }
+    }
+
+    /// Decides the fate of a message sent at `now` from `from` to `to`.
+    pub fn delivery(&self, now: SimTime, from: usize, to: usize, rng: &mut impl Rng) -> Delivery {
+        match self {
+            ChannelModel::Synchronous { min_delay, delta } => {
+                let d = rng.gen_range(*min_delay..=(*delta).max(*min_delay));
+                Delivery::At(now + d)
+            }
+            ChannelModel::PartiallySynchronous {
+                gst,
+                max_delay_before_gst,
+                delta,
+            } => {
+                if now < *gst {
+                    // Before GST the delay may even push delivery past GST.
+                    let d = rng.gen_range(1..=*max_delay_before_gst);
+                    Delivery::At(now + d)
+                } else {
+                    let d = rng.gen_range(1..=*delta);
+                    Delivery::At(now + d)
+                }
+            }
+            ChannelModel::Asynchronous { max_delay } => {
+                let d = rng.gen_range(1..=*max_delay);
+                Delivery::At(now + d)
+            }
+            ChannelModel::Lossy {
+                inner,
+                drop_probability,
+            } => {
+                if rng.gen_bool(*drop_probability) {
+                    Delivery::Drop
+                } else {
+                    inner.delivery(now, from, to, rng)
+                }
+            }
+            ChannelModel::Partitioned {
+                inner,
+                group_a,
+                heals_at,
+            } => {
+                let split = group_a.contains(&from) != group_a.contains(&to);
+                if split && now < *heals_at {
+                    Delivery::Drop
+                } else {
+                    inner.delivery(now, from, to, rng)
+                }
+            }
+        }
+    }
+
+    /// An upper bound on the delivery delay promised *to the analysis* (not
+    /// to the processes), if any.  Used by protocol models that need to know
+    /// how long to wait for quiescence.
+    pub fn delay_bound(&self) -> Option<u64> {
+        match self {
+            ChannelModel::Synchronous { delta, .. } => Some(*delta),
+            ChannelModel::PartiallySynchronous {
+                max_delay_before_gst,
+                delta,
+                ..
+            } => Some((*max_delay_before_gst).max(*delta)),
+            ChannelModel::Asynchronous { max_delay } => Some(*max_delay),
+            ChannelModel::Lossy { inner, .. } => inner.delay_bound(),
+            ChannelModel::Partitioned { inner, .. } => inner.delay_bound(),
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            ChannelModel::Synchronous { delta, .. } => format!("sync(δ={delta})"),
+            ChannelModel::PartiallySynchronous { gst, delta, .. } => {
+                format!("partial-sync(GST={}, δ={delta})", gst.0)
+            }
+            ChannelModel::Asynchronous { max_delay } => format!("async(≤{max_delay})"),
+            ChannelModel::Lossy {
+                inner,
+                drop_probability,
+            } => format!("lossy(p={drop_probability}, {})", inner.label()),
+            ChannelModel::Partitioned { inner, heals_at, .. } => {
+                format!("partitioned(heal={}, {})", heals_at.0, inner.label())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn synchronous_delivery_is_within_delta() {
+        let ch = ChannelModel::synchronous(5);
+        let mut rng = rng();
+        for _ in 0..200 {
+            match ch.delivery(SimTime(10), 0, 1, &mut rng) {
+                Delivery::At(t) => assert!(t > SimTime(10) && t <= SimTime(15)),
+                Delivery::Drop => panic!("synchronous channels never drop"),
+            }
+        }
+        assert_eq!(ch.delay_bound(), Some(5));
+    }
+
+    #[test]
+    fn partially_synchronous_respects_delta_after_gst() {
+        let ch = ChannelModel::partially_synchronous(100, 50, 4);
+        let mut rng = rng();
+        let mut before_max = 0;
+        for _ in 0..200 {
+            if let Delivery::At(t) = ch.delivery(SimTime(0), 0, 1, &mut rng) {
+                before_max = before_max.max(t.0);
+            }
+        }
+        assert!(before_max > 4, "pre-GST delays can exceed δ");
+        for _ in 0..200 {
+            if let Delivery::At(t) = ch.delivery(SimTime(200), 0, 1, &mut rng) {
+                assert!(t <= SimTime(204));
+            }
+        }
+    }
+
+    #[test]
+    fn lossy_channel_drops_roughly_at_the_configured_rate() {
+        let ch = ChannelModel::lossy(ChannelModel::synchronous(3), 0.3);
+        let mut rng = rng();
+        let n = 5_000;
+        let drops = (0..n)
+            .filter(|_| ch.delivery(SimTime(0), 0, 1, &mut rng) == Delivery::Drop)
+            .count();
+        let rate = drops as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.03, "drop rate {rate}");
+    }
+
+    #[test]
+    fn loss_probability_zero_never_drops() {
+        let ch = ChannelModel::lossy(ChannelModel::synchronous(3), 0.0);
+        let mut rng = rng();
+        assert!((0..500).all(|_| ch.delivery(SimTime(0), 0, 1, &mut rng) != Delivery::Drop));
+    }
+
+    #[test]
+    fn partition_drops_cross_group_messages_until_heal() {
+        let ch = ChannelModel::partitioned(ChannelModel::synchronous(2), vec![0, 1], 100);
+        let mut rng = rng();
+        // Cross-group before heal: dropped.
+        assert_eq!(ch.delivery(SimTime(10), 0, 2, &mut rng), Delivery::Drop);
+        assert_eq!(ch.delivery(SimTime(10), 2, 1, &mut rng), Delivery::Drop);
+        // Same group before heal: delivered.
+        assert!(matches!(
+            ch.delivery(SimTime(10), 0, 1, &mut rng),
+            Delivery::At(_)
+        ));
+        // Cross-group after heal: delivered.
+        assert!(matches!(
+            ch.delivery(SimTime(150), 0, 2, &mut rng),
+            Delivery::At(_)
+        ));
+    }
+
+    #[test]
+    fn asynchronous_delays_span_the_full_range() {
+        let ch = ChannelModel::asynchronous(50);
+        let mut rng = rng();
+        let mut max_seen = 0;
+        for _ in 0..2_000 {
+            if let Delivery::At(t) = ch.delivery(SimTime(0), 0, 1, &mut rng) {
+                max_seen = max_seen.max(t.0);
+                assert!(t.0 >= 1 && t.0 <= 50);
+            }
+        }
+        assert!(max_seen > 40, "expected to observe large delays");
+    }
+
+    #[test]
+    fn labels_are_informative() {
+        assert!(ChannelModel::synchronous(3).label().contains("sync"));
+        assert!(ChannelModel::asynchronous(9).label().contains("async"));
+        assert!(ChannelModel::lossy(ChannelModel::synchronous(3), 0.1)
+            .label()
+            .contains("lossy"));
+        assert!(
+            ChannelModel::partitioned(ChannelModel::synchronous(3), vec![0], 5)
+                .label()
+                .contains("partitioned")
+        );
+        assert!(ChannelModel::partially_synchronous(10, 20, 3)
+            .label()
+            .contains("partial-sync"));
+    }
+}

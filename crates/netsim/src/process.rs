@@ -1,0 +1,148 @@
+//! Process state machines and their action context.
+//!
+//! A process is a deterministic state machine reacting to three kinds of
+//! stimuli: start of the execution, delivery of a message, and expiry of a
+//! timer it armed earlier.  Reactions are expressed as *actions* (send,
+//! broadcast, arm a timer) collected in a [`Context`] and applied by the
+//! simulator — processes never touch the global clock or the RNG, which
+//! keeps them deterministic and the simulation reproducible.
+
+use crate::time::SimTime;
+
+/// Destination of an outgoing message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Destination {
+    /// A single process.
+    To(usize),
+    /// Every process except the sender.
+    Broadcast,
+}
+
+/// Actions a process requests during one activation.
+#[derive(Clone, Debug)]
+pub struct Actions<M> {
+    /// Outgoing messages.
+    pub outgoing: Vec<(Destination, M)>,
+    /// Timers to arm: `(delay, timer_id)`.
+    pub timers: Vec<(u64, u64)>,
+    /// Set when the process asks to halt (it will receive no further
+    /// activations).
+    pub halt: bool,
+}
+
+impl<M> Default for Actions<M> {
+    fn default() -> Self {
+        Actions {
+            outgoing: Vec::new(),
+            timers: Vec::new(),
+            halt: false,
+        }
+    }
+}
+
+/// The activation context handed to a process: read-only facts about the
+/// execution plus the action sink.
+pub struct Context<M> {
+    id: usize,
+    n: usize,
+    now: SimTime,
+    actions: Actions<M>,
+}
+
+impl<M> Context<M> {
+    /// Creates a context for one activation (called by the simulator).
+    pub fn new(id: usize, n: usize, now: SimTime) -> Self {
+        Context {
+            id,
+            n,
+            now,
+            actions: Actions::default(),
+        }
+    }
+
+    /// This process's identifier.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Total number of processes in the system.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The *local* activation time.  Exposed for logging/timeout arithmetic;
+    /// protocols must not use it to infer global synchrony beyond what the
+    /// channel model promises.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Sends a message to one process.
+    pub fn send(&mut self, to: usize, msg: M) {
+        self.actions.outgoing.push((Destination::To(to), msg));
+    }
+
+    /// Broadcasts a message to every other process.
+    pub fn broadcast(&mut self, msg: M) {
+        self.actions.outgoing.push((Destination::Broadcast, msg));
+    }
+
+    /// Arms a timer that will fire after `delay` ticks with the given id.
+    pub fn set_timer(&mut self, delay: u64, timer_id: u64) {
+        self.actions.timers.push((delay.max(1), timer_id));
+    }
+
+    /// Asks the simulator to stop activating this process.
+    pub fn halt(&mut self) {
+        self.actions.halt = true;
+    }
+
+    /// Consumes the context, returning the collected actions (called by the
+    /// simulator).
+    pub fn into_actions(self) -> Actions<M> {
+        self.actions
+    }
+}
+
+/// A process of the distributed system.
+pub trait Process<M>: Send {
+    /// Called once at the start of the execution.
+    fn on_start(&mut self, ctx: &mut Context<M>);
+
+    /// Called when a message from `from` is delivered.
+    fn on_message(&mut self, ctx: &mut Context<M>, from: usize, msg: M);
+
+    /// Called when a previously armed timer fires.
+    fn on_timer(&mut self, ctx: &mut Context<M>, timer_id: u64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_collects_actions() {
+        let mut ctx: Context<&'static str> = Context::new(2, 5, SimTime(9));
+        assert_eq!(ctx.id(), 2);
+        assert_eq!(ctx.n(), 5);
+        assert_eq!(ctx.now(), SimTime(9));
+        ctx.send(4, "hello");
+        ctx.broadcast("world");
+        ctx.set_timer(0, 7); // delay clamped to ≥ 1
+        ctx.halt();
+        let actions = ctx.into_actions();
+        assert_eq!(actions.outgoing.len(), 2);
+        assert_eq!(actions.outgoing[0], (Destination::To(4), "hello"));
+        assert_eq!(actions.outgoing[1], (Destination::Broadcast, "world"));
+        assert_eq!(actions.timers, vec![(1, 7)]);
+        assert!(actions.halt);
+    }
+
+    #[test]
+    fn default_actions_are_empty() {
+        let actions: Actions<u32> = Actions::default();
+        assert!(actions.outgoing.is_empty());
+        assert!(actions.timers.is_empty());
+        assert!(!actions.halt);
+    }
+}

@@ -1,0 +1,507 @@
+//! The discrete-event simulator.
+//!
+//! The simulator owns the processes, a single seeded RNG, the channel model
+//! and the event queue.  It activates processes (start, message delivery,
+//! timer expiry), applies the actions they request, and records the network
+//! trace.  Failures are injected through a [`FailurePlan`]:
+//!
+//! * **crashes** — a crashed process receives no further activations and its
+//!   pending messages are discarded (crash-stop);
+//! * **Byzantine omission/equivocation** — messages sent by a Byzantine
+//!   process are delivered to an arbitrary subset of destinations (each
+//!   destination independently omitted with probability ½), which is the
+//!   adversarial behaviour the committee-quorum protocol models need to
+//!   tolerate.  Richer Byzantine behaviours (content forgery) are modelled
+//!   at the protocol layer where the message structure is known.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+use crate::channel::{ChannelModel, Delivery};
+use crate::process::{Context, Destination, Process};
+use crate::time::SimTime;
+use crate::trace::{NetTrace, TraceEvent, TraceEventKind};
+
+/// Static configuration of a simulation run.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Seed of the run (drives channel delays and Byzantine omissions).
+    pub seed: u64,
+    /// Channel model.
+    pub channel: ChannelModel,
+    /// Hard bound on simulated time; events scheduled later are not
+    /// processed.
+    pub max_time: u64,
+    /// Hard bound on the number of processed events (runaway protection).
+    pub max_events: u64,
+}
+
+impl SimConfig {
+    /// A synchronous configuration with the given bound δ.
+    pub fn synchronous(seed: u64, delta: u64, max_time: u64) -> Self {
+        SimConfig {
+            seed,
+            channel: ChannelModel::synchronous(delta),
+            max_time,
+            max_events: 2_000_000,
+        }
+    }
+}
+
+/// Failure injection plan.
+#[derive(Clone, Debug, Default)]
+pub struct FailurePlan {
+    /// `(process, time)` pairs: the process crashes at the given time.
+    pub crashes: Vec<(usize, u64)>,
+    /// Processes exhibiting Byzantine omission/equivocation.
+    pub byzantine: Vec<usize>,
+}
+
+impl FailurePlan {
+    /// A plan with no failures.
+    pub fn none() -> Self {
+        FailurePlan::default()
+    }
+
+    /// A plan crashing the given processes at the given times.
+    pub fn crashing(crashes: Vec<(usize, u64)>) -> Self {
+        FailurePlan {
+            crashes,
+            byzantine: Vec::new(),
+        }
+    }
+
+    /// A plan marking the given processes Byzantine.
+    pub fn byzantine(byzantine: Vec<usize>) -> Self {
+        FailurePlan {
+            crashes: Vec::new(),
+            byzantine,
+        }
+    }
+}
+
+/// Summary statistics of a completed run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimReport {
+    /// Simulated time at which the run stopped.
+    pub final_time: SimTime,
+    /// Number of events processed.
+    pub events_processed: u64,
+    /// Whether the run stopped because the event queue drained (as opposed
+    /// to hitting the time or event bound).
+    pub quiescent: bool,
+}
+
+#[derive(Debug)]
+enum QueuedEvent<M> {
+    Deliver {
+        to: usize,
+        from: usize,
+        message_id: u64,
+        msg: M,
+    },
+    Timer {
+        process: usize,
+        timer_id: u64,
+    },
+}
+
+/// The simulator.
+pub struct Simulator<M, P> {
+    processes: Vec<P>,
+    config: SimConfig,
+    failures: FailurePlan,
+    rng: ChaCha8Rng,
+    queue: BinaryHeap<Reverse<(SimTime, u64, usize)>>,
+    payloads: Vec<Option<QueuedEvent<M>>>,
+    clock: SimTime,
+    next_seq: u64,
+    next_message_id: u64,
+    crashed: Vec<bool>,
+    halted: Vec<bool>,
+    trace: NetTrace,
+}
+
+impl<M: Clone, P: Process<M>> Simulator<M, P> {
+    /// Creates a simulator over the given processes.
+    pub fn new(processes: Vec<P>, config: SimConfig, failures: FailurePlan) -> Self {
+        let n = processes.len();
+        assert!(n > 0, "a simulation needs at least one process");
+        Simulator {
+            rng: ChaCha8Rng::seed_from_u64(config.seed),
+            processes,
+            config,
+            failures,
+            queue: BinaryHeap::new(),
+            payloads: Vec::new(),
+            clock: SimTime::ZERO,
+            next_seq: 0,
+            next_message_id: 0,
+            crashed: vec![false; n],
+            halted: vec![false; n],
+            trace: NetTrace::new(),
+        }
+    }
+
+    /// Number of processes.
+    pub fn len(&self) -> usize {
+        self.processes.len()
+    }
+
+    /// Returns `true` iff there are no processes (never true).
+    pub fn is_empty(&self) -> bool {
+        self.processes.is_empty()
+    }
+
+    /// Immutable access to a process (e.g. to inspect its state after the
+    /// run).
+    pub fn process(&self, i: usize) -> &P {
+        &self.processes[i]
+    }
+
+    /// The network trace recorded so far.
+    pub fn trace(&self) -> &NetTrace {
+        &self.trace
+    }
+
+    /// Consumes the simulator, returning the processes and the trace.
+    pub fn into_parts(self) -> (Vec<P>, NetTrace) {
+        (self.processes, self.trace)
+    }
+
+    fn crash_time(&self, p: usize) -> Option<SimTime> {
+        self.failures
+            .crashes
+            .iter()
+            .find(|(proc, _)| *proc == p)
+            .map(|(_, t)| SimTime(*t))
+    }
+
+    fn is_down(&self, p: usize, at: SimTime) -> bool {
+        self.crashed[p]
+            || self.halted[p]
+            || self.crash_time(p).map(|t| at >= t).unwrap_or(false)
+    }
+
+    fn push(&mut self, at: SimTime, event: QueuedEvent<M>) {
+        let idx = self.payloads.len();
+        self.payloads.push(Some(event));
+        self.queue.push(Reverse((at, self.next_seq, idx)));
+        self.next_seq += 1;
+    }
+
+    fn apply_actions(&mut self, from: usize, actions: crate::process::Actions<M>) {
+        if actions.halt {
+            self.halted[from] = true;
+        }
+        let byzantine = self.failures.byzantine.contains(&from);
+        for (dest, msg) in actions.outgoing {
+            let targets: Vec<usize> = match dest {
+                Destination::To(t) => vec![t],
+                Destination::Broadcast => {
+                    (0..self.processes.len()).filter(|&t| t != from).collect()
+                }
+            };
+            let message_id = self.next_message_id;
+            self.next_message_id += 1;
+            for to in targets {
+                if to >= self.processes.len() {
+                    continue;
+                }
+                self.trace.record(TraceEvent {
+                    at: self.clock,
+                    from,
+                    to,
+                    message_id,
+                    kind: TraceEventKind::Sent,
+                });
+                // Byzantine omission: each destination independently starved.
+                if byzantine && self.rng.gen_bool(0.5) {
+                    self.trace.record(TraceEvent {
+                        at: self.clock,
+                        from,
+                        to,
+                        message_id,
+                        kind: TraceEventKind::Dropped,
+                    });
+                    continue;
+                }
+                match self
+                    .config
+                    .channel
+                    .delivery(self.clock, from, to, &mut self.rng)
+                {
+                    Delivery::Drop => {
+                        self.trace.record(TraceEvent {
+                            at: self.clock,
+                            from,
+                            to,
+                            message_id,
+                            kind: TraceEventKind::Dropped,
+                        });
+                    }
+                    Delivery::At(at) => {
+                        self.push(
+                            at,
+                            QueuedEvent::Deliver {
+                                to,
+                                from,
+                                message_id,
+                                msg: msg.clone(),
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        for (delay, timer_id) in actions.timers {
+            self.push(
+                self.clock + delay,
+                QueuedEvent::Timer {
+                    process: from,
+                    timer_id,
+                },
+            );
+        }
+    }
+
+    fn activate(&mut self, p: usize, f: impl FnOnce(&mut P, &mut Context<M>)) {
+        let mut ctx = Context::new(p, self.processes.len(), self.clock);
+        f(&mut self.processes[p], &mut ctx);
+        self.apply_actions(p, ctx.into_actions());
+    }
+
+    /// Runs the simulation to quiescence or until the time/event bound is
+    /// reached, and returns a report.
+    pub fn run(&mut self) -> SimReport {
+        // Start every process at time zero.
+        for p in 0..self.processes.len() {
+            if !self.is_down(p, SimTime::ZERO) {
+                self.activate(p, |proc, ctx| proc.on_start(ctx));
+            }
+        }
+
+        let mut processed = 0u64;
+        let mut quiescent = true;
+        while let Some(Reverse((at, _, idx))) = self.queue.pop() {
+            if at.0 > self.config.max_time || processed >= self.config.max_events {
+                quiescent = false;
+                break;
+            }
+            self.clock = at;
+            processed += 1;
+            let event = self.payloads[idx].take().expect("payload consumed once");
+            match event {
+                QueuedEvent::Deliver {
+                    to,
+                    from,
+                    message_id,
+                    msg,
+                } => {
+                    if self.is_down(to, at) {
+                        continue;
+                    }
+                    self.trace.record(TraceEvent {
+                        at,
+                        from,
+                        to,
+                        message_id,
+                        kind: TraceEventKind::Delivered,
+                    });
+                    self.activate(to, |proc, ctx| proc.on_message(ctx, from, msg));
+                }
+                QueuedEvent::Timer { process, timer_id } => {
+                    if self.is_down(process, at) {
+                        continue;
+                    }
+                    self.activate(process, |proc, ctx| proc.on_timer(ctx, timer_id));
+                }
+            }
+        }
+
+        // Mark crash flags that became effective during the run so that
+        // post-run inspection can tell who was down.
+        for p in 0..self.processes.len() {
+            if self.crash_time(p).map(|t| self.clock >= t).unwrap_or(false) {
+                self.crashed[p] = true;
+            }
+        }
+
+        SimReport {
+            final_time: self.clock,
+            events_processed: processed,
+            quiescent,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A process that floods a counter value: on start it broadcasts 0, and
+    /// whenever it receives a value greater than its own it adopts and
+    /// re-broadcasts it.  Process 0 additionally bumps the value on a timer.
+    struct Flooder {
+        value: u64,
+        bumps_left: u64,
+        received: u64,
+    }
+
+    impl Flooder {
+        fn new(bumps: u64) -> Self {
+            Flooder {
+                value: 0,
+                bumps_left: bumps,
+                received: 0,
+            }
+        }
+    }
+
+    impl Process<u64> for Flooder {
+        fn on_start(&mut self, ctx: &mut Context<u64>) {
+            if ctx.id() == 0 {
+                ctx.set_timer(5, 1);
+            }
+        }
+
+        fn on_message(&mut self, ctx: &mut Context<u64>, _from: usize, msg: u64) {
+            self.received += 1;
+            if msg > self.value {
+                self.value = msg;
+                ctx.broadcast(msg);
+            }
+        }
+
+        fn on_timer(&mut self, ctx: &mut Context<u64>, _timer_id: u64) {
+            if self.bumps_left == 0 {
+                ctx.halt();
+                return;
+            }
+            self.bumps_left -= 1;
+            self.value += 1;
+            ctx.broadcast(self.value);
+            ctx.set_timer(5, 1);
+        }
+    }
+
+    fn flooders(n: usize, bumps: u64) -> Vec<Flooder> {
+        (0..n).map(|_| Flooder::new(bumps)).collect()
+    }
+
+    #[test]
+    fn synchronous_flood_reaches_every_process() {
+        let config = SimConfig::synchronous(1, 3, 10_000);
+        let mut sim = Simulator::new(flooders(5, 3), config, FailurePlan::none());
+        let report = sim.run();
+        assert!(report.quiescent);
+        assert!(report.events_processed > 0);
+        for p in 0..5 {
+            assert_eq!(sim.process(p).value, 3, "process {p} converged");
+        }
+        assert_eq!(sim.trace().dropped(), 0);
+        // Messages addressed to process 0 after it halted are neither
+        // delivered nor dropped, so the ratio is high but not exactly 1.
+        assert!(sim.trace().delivery_ratio() > 0.8);
+    }
+
+    #[test]
+    fn runs_are_deterministic_given_the_seed() {
+        let run = |seed: u64| {
+            let config = SimConfig::synchronous(seed, 4, 10_000);
+            let mut sim = Simulator::new(flooders(4, 2), config, FailurePlan::none());
+            let report = sim.run();
+            (report.events_processed, sim.trace().len())
+        };
+        assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    fn crashed_process_stops_participating() {
+        let config = SimConfig::synchronous(2, 3, 10_000);
+        let mut sim = Simulator::new(
+            flooders(4, 3),
+            config,
+            FailurePlan::crashing(vec![(3, 1)]), // process 3 crashes immediately
+        );
+        sim.run();
+        assert_eq!(sim.process(3).received, 0, "crashed process received nothing");
+        for p in 0..3 {
+            assert_eq!(sim.process(p).value, 3);
+        }
+    }
+
+    #[test]
+    fn lossy_channel_records_drops() {
+        let config = SimConfig {
+            seed: 3,
+            channel: ChannelModel::lossy(ChannelModel::synchronous(3), 0.4),
+            max_time: 10_000,
+            max_events: 100_000,
+        };
+        let mut sim = Simulator::new(flooders(5, 4), config, FailurePlan::none());
+        sim.run();
+        assert!(sim.trace().dropped() > 0);
+        assert!(sim.trace().delivery_ratio() < 1.0);
+    }
+
+    #[test]
+    fn byzantine_process_omits_some_messages() {
+        let config = SimConfig::synchronous(4, 3, 10_000);
+        let mut sim = Simulator::new(
+            flooders(4, 6),
+            config,
+            FailurePlan::byzantine(vec![0]), // the bumping process equivocates
+        );
+        sim.run();
+        assert!(
+            sim.trace().dropped() > 0,
+            "Byzantine omissions must appear in the trace"
+        );
+    }
+
+    #[test]
+    fn max_time_bound_stops_the_run() {
+        let config = SimConfig {
+            seed: 5,
+            channel: ChannelModel::synchronous(2),
+            max_time: 8, // only one or two bump rounds fit
+            max_events: 1_000_000,
+        };
+        let mut sim = Simulator::new(flooders(3, 1_000_000), config, FailurePlan::none());
+        let report = sim.run();
+        assert!(!report.quiescent);
+        assert!(report.final_time.0 <= 8);
+    }
+
+    #[test]
+    fn partitioned_groups_do_not_converge_before_heal() {
+        let config = SimConfig {
+            seed: 6,
+            channel: ChannelModel::partitioned(ChannelModel::synchronous(2), vec![0, 1], 1_000),
+            max_time: 60,
+            max_events: 100_000,
+        };
+        let mut sim = Simulator::new(flooders(4, 3), config, FailurePlan::none());
+        sim.run();
+        // Processes 2 and 3 are on the other side of the partition and never
+        // hear the bumps originating at process 0.
+        assert_eq!(sim.process(0).value, 3);
+        assert_eq!(sim.process(1).value, 3);
+        assert_eq!(sim.process(2).value, 0);
+        assert_eq!(sim.process(3).value, 0);
+    }
+
+    #[test]
+    fn into_parts_returns_processes_and_trace() {
+        let config = SimConfig::synchronous(7, 2, 1_000);
+        let mut sim = Simulator::new(flooders(2, 1), config, FailurePlan::none());
+        sim.run();
+        let (procs, trace) = sim.into_parts();
+        assert_eq!(procs.len(), 2);
+        assert!(trace.sent() > 0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Simulated time: the fictional global clock of Section 4.2.
+//!
+//! Time is measured in abstract ticks.  Processes never read the clock; only
+//! the simulator and the channel models do.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// A point in simulated time.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// The origin of time.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Adds a number of ticks.
+    pub fn plus(self, ticks: u64) -> SimTime {
+        SimTime(self.0 + ticks)
+    }
+
+    /// Saturating difference in ticks.
+    pub fn since(self, earlier: SimTime) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl Add<u64> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: u64) -> SimTime {
+        self.plus(rhs)
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = u64;
+    fn sub(self, rhs: SimTime) -> u64 {
+        self.since(rhs)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for SimTime {
+    fn from(v: u64) -> Self {
+        SimTime(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_and_ordering() {
+        let t = SimTime(10);
+        assert_eq!(t + 5, SimTime(15));
+        assert_eq!(t.plus(1), SimTime(11));
+        assert_eq!(SimTime(15) - t, 5);
+        assert_eq!(t - SimTime(15), 0, "difference saturates");
+        assert!(SimTime::ZERO < t);
+        assert_eq!(SimTime::from(3), SimTime(3));
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(format!("{:?}", SimTime(7)), "@7");
+        assert_eq!(format!("{}", SimTime(7)), "7");
+    }
+}

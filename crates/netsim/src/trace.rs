@@ -1,0 +1,140 @@
+//! Network traces.
+//!
+//! The simulator records every send, delivery and drop.  The trace is the
+//! bridge between the network substrate and the paper's communication
+//! abstractions: `btadt-protocols` converts it (together with the replicas'
+//! local update logs) into the [`MessageHistory`] that the Update-Agreement
+//! and LRC checkers of `btadt-core` consume.
+//!
+//! [`MessageHistory`]: ../../btadt_core/update_agreement/struct.MessageHistory.html
+
+use crate::time::SimTime;
+
+/// What happened to a message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// The message left the sender.
+    Sent,
+    /// The message was delivered to its destination.
+    Delivered,
+    /// The channel dropped the message.
+    Dropped,
+}
+
+/// One record of the network trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// When the event happened.
+    pub at: SimTime,
+    /// Sending process.
+    pub from: usize,
+    /// Destination process.
+    pub to: usize,
+    /// Monotonically increasing message identifier assigned at send time.
+    pub message_id: u64,
+    /// What happened.
+    pub kind: TraceEventKind,
+}
+
+/// The full network trace of a simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct NetTrace {
+    events: Vec<TraceEvent>,
+}
+
+impl NetTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        NetTrace::default()
+    }
+
+    /// Records an event (called by the simulator).
+    pub fn record(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+
+    /// All events, in recording order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` iff the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of messages sent.
+    pub fn sent(&self) -> usize {
+        self.count(TraceEventKind::Sent)
+    }
+
+    /// Number of messages delivered.
+    pub fn delivered(&self) -> usize {
+        self.count(TraceEventKind::Delivered)
+    }
+
+    /// Number of messages dropped by the channel.
+    pub fn dropped(&self) -> usize {
+        self.count(TraceEventKind::Dropped)
+    }
+
+    fn count(&self, kind: TraceEventKind) -> usize {
+        self.events.iter().filter(|e| e.kind == kind).count()
+    }
+
+    /// Whether a particular point-to-point message was delivered.
+    pub fn was_delivered(&self, message_id: u64, to: usize) -> bool {
+        self.events
+            .iter()
+            .any(|e| e.message_id == message_id && e.to == to && e.kind == TraceEventKind::Delivered)
+    }
+
+    /// Fraction of sent point-to-point messages that were delivered
+    /// (1.0 for loss-free channels).
+    pub fn delivery_ratio(&self) -> f64 {
+        let sent = self.sent();
+        if sent == 0 {
+            1.0
+        } else {
+            self.delivered() as f64 / sent as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: TraceEventKind, id: u64, to: usize) -> TraceEvent {
+        TraceEvent {
+            at: SimTime(1),
+            from: 0,
+            to,
+            message_id: id,
+            kind,
+        }
+    }
+
+    #[test]
+    fn counters_and_ratio() {
+        let mut t = NetTrace::new();
+        assert!(t.is_empty());
+        assert_eq!(t.delivery_ratio(), 1.0);
+        t.record(ev(TraceEventKind::Sent, 1, 1));
+        t.record(ev(TraceEventKind::Delivered, 1, 1));
+        t.record(ev(TraceEventKind::Sent, 2, 2));
+        t.record(ev(TraceEventKind::Dropped, 2, 2));
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.sent(), 2);
+        assert_eq!(t.delivered(), 1);
+        assert_eq!(t.dropped(), 1);
+        assert!((t.delivery_ratio() - 0.5).abs() < 1e-12);
+        assert!(t.was_delivered(1, 1));
+        assert!(!t.was_delivered(2, 2));
+    }
+}

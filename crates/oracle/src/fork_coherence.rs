@@ -1,0 +1,216 @@
+//! k-Fork Coherence (Definition 3.9, Theorem 3.2).
+//!
+//! A concurrent history of the BT-ADT composed with Θ_F,k satisfies *k-Fork
+//! Coherence* if at most `k` `append()` operations return `⊤` for the same
+//! token, i.e. at most `k` blocks are successfully chained to any given
+//! parent block.  The oracle guarantees this by construction; the checker
+//! here verifies it over *logs* of oracle usage, which is how the theorem
+//! is exercised experimentally (bench `thm32_fork_coherence`).
+
+use std::collections::HashMap;
+
+use btadt_types::BlockId;
+
+use crate::oracle::{ConsumeOutcome, TokenGrant};
+
+/// One entry of an oracle usage log: a `consumeToken` call and its outcome.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OracleLogEntry {
+    /// The parent block the consumed token refers to.
+    pub parent: BlockId,
+    /// The block that was being appended.
+    pub block: BlockId,
+    /// Serial of the consumed token.
+    pub token_serial: u64,
+    /// Whether the consume was accepted (the append returned `⊤`).
+    pub accepted: bool,
+}
+
+/// A log of oracle interactions collected during an execution.
+#[derive(Clone, Debug, Default)]
+pub struct OracleLog {
+    entries: Vec<OracleLogEntry>,
+}
+
+impl OracleLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        OracleLog::default()
+    }
+
+    /// Records a `consumeToken` call.
+    pub fn record(&mut self, grant: &TokenGrant, outcome: &ConsumeOutcome) {
+        self.entries.push(OracleLogEntry {
+            parent: grant.parent,
+            block: grant.block.id,
+            token_serial: grant.serial,
+            accepted: outcome.accepted,
+        });
+    }
+
+    /// All entries in recording order.
+    pub fn entries(&self) -> &[OracleLogEntry] {
+        &self.entries
+    }
+
+    /// Number of recorded entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` iff the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of *accepted* consumes per parent block.
+    pub fn accepted_per_parent(&self) -> HashMap<BlockId, usize> {
+        let mut map = HashMap::new();
+        for e in &self.entries {
+            if e.accepted {
+                *map.entry(e.parent).or_insert(0) += 1;
+            }
+        }
+        map
+    }
+}
+
+/// Checks k-Fork Coherence over an [`OracleLog`].
+#[derive(Clone, Copy, Debug)]
+pub struct ForkCoherenceChecker {
+    /// The fork bound to check against (`None` means unbounded — every log
+    /// trivially satisfies it).
+    pub k: Option<usize>,
+}
+
+impl ForkCoherenceChecker {
+    /// A checker for Θ_F,k.
+    pub fn frugal(k: usize) -> Self {
+        ForkCoherenceChecker { k: Some(k) }
+    }
+
+    /// A checker for Θ_P (always satisfied).
+    pub fn prodigal() -> Self {
+        ForkCoherenceChecker { k: None }
+    }
+
+    /// Returns the parents for which more than `k` appends were accepted —
+    /// empty iff the log satisfies k-Fork Coherence.
+    pub fn violations(&self, log: &OracleLog) -> Vec<(BlockId, usize)> {
+        match self.k {
+            None => Vec::new(),
+            Some(k) => {
+                let mut v: Vec<(BlockId, usize)> = log
+                    .accepted_per_parent()
+                    .into_iter()
+                    .filter(|(_, n)| *n > k)
+                    .collect();
+                v.sort_unstable_by_key(|(id, _)| *id);
+                v
+            }
+        }
+    }
+
+    /// Returns `true` iff the log satisfies k-Fork Coherence.
+    pub fn holds(&self, log: &OracleLog) -> bool {
+        self.violations(log).is_empty()
+    }
+
+    /// Additionally checks that no token serial was accepted twice (each
+    /// token is consumed at most once).
+    pub fn tokens_consumed_once(&self, log: &OracleLog) -> bool {
+        let mut seen = std::collections::HashSet::new();
+        log.entries()
+            .iter()
+            .filter(|e| e.accepted)
+            .all(|e| seen.insert(e.token_serial))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::merit::MeritTable;
+    use crate::oracle::{FrugalOracle, OracleConfig, ProdigalOracle, TokenOracle};
+    use btadt_types::{Block, BlockBuilder};
+
+    fn always() -> OracleConfig {
+        OracleConfig {
+            seed: 1,
+            probability_scale: 1e9,
+            min_probability: 1.0,
+        }
+    }
+
+    /// Drives `attempts` appends on the same parent through the oracle and
+    /// returns the log.
+    fn drive(oracle: &mut dyn TokenOracle, attempts: u64) -> OracleLog {
+        let genesis = Block::genesis();
+        let mut log = OracleLog::new();
+        for nonce in 0..attempts {
+            let candidate = BlockBuilder::new(&genesis).nonce(nonce).build();
+            let (grant, _) = oracle.get_token_until_granted(0, &genesis, candidate);
+            let outcome = oracle.consume_token(&grant);
+            log.record(&grant, &outcome);
+        }
+        log
+    }
+
+    #[test]
+    fn frugal_oracle_log_satisfies_k_fork_coherence() {
+        for k in [1usize, 2, 4, 8] {
+            let mut oracle = FrugalOracle::new(k, MeritTable::uniform(1), always());
+            let log = drive(&mut oracle, 20);
+            let checker = ForkCoherenceChecker::frugal(k);
+            assert!(checker.holds(&log), "k = {k}");
+            assert!(checker.tokens_consumed_once(&log));
+            assert_eq!(log.accepted_per_parent().values().sum::<usize>(), k);
+        }
+    }
+
+    #[test]
+    fn prodigal_oracle_violates_any_finite_bound() {
+        let mut oracle = ProdigalOracle::new(MeritTable::uniform(1), always());
+        let log = drive(&mut oracle, 20);
+        assert!(ForkCoherenceChecker::prodigal().holds(&log));
+        let strict = ForkCoherenceChecker::frugal(3);
+        assert!(!strict.holds(&log));
+        let violations = strict.violations(&log);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].1, 20);
+    }
+
+    #[test]
+    fn empty_log_is_coherent_for_every_k() {
+        let log = OracleLog::new();
+        assert!(log.is_empty());
+        assert!(ForkCoherenceChecker::frugal(1).holds(&log));
+        assert!(ForkCoherenceChecker::prodigal().holds(&log));
+    }
+
+    #[test]
+    fn hand_built_log_with_double_consumed_token_is_detected() {
+        let genesis = Block::genesis();
+        let block = BlockBuilder::new(&genesis).nonce(1).build();
+        let grant = TokenGrant {
+            parent: genesis.id,
+            block: block.clone(),
+            serial: 42,
+        };
+        let outcome = ConsumeOutcome {
+            accepted: true,
+            slot: vec![block],
+        };
+        let mut log = OracleLog::new();
+        log.record(&grant, &outcome);
+        log.record(&grant, &outcome);
+        assert_eq!(log.len(), 2);
+        let checker = ForkCoherenceChecker::frugal(2);
+        assert!(checker.holds(&log), "bound 2 not exceeded");
+        assert!(
+            !checker.tokens_consumed_once(&log),
+            "same serial accepted twice must be flagged"
+        );
+        assert!(!ForkCoherenceChecker::frugal(1).holds(&log));
+    }
+}

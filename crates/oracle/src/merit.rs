@@ -1,0 +1,174 @@
+//! Merit parameters `α_i`.
+//!
+//! The oracle grants tokens with a probability `p_{α_i} > 0` where `α_i` is
+//! a "merit" parameter characterising the invoking process — hashing power
+//! in Bitcoin, memory bandwidth in Ethereum, stake in Algorand (Sections 3.2
+//! and 5).  A [`MeritTable`] holds the merit of every process, normalised so
+//! that `Σ_p α_p = 1` as the paper assumes for the systems it classifies.
+
+/// The merit `α_i` of a single process, a value in `(0, 1]` after
+/// normalisation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Merit(pub f64);
+
+impl Merit {
+    /// Creates a merit value, clamping negative inputs to zero.
+    pub fn new(alpha: f64) -> Self {
+        Merit(alpha.max(0.0))
+    }
+
+    /// The merit expressed in parts per million (used by block metadata).
+    pub fn as_ppm(self) -> u32 {
+        (self.0 * 1_000_000.0).round().clamp(0.0, 1_000_000.0) as u32
+    }
+}
+
+/// Merits of all processes, normalised to sum to one.
+#[derive(Clone, Debug)]
+pub struct MeritTable {
+    merits: Vec<Merit>,
+}
+
+impl MeritTable {
+    /// Builds a normalised table from raw (non-negative) weights.
+    ///
+    /// Panics if the table would be empty or the total weight is zero — a
+    /// system with no merit cannot produce any block.
+    pub fn from_weights(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "merit table needs at least one process");
+        let total: f64 = weights.iter().map(|w| w.max(0.0)).sum();
+        assert!(total > 0.0, "total merit must be positive");
+        MeritTable {
+            merits: weights
+                .iter()
+                .map(|w| Merit(w.max(0.0) / total))
+                .collect(),
+        }
+    }
+
+    /// A table of `n` processes with equal merit `1/n`.
+    pub fn uniform(n: usize) -> Self {
+        assert!(n > 0, "merit table needs at least one process");
+        MeritTable {
+            merits: vec![Merit(1.0 / n as f64); n],
+        }
+    }
+
+    /// A table where only the processes in `members` have (equal) merit and
+    /// everyone else has merit zero — the consortium/permissioned setting of
+    /// Red Belly and Hyperledger Fabric (Sections 5.6/5.7).
+    pub fn consortium(n: usize, members: &[usize]) -> Self {
+        assert!(n > 0, "merit table needs at least one process");
+        assert!(!members.is_empty(), "a consortium needs at least one member");
+        let share = 1.0 / members.len() as f64;
+        let mut merits = vec![Merit(0.0); n];
+        for &m in members {
+            assert!(m < n, "member index out of range");
+            merits[m] = Merit(share);
+        }
+        MeritTable { merits }
+    }
+
+    /// Number of processes.
+    pub fn len(&self) -> usize {
+        self.merits.len()
+    }
+
+    /// Returns `true` iff the table is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.merits.is_empty()
+    }
+
+    /// Merit of process `i` (zero for unknown processes).
+    pub fn merit(&self, i: usize) -> Merit {
+        self.merits.get(i).copied().unwrap_or(Merit(0.0))
+    }
+
+    /// All merits.
+    pub fn merits(&self) -> &[Merit] {
+        &self.merits
+    }
+
+    /// Sum of all merits (≈ 1 after normalisation, ≤ 1 for consortium tables
+    /// where it is exactly 1 over the members).
+    pub fn total(&self) -> f64 {
+        self.merits.iter().map(|m| m.0).sum()
+    }
+
+    /// Indices of the processes with strictly positive merit — the processes
+    /// allowed to append in permissioned settings.
+    pub fn eligible(&self) -> Vec<usize> {
+        self.merits
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.0 > 0.0)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_weights_normalises() {
+        let t = MeritTable::from_weights(&[1.0, 3.0]);
+        assert_eq!(t.len(), 2);
+        assert!((t.merit(0).0 - 0.25).abs() < 1e-12);
+        assert!((t.merit(1).0 - 0.75).abs() < 1e-12);
+        assert!((t.total() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_weights_are_clamped() {
+        let t = MeritTable::from_weights(&[-5.0, 1.0]);
+        assert_eq!(t.merit(0).0, 0.0);
+        assert_eq!(t.merit(1).0, 1.0);
+    }
+
+    #[test]
+    fn uniform_splits_evenly() {
+        let t = MeritTable::uniform(4);
+        for i in 0..4 {
+            assert!((t.merit(i).0 - 0.25).abs() < 1e-12);
+        }
+        assert_eq!(t.eligible(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn consortium_gives_merit_to_members_only() {
+        let t = MeritTable::consortium(5, &[1, 3]);
+        assert_eq!(t.merit(0).0, 0.0);
+        assert!((t.merit(1).0 - 0.5).abs() < 1e-12);
+        assert_eq!(t.merit(2).0, 0.0);
+        assert!((t.merit(3).0 - 0.5).abs() < 1e-12);
+        assert_eq!(t.eligible(), vec![1, 3]);
+        assert!((t.total() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_process_has_zero_merit() {
+        let t = MeritTable::uniform(2);
+        assert_eq!(t.merit(99).0, 0.0);
+    }
+
+    #[test]
+    fn merit_as_ppm() {
+        assert_eq!(Merit(0.25).as_ppm(), 250_000);
+        assert_eq!(Merit(1.0).as_ppm(), 1_000_000);
+        assert_eq!(Merit::new(-0.5).as_ppm(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "total merit must be positive")]
+    fn zero_total_merit_panics() {
+        MeritTable::from_weights(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one process")]
+    fn empty_table_panics() {
+        MeritTable::from_weights(&[]);
+    }
+}

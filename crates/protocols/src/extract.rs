@@ -1,0 +1,203 @@
+//! Converting replica logs into the paper's history objects.
+//!
+//! Every protocol replica keeps a [`ReplicaLog`] of what it did: blocks it
+//! created (`append` + `update` + `send`), blocks it received and applied
+//! (`receive` + `update`) and the chains it read.  After the simulation the
+//! logs of all replicas are merged into
+//!
+//! * a [`BtHistory`](btadt_core::BtHistory) — the concurrent history of
+//!   `append`/`read` operations judged by the consistency criteria, and
+//! * a [`MessageHistory`](btadt_core::MessageHistory) — the
+//!   send/receive/update event log judged by the Update-Agreement and LRC
+//!   checkers.
+
+use btadt_core::{BtHistory, BtOperation, BtResponse, MessageHistory, ReplicaEvent, ReplicaEventKind};
+use btadt_history::{HistoryRecorder, ProcessId, Timestamp};
+use btadt_netsim::SimTime;
+use btadt_types::{Block, Blockchain, GENESIS_ID};
+
+/// What one replica recorded during a run.
+#[derive(Clone, Debug, Default)]
+pub struct ReplicaLog {
+    /// Blocks this replica created, with creation time.
+    pub created: Vec<(SimTime, Block)>,
+    /// Blocks this replica received from the network, with delivery time.
+    pub received: Vec<(SimTime, Block)>,
+    /// Blocks this replica applied to its local tree, with application time.
+    pub applied: Vec<(SimTime, Block)>,
+    /// Chains this replica read, with read time.
+    pub reads: Vec<(SimTime, Blockchain)>,
+}
+
+impl ReplicaLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        ReplicaLog::default()
+    }
+
+    /// Records a block creation.
+    pub fn record_created(&mut self, at: SimTime, block: Block) {
+        self.created.push((at, block));
+    }
+
+    /// Records a block reception.
+    pub fn record_received(&mut self, at: SimTime, block: Block) {
+        self.received.push((at, block));
+    }
+
+    /// Records a local tree update.
+    pub fn record_applied(&mut self, at: SimTime, block: Block) {
+        self.applied.push((at, block));
+    }
+
+    /// Records a read.
+    pub fn record_read(&mut self, at: SimTime, chain: Blockchain) {
+        self.reads.push((at, chain));
+    }
+}
+
+/// Spreads simulator ticks so that invocation/response pairs fit between
+/// consecutive network events.
+fn ts(at: SimTime, offset: u64) -> Timestamp {
+    Timestamp(at.0 * 10 + offset)
+}
+
+/// Merges per-replica logs into the BT history and the message history.
+///
+/// Block creations become successful `append` operations by their creator;
+/// reads become `read` operations; creations/receptions/applications become
+/// `send`/`receive`/`update` events.
+pub fn build_histories(logs: &[ReplicaLog]) -> (BtHistory, MessageHistory) {
+    let mut messages = MessageHistory::new();
+    // Collect all BT operations as scripted records ordered by time.
+    let mut recorder: HistoryRecorder<BtOperation, BtResponse> = HistoryRecorder::new();
+
+    // Gather (time, process, op) triples first so they can be replayed in
+    // global time order (sequence numbers must follow per-process order).
+    enum Pending {
+        Append(Block),
+        Read(Blockchain),
+    }
+    let mut ops: Vec<(SimTime, usize, Pending)> = Vec::new();
+
+    for (p, log) in logs.iter().enumerate() {
+        for (at, block) in &log.created {
+            ops.push((*at, p, Pending::Append(block.clone())));
+            messages.record(ReplicaEvent {
+                process: ProcessId(p as u32),
+                kind: ReplicaEventKind::Send {
+                    parent: block.parent.unwrap_or(GENESIS_ID),
+                    block: block.clone(),
+                },
+                at: ts(*at, 1),
+            });
+        }
+        for (at, block) in &log.received {
+            messages.record(ReplicaEvent {
+                process: ProcessId(p as u32),
+                kind: ReplicaEventKind::Receive {
+                    parent: block.parent.unwrap_or(GENESIS_ID),
+                    block: block.clone(),
+                },
+                at: ts(*at, 2),
+            });
+        }
+        for (at, block) in &log.applied {
+            messages.record(ReplicaEvent {
+                process: ProcessId(p as u32),
+                kind: ReplicaEventKind::Update {
+                    parent: block.parent.unwrap_or(GENESIS_ID),
+                    block: block.clone(),
+                },
+                at: ts(*at, 3),
+            });
+        }
+        for (at, chain) in &log.reads {
+            ops.push((*at, p, Pending::Read(chain.clone())));
+        }
+    }
+
+    ops.sort_by_key(|(at, p, _)| (*at, *p));
+    for (at, p, op) in ops {
+        match op {
+            Pending::Append(block) => {
+                recorder.scripted(
+                    ProcessId(p as u32),
+                    ts(at, 4),
+                    ts(at, 5),
+                    BtOperation::Append(block),
+                    BtResponse::Appended(true),
+                );
+            }
+            Pending::Read(chain) => {
+                recorder.scripted(
+                    ProcessId(p as u32),
+                    ts(at, 6),
+                    ts(at, 7),
+                    BtOperation::Read,
+                    BtResponse::Chain(chain),
+                );
+            }
+        }
+    }
+
+    (recorder.into_history(), messages)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btadt_core::ops::BtHistoryExt;
+    use btadt_core::UpdateAgreement;
+    use btadt_types::BlockBuilder;
+
+    #[test]
+    fn build_histories_converts_logs_into_both_views() {
+        let b = BlockBuilder::new(&Block::genesis()).nonce(1).producer(0).build();
+        let chain = Blockchain::genesis_only().extended_with(b.clone()).unwrap();
+
+        let mut creator = ReplicaLog::new();
+        creator.record_created(SimTime(1), b.clone());
+        creator.record_applied(SimTime(1), b.clone());
+        creator.record_read(SimTime(2), chain.clone());
+
+        let mut follower = ReplicaLog::new();
+        follower.record_received(SimTime(3), b.clone());
+        follower.record_applied(SimTime(3), b.clone());
+        follower.record_read(SimTime(4), chain.clone());
+
+        let (history, messages) = build_histories(&[creator, follower]);
+        assert_eq!(history.appends().len(), 1);
+        assert_eq!(history.reads().len(), 2);
+        assert_eq!(messages.sends().count(), 1);
+        assert_eq!(messages.receives().count(), 1);
+        assert_eq!(messages.updates().count(), 2);
+
+        // The creator's append precedes the follower's read in program order.
+        let append = history.appends()[0].0;
+        let late_read = history.reads()[1].0;
+        assert!(history.program_order(append, late_read));
+
+        // A fully delivered run satisfies the Update Agreement.
+        assert!(UpdateAgreement::all_correct(&messages).holds(&messages));
+    }
+
+    #[test]
+    fn reads_are_ordered_globally_by_time() {
+        let mut a = ReplicaLog::new();
+        a.record_read(SimTime(5), Blockchain::genesis_only());
+        let mut b = ReplicaLog::new();
+        b.record_read(SimTime(2), Blockchain::genesis_only());
+        let (history, _) = build_histories(&[a, b]);
+        let reads = history.reads();
+        assert_eq!(reads[0].0.process, ProcessId(1), "earlier read comes first");
+        assert_eq!(reads[1].0.process, ProcessId(0));
+    }
+
+    #[test]
+    fn empty_logs_produce_empty_histories() {
+        let (history, messages) = build_histories(&[ReplicaLog::new(), ReplicaLog::new()]);
+        assert!(history.is_empty());
+        assert!(messages.is_empty());
+    }
+}

@@ -1,0 +1,69 @@
+//! Protocol messages.
+//!
+//! Both protocol families flood blocks; the committee family additionally
+//! exchanges proposals and votes for its quorum commit.
+
+use btadt_types::{Block, BlockId};
+
+/// A message exchanged between replicas.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Msg {
+    /// A freshly produced (PoW) or committed (committee) block is flooded.
+    NewBlock(Block),
+    /// The round leader proposes a block to the committee.
+    Propose {
+        /// Consensus round.
+        round: u64,
+        /// Proposed block.
+        block: Block,
+    },
+    /// A committee member votes for a proposal.
+    Vote {
+        /// Consensus round.
+        round: u64,
+        /// Identifier of the voted block.
+        block: BlockId,
+        /// The full block, piggybacked so late voters can commit directly.
+        payload: Block,
+    },
+}
+
+impl Msg {
+    /// The block carried by the message.
+    pub fn block(&self) -> &Block {
+        match self {
+            Msg::NewBlock(b) => b,
+            Msg::Propose { block, .. } => block,
+            Msg::Vote { payload, .. } => payload,
+        }
+    }
+
+    /// A short label for trace debugging.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Msg::NewBlock(_) => "new-block",
+            Msg::Propose { .. } => "propose",
+            Msg::Vote { .. } => "vote",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btadt_types::BlockBuilder;
+
+    #[test]
+    fn accessors() {
+        let b = BlockBuilder::new(&Block::genesis()).nonce(1).build();
+        let m = Msg::NewBlock(b.clone());
+        assert_eq!(m.block().id, b.id);
+        assert_eq!(m.label(), "new-block");
+        let p = Msg::Propose { round: 3, block: b.clone() };
+        assert_eq!(p.label(), "propose");
+        assert_eq!(p.block().id, b.id);
+        let v = Msg::Vote { round: 3, block: b.id, payload: b.clone() };
+        assert_eq!(v.label(), "vote");
+        assert_eq!(v.block().id, b.id);
+    }
+}

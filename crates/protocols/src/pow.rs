@@ -1,0 +1,251 @@
+//! The proof-of-work flooding family (Bitcoin, Ethereum — Sections 5.1/5.2).
+//!
+//! Every replica mines independently: on each mining tick it pops its
+//! merit-parameterised tape (the Θ_P `getToken` abstraction) and, on
+//! success, chains a block to the tip of its locally selected chain, applies
+//! it and floods it.  `consumeToken` always succeeds (prodigal oracle), so
+//! concurrent miners create forks which the selection function — longest
+//! chain for Bitcoin, GHOST for Ethereum — later resolves.
+//!
+//! Reads are sampled whenever a replica's selected chain grows (blockchain
+//! clients expose a monotone view of the chain), plus once at the end of the
+//! run; the classification driver adds that final quiescent read.
+
+use std::sync::Arc;
+
+use btadt_netsim::{Context, Process, SimTime};
+use btadt_oracle::{Cell, Tape};
+use btadt_types::{Block, BlockBuilder, BlockTree, Blockchain, SelectionFunction, Transaction};
+
+use crate::extract::ReplicaLog;
+use crate::messages::Msg;
+
+const MINE_TIMER: u64 = 1;
+
+/// Configuration of a proof-of-work replica.
+#[derive(Clone)]
+pub struct PowConfig {
+    /// Selection function (longest chain for Bitcoin, GHOST for Ethereum).
+    pub selection: Arc<dyn SelectionFunction>,
+    /// Per-tick probability of winning the puzzle (the merit-derived
+    /// Bernoulli parameter of the replica's tape).
+    pub success_probability: f64,
+    /// Interval between mining attempts, in ticks.
+    pub mine_interval: u64,
+    /// Mining stops after this time; the run then quiesces so outstanding
+    /// blocks flood everywhere.
+    pub mine_until: u64,
+    /// Seed for the replica's tape.
+    pub seed: u64,
+}
+
+/// A proof-of-work replica.
+pub struct PowReplica {
+    id: usize,
+    config: PowConfig,
+    tape: Tape,
+    tree: BlockTree,
+    orphans: Vec<Block>,
+    last_read_score: u64,
+    next_tx: u64,
+    /// Everything this replica did (read by the classification driver).
+    pub log: ReplicaLog,
+}
+
+impl PowReplica {
+    /// Creates a replica.
+    pub fn new(id: usize, config: PowConfig) -> Self {
+        let tape = Tape::new(config.seed, id as u64, config.success_probability);
+        PowReplica {
+            id,
+            config,
+            tape,
+            tree: BlockTree::new(),
+            orphans: Vec::new(),
+            last_read_score: 0,
+            next_tx: 1,
+            log: ReplicaLog::new(),
+        }
+    }
+
+    /// The replica's current local BlockTree.
+    pub fn tree(&self) -> &BlockTree {
+        &self.tree
+    }
+
+    /// The chain currently selected by the replica.
+    pub fn selected(&self) -> Blockchain {
+        self.config.selection.select(&self.tree)
+    }
+
+    fn maybe_read(&mut self, at: SimTime) {
+        let chain = self.selected();
+        let score = (chain.len() - 1) as u64;
+        if score > self.last_read_score {
+            self.last_read_score = score;
+            self.log.record_read(at, chain);
+        }
+    }
+
+    /// Forces a read regardless of growth (used for the final quiescent
+    /// read).
+    pub fn force_read(&mut self, at: SimTime) {
+        let chain = self.selected();
+        self.last_read_score = (chain.len() - 1) as u64;
+        self.log.record_read(at, chain);
+    }
+
+    fn insert_with_orphans(&mut self, at: SimTime, block: Block) {
+        if self.tree.contains(block.id) {
+            return;
+        }
+        if self.tree.insert(block.clone()).is_ok() {
+            self.log.record_applied(at, block);
+            // Drain any orphans that can now attach.
+            loop {
+                let mut progressed = false;
+                let mut remaining = Vec::new();
+                for orphan in std::mem::take(&mut self.orphans) {
+                    if self.tree.contains(orphan.id) {
+                        continue;
+                    }
+                    if self.tree.insert(orphan.clone()).is_ok() {
+                        self.log.record_applied(at, orphan);
+                        progressed = true;
+                    } else {
+                        remaining.push(orphan);
+                    }
+                }
+                self.orphans = remaining;
+                if !progressed {
+                    break;
+                }
+            }
+        } else {
+            self.orphans.push(block);
+        }
+    }
+
+    fn mine(&mut self, ctx: &mut Context<Msg>) {
+        if self.tape.pop() != Cell::Token {
+            return;
+        }
+        let parent = self.selected().tip().clone();
+        let tx = Transaction::transfer(
+            (self.id as u64) << 32 | self.next_tx,
+            self.id as u32,
+            ((self.id + 1) % ctx.n()) as u32,
+            1,
+        );
+        self.next_tx += 1;
+        let block = BlockBuilder::new(&parent)
+            .producer(self.id as u32)
+            .nonce((self.id as u64) << 32 | self.next_tx)
+            .push_tx(tx)
+            .build();
+        let at = ctx.now();
+        self.log.record_created(at, block.clone());
+        self.insert_with_orphans(at, block.clone());
+        self.maybe_read(at);
+        ctx.broadcast(Msg::NewBlock(block));
+    }
+}
+
+impl Process<Msg> for PowReplica {
+    fn on_start(&mut self, ctx: &mut Context<Msg>) {
+        ctx.set_timer(self.config.mine_interval, MINE_TIMER);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<Msg>, _from: usize, msg: Msg) {
+        if let Msg::NewBlock(block) = msg {
+            let at = ctx.now();
+            if !self.tree.contains(block.id) {
+                self.log.record_received(at, block.clone());
+                self.insert_with_orphans(at, block);
+                self.maybe_read(at);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<Msg>, timer_id: u64) {
+        if timer_id != MINE_TIMER {
+            return;
+        }
+        if ctx.now().0 <= self.config.mine_until {
+            self.mine(ctx);
+            ctx.set_timer(self.config.mine_interval, MINE_TIMER);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btadt_netsim::{FailurePlan, SimConfig, Simulator};
+    use btadt_types::LongestChain;
+
+    fn config(seed: u64, p: f64) -> PowConfig {
+        PowConfig {
+            selection: Arc::new(LongestChain::new()),
+            success_probability: p,
+            mine_interval: 1,
+            mine_until: 40,
+            seed,
+        }
+    }
+
+    fn run(n: usize, seed: u64, p: f64) -> Vec<PowReplica> {
+        let replicas: Vec<PowReplica> = (0..n).map(|i| PowReplica::new(i, config(seed, p))).collect();
+        let sim_config = SimConfig::synchronous(seed, 3, 400);
+        let mut sim = Simulator::new(replicas, sim_config, FailurePlan::none());
+        sim.run();
+        let (mut replicas, _) = sim.into_parts();
+        for r in replicas.iter_mut() {
+            r.force_read(SimTime(400));
+        }
+        replicas
+    }
+
+    #[test]
+    fn miners_produce_blocks_and_converge_after_quiescence() {
+        let replicas = run(4, 3, 0.2);
+        let total_created: usize = replicas.iter().map(|r| r.log.created.len()).sum();
+        assert!(total_created > 5, "expected mining activity, got {total_created}");
+        // After quiescence every replica holds every block.
+        let sizes: Vec<usize> = replicas.iter().map(|r| r.tree().len()).collect();
+        assert!(sizes.iter().all(|&s| s == sizes[0]), "trees converged: {sizes:?}");
+        // And they select the same chain.
+        let tips: Vec<_> = replicas.iter().map(|r| r.selected().tip().id).collect();
+        assert!(tips.iter().all(|&t| t == tips[0]), "selections converged");
+    }
+
+    #[test]
+    fn concurrent_mining_creates_forks() {
+        let replicas = run(6, 7, 0.3);
+        let max_fork = replicas
+            .iter()
+            .map(|r| r.tree().max_fork_degree())
+            .max()
+            .unwrap();
+        assert!(max_fork > 1, "expected forks under concurrent mining");
+    }
+
+    #[test]
+    fn reads_are_locally_monotone() {
+        let replicas = run(4, 11, 0.25);
+        for r in &replicas {
+            let scores: Vec<usize> = r.log.reads.iter().map(|(_, c)| c.len()).collect();
+            assert!(scores.windows(2).all(|w| w[1] >= w[0]), "{scores:?}");
+            assert!(!r.log.reads.is_empty());
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = run(3, 5, 0.2);
+        let b = run(3, 5, 0.2);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.tree().sorted_ids(), y.tree().sorted_ids());
+        }
+    }
+}

@@ -1,0 +1,333 @@
+//! Blockchains: paths from the genesis block to some block of the tree.
+//!
+//! In the paper a blockchain `bc ∈ BC` is a path from a leaf of the
+//! BlockTree to the genesis block `b0`; the `read()` operation returns
+//! `{b0}⌢f(bt)`, i.e. the selected chain rooted at the genesis block.  This
+//! module implements the chain value itself, the prefix relation `⊑` and the
+//! *maximal common prefix score* `mcps` used by the Strong Prefix and
+//! Eventual Prefix properties.
+
+use std::fmt;
+use std::ops::Index;
+
+use crate::block::{Block, BlockId, GENESIS_ID};
+
+/// A blockchain: an ordered sequence of blocks starting at the genesis block.
+///
+/// Invariants (checked in debug builds and by the property tests):
+/// * the first block is the genesis block;
+/// * every subsequent block's parent is the preceding block;
+/// * heights increase by one along the chain.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Blockchain {
+    blocks: Vec<Block>,
+}
+
+impl Blockchain {
+    /// The chain containing only the genesis block (`read()` on an empty
+    /// BlockTree returns this).
+    pub fn genesis_only() -> Self {
+        Blockchain {
+            blocks: vec![Block::genesis()],
+        }
+    }
+
+    /// Builds a chain from a vector of blocks, checking the chain invariants.
+    ///
+    /// Returns `None` if the sequence does not start at the genesis block or
+    /// the parent/height links are inconsistent.
+    pub fn from_blocks(blocks: Vec<Block>) -> Option<Self> {
+        if blocks.is_empty() || !blocks[0].is_genesis() {
+            return None;
+        }
+        for w in blocks.windows(2) {
+            if w[1].parent != Some(w[0].id) || w[1].height != w[0].height + 1 {
+                return None;
+            }
+        }
+        Some(Blockchain { blocks })
+    }
+
+    /// Number of blocks in the chain, including the genesis block.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Returns `true` iff the chain consists of the genesis block only.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.len() == 1
+    }
+
+    /// Height of the tip of the chain (0 for the genesis-only chain).
+    pub fn height(&self) -> u64 {
+        self.blocks.last().map(|b| b.height).unwrap_or(0)
+    }
+
+    /// The last block of the chain.
+    pub fn tip(&self) -> &Block {
+        self.blocks.last().expect("chain is never empty")
+    }
+
+    /// All blocks of the chain, genesis first.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// Iterator over the block identifiers, genesis first.
+    pub fn ids(&self) -> impl Iterator<Item = BlockId> + '_ {
+        self.blocks.iter().map(|b| b.id)
+    }
+
+    /// Returns `true` iff the chain contains the block with the given id.
+    pub fn contains(&self, id: BlockId) -> bool {
+        self.blocks.iter().any(|b| b.id == id)
+    }
+
+    /// Total work embodied by the chain (sum of per-block work).
+    pub fn total_work(&self) -> u64 {
+        self.blocks.iter().map(|b| b.work).sum()
+    }
+
+    /// Total number of transactions carried by the chain.
+    pub fn total_transactions(&self) -> usize {
+        self.blocks.iter().map(|b| b.payload.len()).sum()
+    }
+
+    /// Appends a block to the chain, returning the extended chain.
+    ///
+    /// Returns `None` if `block` does not link to the current tip.
+    pub fn extended_with(&self, block: Block) -> Option<Self> {
+        if block.parent != Some(self.tip().id) || block.height != self.tip().height + 1 {
+            return None;
+        }
+        let mut blocks = self.blocks.clone();
+        blocks.push(block);
+        Some(Blockchain { blocks })
+    }
+
+    /// The prefix relation `bc ⊑ bc'`: `self` is a prefix of `other`.
+    ///
+    /// Every chain is a prefix of itself.
+    pub fn is_prefix_of(&self, other: &Blockchain) -> bool {
+        if self.len() > other.len() {
+            return false;
+        }
+        self.blocks
+            .iter()
+            .zip(other.blocks.iter())
+            .all(|(a, b)| a.id == b.id)
+    }
+
+    /// Returns `true` iff one of the two chains is a prefix of the other.
+    ///
+    /// This is exactly the condition required of every pair of reads by the
+    /// Strong Prefix property.
+    pub fn prefix_compatible(&self, other: &Blockchain) -> bool {
+        self.is_prefix_of(other) || other.is_prefix_of(self)
+    }
+
+    /// The maximal common prefix of two chains.
+    ///
+    /// Both chains start at the genesis block, so the common prefix always
+    /// contains at least the genesis block.
+    pub fn common_prefix(&self, other: &Blockchain) -> Blockchain {
+        let mut blocks = Vec::new();
+        for (a, b) in self.blocks.iter().zip(other.blocks.iter()) {
+            if a.id == b.id {
+                blocks.push(a.clone());
+            } else {
+                break;
+            }
+        }
+        debug_assert!(!blocks.is_empty(), "chains share at least the genesis block");
+        Blockchain { blocks }
+    }
+
+    /// Length (number of blocks beyond genesis) of the maximal common prefix.
+    pub fn mcp_len(&self, other: &Blockchain) -> u64 {
+        (self.common_prefix(other).len() - 1) as u64
+    }
+
+    /// The prefix of this chain truncated to the given number of non-genesis
+    /// blocks (`take = 0` returns the genesis-only chain).
+    pub fn truncated(&self, take: usize) -> Blockchain {
+        let end = (take + 1).min(self.blocks.len());
+        Blockchain {
+            blocks: self.blocks[..end].to_vec(),
+        }
+    }
+
+    /// Consumes the chain and returns its blocks.
+    pub fn into_blocks(self) -> Vec<Block> {
+        self.blocks
+    }
+}
+
+impl Default for Blockchain {
+    fn default() -> Self {
+        Blockchain::genesis_only()
+    }
+}
+
+impl Index<usize> for Blockchain {
+    type Output = Block;
+
+    fn index(&self, index: usize) -> &Block {
+        &self.blocks[index]
+    }
+}
+
+impl fmt::Debug for Blockchain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for b in &self.blocks {
+            if !first {
+                write!(f, "⌢")?;
+            }
+            write!(f, "{}", b.id)?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+/// Convenience: check that an arbitrary sequence of block ids is a plausible
+/// chain id sequence (starts at genesis, no duplicates).  Used by tests.
+pub fn ids_form_chain(ids: &[BlockId]) -> bool {
+    if ids.first() != Some(&GENESIS_ID) {
+        return false;
+    }
+    let mut seen = std::collections::HashSet::new();
+    ids.iter().all(|id| seen.insert(*id))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::BlockBuilder;
+
+    fn chain_of(n: usize) -> Blockchain {
+        let mut chain = Blockchain::genesis_only();
+        for i in 0..n {
+            let b = BlockBuilder::new(chain.tip()).nonce(i as u64).build();
+            chain = chain.extended_with(b).unwrap();
+        }
+        chain
+    }
+
+    #[test]
+    fn genesis_only_chain_has_height_zero() {
+        let c = Blockchain::genesis_only();
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.height(), 0);
+        assert!(c.is_empty());
+        assert!(c.tip().is_genesis());
+    }
+
+    #[test]
+    fn extended_with_links_blocks() {
+        let c = chain_of(3);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.height(), 3);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn extended_with_rejects_unlinked_block() {
+        let c = chain_of(2);
+        let stray = BlockBuilder::child_of(BlockId(12345), 7).build();
+        assert!(c.extended_with(stray).is_none());
+    }
+
+    #[test]
+    fn from_blocks_accepts_valid_chain_and_rejects_broken_links() {
+        let c = chain_of(3);
+        let blocks = c.blocks().to_vec();
+        assert!(Blockchain::from_blocks(blocks.clone()).is_some());
+
+        let mut broken = blocks;
+        broken.remove(1);
+        assert!(Blockchain::from_blocks(broken).is_none());
+        assert!(Blockchain::from_blocks(vec![]).is_none());
+    }
+
+    #[test]
+    fn prefix_relation_is_reflexive_and_detects_prefixes() {
+        let c4 = chain_of(4);
+        let c2 = Blockchain::from_blocks(c4.blocks()[..3].to_vec()).unwrap();
+        assert!(c2.is_prefix_of(&c4));
+        assert!(!c4.is_prefix_of(&c2));
+        assert!(c4.is_prefix_of(&c4));
+        assert!(c2.prefix_compatible(&c4));
+    }
+
+    #[test]
+    fn diverging_chains_are_not_prefix_compatible() {
+        let base = chain_of(2);
+        let a = base
+            .extended_with(BlockBuilder::new(base.tip()).nonce(100).build())
+            .unwrap();
+        let b = base
+            .extended_with(BlockBuilder::new(base.tip()).nonce(200).build())
+            .unwrap();
+        assert!(!a.prefix_compatible(&b));
+        assert_eq!(a.common_prefix(&b), base);
+        assert_eq!(a.mcp_len(&b), 2);
+    }
+
+    #[test]
+    fn common_prefix_of_identical_chain_is_itself() {
+        let c = chain_of(5);
+        assert_eq!(c.common_prefix(&c), c);
+        assert_eq!(c.mcp_len(&c), 5);
+    }
+
+    #[test]
+    fn truncated_returns_prefix() {
+        let c = chain_of(5);
+        let t = c.truncated(2);
+        assert_eq!(t.len(), 3);
+        assert!(t.is_prefix_of(&c));
+        // Truncating beyond the length returns the full chain.
+        assert_eq!(c.truncated(100), c);
+        // Truncating to zero returns the genesis-only chain.
+        assert_eq!(c.truncated(0), Blockchain::genesis_only());
+    }
+
+    #[test]
+    fn total_work_sums_block_work() {
+        let mut chain = Blockchain::genesis_only();
+        for i in 0..3 {
+            let b = BlockBuilder::new(chain.tip()).nonce(i).work(5).build();
+            chain = chain.extended_with(b).unwrap();
+        }
+        // genesis work 1 + 3 * 5
+        assert_eq!(chain.total_work(), 16);
+    }
+
+    #[test]
+    fn contains_finds_blocks() {
+        let c = chain_of(3);
+        let tip = c.tip().id;
+        assert!(c.contains(GENESIS_ID));
+        assert!(c.contains(tip));
+        assert!(!c.contains(BlockId(0xdead_beef)));
+    }
+
+    #[test]
+    fn ids_form_chain_checks_genesis_and_duplicates() {
+        let c = chain_of(3);
+        let ids: Vec<_> = c.ids().collect();
+        assert!(ids_form_chain(&ids));
+        assert!(!ids_form_chain(&ids[1..]));
+        let mut dup = ids.clone();
+        dup.push(ids[1]);
+        assert!(!ids_form_chain(&dup));
+    }
+
+    #[test]
+    fn debug_format_concatenates_ids() {
+        let c = Blockchain::genesis_only();
+        assert_eq!(format!("{:?}", c), "b0");
+    }
+}

@@ -1,0 +1,50 @@
+//! # `btadt-types` — block, blockchain and BlockTree data structures
+//!
+//! This crate provides the concrete data structures underlying the
+//! *Blockchain Abstract Data Type* formalisation of Anceaume et al.
+//! (SPAA 2019):
+//!
+//! * [`Block`] and [`BlockId`] — vertices of the BlockTree.  A block carries
+//!   a parent pointer, a payload of [`Transaction`]s, the merit of the
+//!   process that produced it and a nonce, and is identified by a structural
+//!   hash of its contents.
+//! * [`Blockchain`] — a path from the genesis block to some block of the
+//!   tree, together with the prefix relation `⊑` and the maximal common
+//!   prefix score `mcps` used by the consistency criteria.
+//! * [`BlockTree`] — the directed rooted tree `bt = (V_bt, E_bt)`: an arena
+//!   of blocks with children adjacency, heights and subtree weights.
+//! * [`score`] — monotonically increasing score functions over blockchains
+//!   (length, cumulative work, …).
+//! * [`selection`] — selection functions `f ∈ F : BT → BC` (longest chain,
+//!   heaviest chain, GHOST) with deterministic tie-breaking.
+//! * [`validity`] — validity predicates `P : B → {true, false}` (structural
+//!   validity, no double spend, payload limits, …).
+//! * [`workload`] — deterministic generators of blocks, chains, forks and
+//!   transaction streams used by tests, examples and the benchmark harness.
+//!
+//! Everything in this crate is purely sequential and deterministic; the
+//! concurrent semantics (histories, criteria, oracles) live in the other
+//! workspace crates.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod block;
+pub mod chain;
+pub mod score;
+pub mod selection;
+pub mod transaction;
+pub mod tree;
+pub mod validity;
+pub mod workload;
+
+pub use block::{Block, BlockBuilder, BlockId, GENESIS_ID};
+pub use chain::Blockchain;
+pub use score::{ChainScore, LengthScore, Score, WorkScore};
+pub use selection::{GhostSelection, HeaviestChain, LongestChain, SelectionFunction, TieBreak};
+pub use transaction::{Transaction, TxId};
+pub use tree::BlockTree;
+pub use validity::{
+    AlwaysValid, CompositeValidity, MaxPayload, NeverValid, NoDoubleSpend, StructuralValidity,
+    ValidityPredicate,
+};

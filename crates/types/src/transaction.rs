@@ -1,0 +1,98 @@
+//! A minimal transaction model.
+//!
+//! The paper's validity predicate `P` is application dependent; its example
+//! is Bitcoin's "no double spend" rule.  To exercise non-trivial validity
+//! predicates we model transactions as simple transfers between accounts,
+//! each consuming a unique transaction identifier.  The
+//! [`NoDoubleSpend`](crate::validity::NoDoubleSpend) predicate rejects a
+//! block whose chain would contain the same transaction id twice.
+
+use std::fmt;
+
+/// Identifier of a transaction.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TxId(pub u64);
+
+impl fmt::Debug for TxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tx{}", self.0)
+    }
+}
+
+impl From<u64> for TxId {
+    fn from(v: u64) -> Self {
+        TxId(v)
+    }
+}
+
+/// A transfer of `amount` units from account `from` to account `to`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Transaction {
+    /// Unique identifier; spending the same id twice is a double spend.
+    pub id: TxId,
+    /// Source account.
+    pub from: u32,
+    /// Destination account.
+    pub to: u32,
+    /// Transferred amount.
+    pub amount: u64,
+}
+
+impl Transaction {
+    /// Creates a transfer transaction.
+    pub fn transfer(id: u64, from: u32, to: u32, amount: u64) -> Self {
+        Transaction {
+            id: TxId(id),
+            from,
+            to,
+            amount,
+        }
+    }
+
+    /// A zero-value "heartbeat" transaction used as filler payload.
+    pub fn heartbeat(id: u64, owner: u32) -> Self {
+        Transaction {
+            id: TxId(id),
+            from: owner,
+            to: owner,
+            amount: 0,
+        }
+    }
+}
+
+impl fmt::Debug for Transaction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:?}: {} -> {} ({})",
+            self.id, self.from, self.to, self.amount
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_carries_fields() {
+        let tx = Transaction::transfer(7, 1, 2, 100);
+        assert_eq!(tx.id, TxId(7));
+        assert_eq!(tx.from, 1);
+        assert_eq!(tx.to, 2);
+        assert_eq!(tx.amount, 100);
+    }
+
+    #[test]
+    fn heartbeat_is_zero_value_self_transfer() {
+        let tx = Transaction::heartbeat(9, 4);
+        assert_eq!(tx.from, tx.to);
+        assert_eq!(tx.amount, 0);
+        assert_eq!(tx.id, TxId(9));
+    }
+
+    #[test]
+    fn tx_id_debug_format() {
+        assert_eq!(format!("{:?}", TxId(12)), "tx12");
+    }
+}

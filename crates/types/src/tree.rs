@@ -1,0 +1,413 @@
+//! The BlockTree: a directed rooted tree of blocks.
+//!
+//! The BlockTree `bt = (V_bt, E_bt)` is the abstract state of the BT-ADT.
+//! Each vertex is a block, every edge points backward towards the root (the
+//! genesis block `b0`).  The tree supports the operations needed by the
+//! sequential specification and by the selection functions:
+//!
+//! * inserting a block under an existing parent (which may create a *fork*,
+//!   i.e. a new branch);
+//! * enumerating leaves and chains;
+//! * computing subtree weights (for GHOST-style selection);
+//! * extracting the path (blockchain) from the genesis block to any vertex.
+
+use std::collections::HashMap;
+
+use crate::block::{Block, BlockId, GENESIS_ID};
+use crate::chain::Blockchain;
+
+/// Error returned when a block cannot be inserted into the tree.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InsertError {
+    /// The block's parent is not present in the tree.
+    UnknownParent(BlockId),
+    /// A block with the same identifier is already present.
+    Duplicate(BlockId),
+    /// The block has no parent pointer but is not the genesis block.
+    MissingParent(BlockId),
+    /// The block's recorded height does not match its parent's height + 1.
+    HeightMismatch {
+        /// Offending block.
+        block: BlockId,
+        /// Height recorded in the block.
+        recorded: u64,
+        /// Height expected from the parent.
+        expected: u64,
+    },
+}
+
+impl std::fmt::Display for InsertError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InsertError::UnknownParent(id) => write!(f, "unknown parent {id}"),
+            InsertError::Duplicate(id) => write!(f, "duplicate block {id}"),
+            InsertError::MissingParent(id) => write!(f, "block {id} has no parent pointer"),
+            InsertError::HeightMismatch {
+                block,
+                recorded,
+                expected,
+            } => write!(
+                f,
+                "block {block} records height {recorded}, expected {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for InsertError {}
+
+/// The BlockTree: an arena of blocks with children adjacency.
+#[derive(Clone, Debug)]
+pub struct BlockTree {
+    blocks: HashMap<BlockId, Block>,
+    children: HashMap<BlockId, Vec<BlockId>>,
+    /// Cached cumulative work of the path from genesis to each block
+    /// (inclusive), used by weight-based selection functions.
+    cumulative_work: HashMap<BlockId, u64>,
+}
+
+impl BlockTree {
+    /// Creates a tree containing only the genesis block.
+    pub fn new() -> Self {
+        let genesis = Block::genesis();
+        let mut blocks = HashMap::new();
+        let mut cumulative_work = HashMap::new();
+        cumulative_work.insert(genesis.id, genesis.work);
+        blocks.insert(genesis.id, genesis);
+        BlockTree {
+            blocks,
+            children: HashMap::new(),
+            cumulative_work,
+        }
+    }
+
+    /// Number of blocks in the tree (including the genesis block).
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Returns `true` iff the tree contains only the genesis block.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.len() == 1
+    }
+
+    /// Returns `true` iff the tree contains a block with the given id.
+    pub fn contains(&self, id: BlockId) -> bool {
+        self.blocks.contains_key(&id)
+    }
+
+    /// Looks up a block by id.
+    pub fn get(&self, id: BlockId) -> Option<&Block> {
+        self.blocks.get(&id)
+    }
+
+    /// The genesis block.
+    pub fn genesis(&self) -> &Block {
+        self.blocks.get(&GENESIS_ID).expect("genesis always present")
+    }
+
+    /// Inserts a block under its parent.
+    ///
+    /// Returns an error if the parent is unknown, the block is a duplicate,
+    /// or the recorded height is inconsistent.  Inserting a second child
+    /// under the same parent creates a fork; the tree itself never forbids
+    /// forks — fork control is the role of the token oracle.
+    pub fn insert(&mut self, block: Block) -> Result<(), InsertError> {
+        if self.blocks.contains_key(&block.id) {
+            return Err(InsertError::Duplicate(block.id));
+        }
+        let parent = block.parent.ok_or(InsertError::MissingParent(block.id))?;
+        let parent_block = self
+            .blocks
+            .get(&parent)
+            .ok_or(InsertError::UnknownParent(parent))?;
+        let expected = parent_block.height + 1;
+        if block.height != expected {
+            return Err(InsertError::HeightMismatch {
+                block: block.id,
+                recorded: block.height,
+                expected,
+            });
+        }
+        let parent_work = self.cumulative_work[&parent];
+        self.cumulative_work
+            .insert(block.id, parent_work + block.work);
+        self.children.entry(parent).or_default().push(block.id);
+        self.blocks.insert(block.id, block);
+        Ok(())
+    }
+
+    /// Children of a block (empty slice for leaves and unknown blocks).
+    pub fn children(&self, id: BlockId) -> &[BlockId] {
+        self.children.get(&id).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of children of a block — the number of forks from that block.
+    pub fn fork_degree(&self, id: BlockId) -> usize {
+        self.children(id).len()
+    }
+
+    /// The maximum fork degree over all blocks of the tree.
+    pub fn max_fork_degree(&self) -> usize {
+        self.blocks
+            .keys()
+            .map(|id| self.fork_degree(*id))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// All leaves of the tree (blocks without children).  The genesis block
+    /// is a leaf iff the tree is empty.
+    pub fn leaves(&self) -> Vec<BlockId> {
+        let mut leaves: Vec<BlockId> = self
+            .blocks
+            .keys()
+            .copied()
+            .filter(|id| self.children(*id).is_empty())
+            .collect();
+        leaves.sort_unstable();
+        leaves
+    }
+
+    /// Height of the tree: the maximum block height.
+    pub fn height(&self) -> u64 {
+        self.blocks.values().map(|b| b.height).max().unwrap_or(0)
+    }
+
+    /// Cumulative work of the path from the genesis block to `id`.
+    pub fn cumulative_work(&self, id: BlockId) -> Option<u64> {
+        self.cumulative_work.get(&id).copied()
+    }
+
+    /// Total work of the subtree rooted at `id` (GHOST weight).
+    pub fn subtree_work(&self, id: BlockId) -> u64 {
+        let mut total = match self.blocks.get(&id) {
+            Some(b) => b.work,
+            None => return 0,
+        };
+        let mut stack: Vec<BlockId> = self.children(id).to_vec();
+        while let Some(next) = stack.pop() {
+            if let Some(b) = self.blocks.get(&next) {
+                total += b.work;
+            }
+            stack.extend_from_slice(self.children(next));
+        }
+        total
+    }
+
+    /// Number of blocks in the subtree rooted at `id` (including `id`).
+    pub fn subtree_size(&self, id: BlockId) -> usize {
+        if !self.blocks.contains_key(&id) {
+            return 0;
+        }
+        let mut total = 1;
+        let mut stack: Vec<BlockId> = self.children(id).to_vec();
+        while let Some(next) = stack.pop() {
+            total += 1;
+            stack.extend_from_slice(self.children(next));
+        }
+        total
+    }
+
+    /// The blockchain (path from the genesis block) ending at `id`.
+    pub fn chain_to(&self, id: BlockId) -> Option<Blockchain> {
+        let mut rev = Vec::new();
+        let mut cursor = self.blocks.get(&id)?;
+        loop {
+            rev.push(cursor.clone());
+            match cursor.parent {
+                None => break,
+                Some(p) => cursor = self.blocks.get(&p)?,
+            }
+        }
+        rev.reverse();
+        Blockchain::from_blocks(rev)
+    }
+
+    /// All maximal chains of the tree (one per leaf), sorted by leaf id.
+    pub fn all_chains(&self) -> Vec<Blockchain> {
+        self.leaves()
+            .into_iter()
+            .filter_map(|leaf| self.chain_to(leaf))
+            .collect()
+    }
+
+    /// Iterator over all blocks of the tree in unspecified order.
+    pub fn blocks(&self) -> impl Iterator<Item = &Block> {
+        self.blocks.values()
+    }
+
+    /// All block ids, sorted (deterministic iteration for reports/tests).
+    pub fn sorted_ids(&self) -> Vec<BlockId> {
+        let mut ids: Vec<BlockId> = self.blocks.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Merges another tree into this one, inserting every block of `other`
+    /// that is not yet present.  Blocks are inserted in height order so that
+    /// parents are always present first.  Returns the number of blocks
+    /// actually inserted.
+    pub fn merge(&mut self, other: &BlockTree) -> usize {
+        let mut incoming: Vec<&Block> = other
+            .blocks
+            .values()
+            .filter(|b| !b.is_genesis() && !self.contains(b.id))
+            .collect();
+        incoming.sort_by_key(|b| (b.height, b.id));
+        let mut inserted = 0;
+        for block in incoming {
+            if self.insert(block.clone()).is_ok() {
+                inserted += 1;
+            }
+        }
+        inserted
+    }
+}
+
+impl Default for BlockTree {
+    fn default() -> Self {
+        BlockTree::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::BlockBuilder;
+
+    /// Builds genesis -> a -> b and a fork genesis -> a -> c.
+    fn forked_tree() -> (BlockTree, Block, Block, Block) {
+        let mut tree = BlockTree::new();
+        let a = BlockBuilder::new(tree.genesis()).nonce(1).build();
+        tree.insert(a.clone()).unwrap();
+        let b = BlockBuilder::new(&a).nonce(2).build();
+        tree.insert(b.clone()).unwrap();
+        let c = BlockBuilder::new(&a).nonce(3).build();
+        tree.insert(c.clone()).unwrap();
+        (tree, a, b, c)
+    }
+
+    #[test]
+    fn new_tree_contains_only_genesis() {
+        let tree = BlockTree::new();
+        assert!(tree.is_empty());
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree.height(), 0);
+        assert_eq!(tree.leaves(), vec![GENESIS_ID]);
+    }
+
+    #[test]
+    fn insert_builds_parent_child_links() {
+        let (tree, a, b, c) = forked_tree();
+        assert_eq!(tree.len(), 4);
+        assert_eq!(tree.children(GENESIS_ID), &[a.id]);
+        let mut kids = tree.children(a.id).to_vec();
+        kids.sort_unstable();
+        let mut expected = vec![b.id, c.id];
+        expected.sort_unstable();
+        assert_eq!(kids, expected);
+        assert_eq!(tree.fork_degree(a.id), 2);
+        assert_eq!(tree.max_fork_degree(), 2);
+    }
+
+    #[test]
+    fn insert_rejects_duplicates_unknown_parent_and_bad_height() {
+        let mut tree = BlockTree::new();
+        let a = BlockBuilder::new(tree.genesis()).nonce(1).build();
+        tree.insert(a.clone()).unwrap();
+        assert_eq!(tree.insert(a.clone()), Err(InsertError::Duplicate(a.id)));
+
+        let stray = BlockBuilder::child_of(BlockId(0xbad), 3).build();
+        assert_eq!(
+            tree.insert(stray),
+            Err(InsertError::UnknownParent(BlockId(0xbad)))
+        );
+
+        let mut wrong_height = BlockBuilder::new(&a).nonce(9).build();
+        wrong_height.height = 7;
+        let id = wrong_height.id;
+        assert_eq!(
+            tree.insert(wrong_height),
+            Err(InsertError::HeightMismatch {
+                block: id,
+                recorded: 7,
+                expected: 2
+            })
+        );
+
+        let mut orphan = BlockBuilder::new(&a).nonce(10).build();
+        orphan.parent = None;
+        let id = orphan.id;
+        assert_eq!(tree.insert(orphan), Err(InsertError::MissingParent(id)));
+    }
+
+    #[test]
+    fn leaves_and_chains_follow_forks() {
+        let (tree, _a, b, c) = forked_tree();
+        let mut leaves = tree.leaves();
+        leaves.sort_unstable();
+        let mut expected = vec![b.id, c.id];
+        expected.sort_unstable();
+        assert_eq!(leaves, expected);
+
+        let chains = tree.all_chains();
+        assert_eq!(chains.len(), 2);
+        for chain in &chains {
+            assert_eq!(chain.len(), 3);
+            assert!(chain.tip().id == b.id || chain.tip().id == c.id);
+        }
+    }
+
+    #[test]
+    fn chain_to_returns_path_from_genesis() {
+        let (tree, a, b, _c) = forked_tree();
+        let chain = tree.chain_to(b.id).unwrap();
+        let ids: Vec<_> = chain.ids().collect();
+        assert_eq!(ids, vec![GENESIS_ID, a.id, b.id]);
+        assert!(tree.chain_to(BlockId(0xdead)).is_none());
+    }
+
+    #[test]
+    fn cumulative_and_subtree_work() {
+        let mut tree = BlockTree::new();
+        let a = BlockBuilder::new(tree.genesis()).nonce(1).work(2).build();
+        tree.insert(a.clone()).unwrap();
+        let b = BlockBuilder::new(&a).nonce(2).work(3).build();
+        tree.insert(b.clone()).unwrap();
+        let c = BlockBuilder::new(&a).nonce(3).work(10).build();
+        tree.insert(c.clone()).unwrap();
+
+        assert_eq!(tree.cumulative_work(GENESIS_ID), Some(1));
+        assert_eq!(tree.cumulative_work(a.id), Some(3));
+        assert_eq!(tree.cumulative_work(b.id), Some(6));
+        assert_eq!(tree.cumulative_work(c.id), Some(13));
+
+        // subtree at a contains a, b, c
+        assert_eq!(tree.subtree_work(a.id), 2 + 3 + 10);
+        assert_eq!(tree.subtree_size(a.id), 3);
+        assert_eq!(tree.subtree_work(GENESIS_ID), 1 + 2 + 3 + 10);
+        assert_eq!(tree.subtree_work(BlockId(0xdead)), 0);
+        assert_eq!(tree.subtree_size(BlockId(0xdead)), 0);
+    }
+
+    #[test]
+    fn merge_imports_missing_blocks_in_height_order() {
+        let (tree_full, _a, _b, _c) = forked_tree();
+        let mut tree = BlockTree::new();
+        let inserted = tree.merge(&tree_full);
+        assert_eq!(inserted, 3);
+        assert_eq!(tree.len(), tree_full.len());
+        // Merging again is a no-op.
+        assert_eq!(tree.merge(&tree_full), 0);
+    }
+
+    #[test]
+    fn height_tracks_longest_branch() {
+        let (mut tree, _a, b, _c) = forked_tree();
+        assert_eq!(tree.height(), 2);
+        let d = BlockBuilder::new(&b).nonce(77).build();
+        tree.insert(d).unwrap();
+        assert_eq!(tree.height(), 3);
+    }
+}

@@ -1,0 +1,198 @@
+//! Property-based tests for the core data structures.
+//!
+//! These check the invariants the rest of the workspace relies on: score
+//! monotonicity, prefix-relation laws, selection-function determinism and
+//! tree/chain consistency, over randomly generated trees and chains.
+
+use proptest::prelude::*;
+
+use btadt_types::{
+    Blockchain, BlockTree, GhostSelection, HeaviestChain, LengthScore, LongestChain, Score,
+    SelectionFunction, WorkScore, GENESIS_ID,
+};
+use btadt_types::workload::Workload;
+
+/// Strategy: a seeded random tree described by (seed, size, bias-in-percent).
+fn tree_params() -> impl Strategy<Value = (u64, usize, u8)> {
+    (0u64..5_000, 1usize..80, 0u8..=100)
+}
+
+fn build_tree(seed: u64, size: usize, bias_pct: u8) -> BlockTree {
+    let mut w = Workload::new(seed);
+    w.random_tree(size, f64::from(bias_pct) / 100.0, 1)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every chain extracted from a tree starts at the genesis block and has
+    /// strictly increasing heights.
+    #[test]
+    fn chains_start_at_genesis((seed, size, bias) in tree_params()) {
+        let tree = build_tree(seed, size, bias);
+        for chain in tree.all_chains() {
+            prop_assert!(chain[0].is_genesis());
+            for w in chain.blocks().windows(2) {
+                prop_assert_eq!(w[1].height, w[0].height + 1);
+                prop_assert_eq!(w[1].parent, Some(w[0].id));
+            }
+        }
+    }
+
+    /// Scores are strictly monotonic along every chain of every tree.
+    #[test]
+    fn scores_strictly_monotonic((seed, size, bias) in tree_params()) {
+        let tree = build_tree(seed, size, bias);
+        let scores: [&dyn Score; 2] = [&LengthScore, &WorkScore];
+        for chain in tree.all_chains() {
+            for s in scores {
+                for k in 1..chain.len() {
+                    let shorter = chain.truncated(k - 1);
+                    let longer = chain.truncated(k);
+                    prop_assert!(s.score(&longer) > s.score(&shorter));
+                }
+            }
+        }
+    }
+
+    /// The prefix relation is a partial order on the chains of a tree:
+    /// reflexive, antisymmetric and transitive.
+    #[test]
+    fn prefix_relation_is_partial_order((seed, size, bias) in tree_params()) {
+        let tree = build_tree(seed, size, bias);
+        let chains = tree.all_chains();
+        for a in &chains {
+            prop_assert!(a.is_prefix_of(a));
+            for b in &chains {
+                if a.is_prefix_of(b) && b.is_prefix_of(a) {
+                    prop_assert_eq!(a, b);
+                }
+                for c in &chains {
+                    if a.is_prefix_of(b) && b.is_prefix_of(c) {
+                        prop_assert!(a.is_prefix_of(c));
+                    }
+                }
+            }
+        }
+    }
+
+    /// mcps is symmetric, bounded by both scores, and equals the score when
+    /// the chains are prefix-compatible.
+    #[test]
+    fn mcps_laws((seed, size, bias) in tree_params()) {
+        let tree = build_tree(seed, size, bias);
+        let chains = tree.all_chains();
+        let s = LengthScore;
+        for a in &chains {
+            for b in &chains {
+                let m = s.mcps(a, b);
+                prop_assert_eq!(m, s.mcps(b, a));
+                prop_assert!(m <= s.score(a));
+                prop_assert!(m <= s.score(b));
+                if a.is_prefix_of(b) {
+                    prop_assert_eq!(m, s.score(a));
+                }
+            }
+        }
+    }
+
+    /// Selection functions are deterministic and always return a maximal
+    /// chain that exists in the tree.
+    #[test]
+    fn selection_returns_existing_chain((seed, size, bias) in tree_params()) {
+        let tree = build_tree(seed, size, bias);
+        let fns: [&dyn SelectionFunction; 3] =
+            [&LongestChain::new(), &HeaviestChain::new(), &GhostSelection::new()];
+        for f in fns {
+            let a = f.select(&tree);
+            let b = f.select(&tree);
+            prop_assert_eq!(&a, &b, "selection must be deterministic ({})", f.name());
+            // The returned chain's tip is a leaf of the tree and the chain
+            // equals the tree's path to that leaf.
+            let tip = a.tip().id;
+            prop_assert!(tree.children(tip).is_empty(), "{} returns a maximal chain", f.name());
+            prop_assert_eq!(tree.chain_to(tip).unwrap(), a);
+        }
+    }
+
+    /// The longest-chain selection indeed maximises length, and the heaviest
+    /// selection maximises cumulative work, over all leaves.
+    #[test]
+    fn selection_maximises_its_score((seed, size, bias) in tree_params()) {
+        let tree = build_tree(seed, size, bias);
+        let longest = LongestChain::new().select(&tree);
+        let heaviest = HeaviestChain::new().select(&tree);
+        for leaf in tree.leaves() {
+            let chain = tree.chain_to(leaf).unwrap();
+            prop_assert!(chain.height() <= longest.height());
+            prop_assert!(chain.total_work() <= heaviest.total_work());
+        }
+    }
+
+    /// Merging trees is idempotent and commutative with respect to the block
+    /// set.
+    #[test]
+    fn merge_is_idempotent_and_commutative(
+        (seed_a, size_a, bias_a) in tree_params(),
+        (seed_b, size_b, bias_b) in tree_params(),
+    ) {
+        let a = build_tree(seed_a, size_a, bias_a);
+        let b = build_tree(seed_b, size_b, bias_b);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ab2 = ab.clone();
+        ab2.merge(&b);
+        prop_assert_eq!(ab.sorted_ids(), ab2.sorted_ids());
+
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(ab.sorted_ids(), ba.sorted_ids());
+    }
+
+    /// The genesis block is always present and is the only block without a
+    /// parent.
+    #[test]
+    fn genesis_is_unique_root((seed, size, bias) in tree_params()) {
+        let tree = build_tree(seed, size, bias);
+        prop_assert!(tree.contains(GENESIS_ID));
+        let roots: Vec<_> = tree.blocks().filter(|b| b.parent.is_none()).collect();
+        prop_assert_eq!(roots.len(), 1);
+        prop_assert!(roots[0].is_genesis());
+    }
+
+    /// Truncation yields prefixes: `c.truncated(k) ⊑ c` for all k.
+    #[test]
+    fn truncation_yields_prefixes(seed in 0u64..1_000, len in 0usize..40, k in 0usize..50) {
+        let mut w = Workload::new(seed);
+        let chain = w.linear_chain(len, 0);
+        let t = chain.truncated(k);
+        prop_assert!(t.is_prefix_of(&chain));
+        prop_assert_eq!(t.len(), (k + 1).min(chain.len()));
+    }
+
+    /// The common prefix of two chains from the same tree is itself a chain
+    /// of the tree and is prefix of both.
+    #[test]
+    fn common_prefix_is_shared_prefix((seed, size, bias) in tree_params()) {
+        let tree = build_tree(seed, size, bias);
+        let chains = tree.all_chains();
+        for a in &chains {
+            for b in &chains {
+                let p = a.common_prefix(b);
+                prop_assert!(p.is_prefix_of(a));
+                prop_assert!(p.is_prefix_of(b));
+                prop_assert!(tree.contains(p.tip().id));
+            }
+        }
+    }
+}
+
+/// Non-proptest sanity check: Blockchain equality is structural.
+#[test]
+fn chain_equality_is_structural() {
+    let mut w1 = Workload::new(99);
+    let mut w2 = Workload::new(99);
+    assert_eq!(w1.linear_chain(12, 2), w2.linear_chain(12, 2));
+    assert_eq!(Blockchain::genesis_only(), Blockchain::default());
+}

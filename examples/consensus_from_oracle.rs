@@ -1,0 +1,82 @@
+//! Consensus from the frugal oracle with k = 1 (Figure 11, Theorem 4.2),
+//! contrasted with the prodigal oracle's inability to decide (Theorem 4.3).
+//!
+//! ```bash
+//! cargo run --example consensus_from_oracle [threads]
+//! ```
+
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::thread;
+
+use blockchain_adt::prelude::*;
+use btadt_concurrent::SnapshotConsumeToken;
+use btadt_types::BlockBuilder;
+
+fn main() {
+    let threads: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(8);
+
+    // --- Consensus from Θ_F,k=1 (Figure 11) ------------------------------
+    let oracle = SharedOracle::new(FrugalOracle::new(
+        1,
+        MeritTable::uniform(threads),
+        OracleConfig {
+            seed: 11,
+            probability_scale: 0.4,
+            min_probability: 0.05,
+        },
+    ));
+    let consensus = Arc::new(OracleConsensus::at_genesis(oracle));
+
+    let handles: Vec<_> = (0..threads)
+        .map(|i| {
+            let consensus = Arc::clone(&consensus);
+            thread::spawn(move || {
+                let proposal = BlockBuilder::new(&Block::genesis())
+                    .producer(i as u32)
+                    .nonce(i as u64)
+                    .build();
+                let decided = consensus.propose(i, proposal);
+                (i, decided)
+            })
+        })
+        .collect();
+
+    println!("Consensus from Θ_F,k=1 with {threads} threads:");
+    let mut decided_ids = HashSet::new();
+    for h in handles {
+        let (i, decided) = h.join().unwrap();
+        println!("  p{i} decided block proposed by p{}", decided.producer);
+        decided_ids.insert(decided.id);
+    }
+    println!(
+        "  agreement: {} (exactly one decided block)",
+        decided_ids.len() == 1
+    );
+
+    // --- The prodigal oracle: every token lands, nothing is decided ------
+    println!("\nProdigal consumeToken from an atomic snapshot (Figure 12):");
+    let ct = Arc::new(SnapshotConsumeToken::new(threads));
+    let handles: Vec<_> = (0..threads)
+        .map(|i| {
+            let ct = Arc::clone(&ct);
+            thread::spawn(move || {
+                let block = BlockBuilder::new(&Block::genesis())
+                    .producer(i as u32)
+                    .nonce(i as u64)
+                    .build();
+                ct.consume_token(i, block).len()
+            })
+        })
+        .collect();
+    let observed_sizes: Vec<usize> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    println!("  per-thread |K[b0]| observed at consume time: {observed_sizes:?}");
+    println!(
+        "  final |K[b0]| = {} — every proposal was accepted, no single winner exists,",
+        ct.scan().len()
+    );
+    println!("  which is why Θ_P has consensus number 1 (Theorem 4.3).");
+}

@@ -1,0 +1,95 @@
+//! # blockchain-adt
+//!
+//! A production-quality Rust reproduction of *Blockchain Abstract Data Type*
+//! (Anceaume, Del Pozzo, Ludinard, Potop-Butucaru, Tucci-Piergiovanni;
+//! SPAA 2019): the BlockTree abstract data type, its consistency criteria
+//! (BT Strong / Eventual Consistency), the token oracles Θ_P and Θ_F,k, the
+//! oracle refinements and their hierarchy, the shared-memory and
+//! message-passing implementability results, and executable models of the
+//! seven systems classified by the paper's Table 1.
+//!
+//! The umbrella crate re-exports the workspace crates under short module
+//! names and provides a small [`prelude`] for the examples:
+//!
+//! * [`types`] — blocks, chains, trees, scores, selection functions,
+//!   validity predicates, workload generators;
+//! * [`history`] — ADT formalism, events, concurrent histories, criteria
+//!   framework;
+//! * [`oracle`] — the token oracles (prodigal, frugal, simulated PoW) and
+//!   k-Fork Coherence;
+//! * [`core`] — BlockTree ADT, consistency criteria, refinements, replicas,
+//!   Update Agreement / LRC, hierarchy experiments;
+//! * [`concurrent`] — atomic snapshot, CAS, consensus reductions
+//!   (consensus numbers of the oracles);
+//! * [`netsim`] — the deterministic message-passing simulator;
+//! * [`protocols`] — Bitcoin/Ethereum/committee protocol models and the
+//!   Table 1 classification driver.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use blockchain_adt::prelude::*;
+//! use std::sync::Arc;
+//!
+//! // A replicated BlockTree where every update is broadcast:
+//! let mut run = ReplicatedRun::new(3, Arc::new(LongestChain::new()));
+//! for round in 0..5 {
+//!     let creator = round % 3;
+//!     let block = run.create_block(creator, vec![], false);
+//!     run.broadcast(creator, &block, &[]);
+//!     run.read(creator);
+//! }
+//! run.read_all();
+//! let (history, _messages) = run.into_parts();
+//!
+//! // Fully synchronised, fork-free: the history is strongly consistent.
+//! let sc = strong_consistency(Arc::new(LengthScore), Arc::new(AlwaysValid));
+//! assert!(sc.admits(&history));
+//! ```
+
+#![warn(missing_docs)]
+
+pub use btadt_concurrent as concurrent;
+pub use btadt_core as core;
+pub use btadt_history as history;
+pub use btadt_netsim as netsim;
+pub use btadt_oracle as oracle;
+pub use btadt_protocols as protocols;
+pub use btadt_types as types;
+
+/// Commonly used items, re-exported for examples and quick experiments.
+pub mod prelude {
+    pub use btadt_concurrent::{CasConsensus, Consensus, OracleCas, OracleConsensus};
+    pub use btadt_core::{
+        eventual_consistency, strong_consistency, BlockTreeAdt, BtHistory, BtOperation,
+        BtRecorder, BtResponse, LightReliableCommunication, MessageHistory, RefinedBlockTree,
+        ReplicatedRun, UpdateAgreement,
+    };
+    pub use btadt_core::hierarchy::{run_contended, ContendedRunConfig, OracleKind};
+    pub use btadt_core::ops::BtHistoryExt;
+    pub use btadt_history::{ConsistencyCriterion, HistoryRecorder, ProcessId, Timestamp};
+    pub use btadt_netsim::{ChannelModel, FailurePlan, SimConfig, Simulator};
+    pub use btadt_oracle::{
+        ForkCoherenceChecker, FrugalOracle, MeritTable, OracleConfig, ProdigalOracle,
+        SharedOracle, TokenOracle,
+    };
+    pub use btadt_protocols::{classify, table1, ProtocolSpec, SystemModel};
+    pub use btadt_types::{
+        AlwaysValid, Block, BlockBuilder, BlockTree, Blockchain, GhostSelection, LengthScore,
+        LongestChain, Score, SelectionFunction, Transaction, ValidityPredicate, WorkScore,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn prelude_exposes_the_main_entry_points() {
+        let merits = MeritTable::uniform(2);
+        let oracle = FrugalOracle::new(1, merits, OracleConfig::seeded(1));
+        assert_eq!(oracle.fork_bound(), Some(1));
+        assert_eq!(SystemModel::all().len(), 7);
+        assert_eq!(Blockchain::genesis_only().height(), 0);
+    }
+}

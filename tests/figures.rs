@@ -1,0 +1,258 @@
+//! Integration tests replaying every figure of the paper as an executable
+//! artefact (see DESIGN.md, per-experiment index).
+
+use std::sync::Arc;
+
+use blockchain_adt::prelude::*;
+use btadt_core::{BlockTreeAdt, EventualPrefix, StrongPrefix};
+use btadt_history::{ProcessId, SequentialChecker, Timestamp};
+use btadt_oracle::{Cell, Tape};
+use btadt_types::{BlockBuilder, TieBreak};
+
+/// Figure 1: a path of the BT-ADT transition system — appends of valid and
+/// invalid blocks, reads returning the selected chain.
+#[test]
+fn figure_1_btadt_transition_path() {
+    let adt = BlockTreeAdt::new(
+        LongestChain::with_tie_break(TieBreak::LargestId),
+        btadt_types::MaxPayload::new(0),
+    );
+    let genesis = Block::genesis();
+    let b1 = BlockBuilder::new(&genesis).nonce(1).build();
+    let b2 = BlockBuilder::new(&genesis).nonce(2).build();
+    let invalid = BlockBuilder::new(&genesis)
+        .nonce(3)
+        .push_tx(Transaction::transfer(1, 1, 2, 1))
+        .build();
+
+    let checker = SequentialChecker::new(adt);
+    // Replaying the inputs yields the unique legal word of L(BT-ADT).
+    let word = checker.run(&[
+        btadt_core::BtOperation::Append(invalid.clone()),
+        btadt_core::BtOperation::Append(b1.clone()),
+        btadt_core::BtOperation::Read,
+        btadt_core::BtOperation::Append(b2.clone()),
+        btadt_core::BtOperation::Read,
+    ]);
+    assert_eq!(word[0].1, btadt_core::BtResponse::Appended(false));
+    assert_eq!(word[1].1, btadt_core::BtResponse::Appended(true));
+    assert_eq!(word[3].1, btadt_core::BtResponse::Appended(true));
+    // The final read returns b0⌢b where b is the lexicographically larger
+    // of the two forked children.
+    let expected_tip = b1.id.max(b2.id);
+    match &word[4].1 {
+        btadt_core::BtResponse::Chain(c) => assert_eq!(c.tip().id, expected_tip),
+        other => panic!("read returned {other:?}"),
+    }
+    assert!(checker.check_word(&word).is_ok());
+}
+
+fn read_at(
+    rec: &mut BtRecorder,
+    p: u32,
+    inv: u64,
+    rsp: u64,
+    chain: Blockchain,
+) {
+    rec.scripted(
+        ProcessId(p),
+        Timestamp(inv),
+        Timestamp(rsp),
+        btadt_core::BtOperation::Read,
+        btadt_core::BtResponse::Chain(chain),
+    );
+}
+
+/// Figure 2: a concurrent history satisfying the BT Strong Consistency
+/// criterion — every pair of reads is prefix-compatible and scores keep
+/// growing.
+#[test]
+fn figure_2_strong_consistency_history() {
+    let mut w = btadt_types::workload::Workload::new(2);
+    let chain = w.linear_chain(4, 0);
+    let mut rec = BtRecorder::new();
+    // Appends by a third process so Block Validity holds.
+    for k in 1..=4 {
+        rec.scripted(
+            ProcessId(9),
+            Timestamp(k as u64 * 2),
+            Timestamp(k as u64 * 2 + 1),
+            btadt_core::BtOperation::Append(chain.blocks()[k].clone()),
+            btadt_core::BtResponse::Appended(true),
+        );
+    }
+    // Process i reads lengths 2, 3, 4; process j reads 1, 2, 4 (Figure 2).
+    read_at(&mut rec, 0, 10, 11, chain.truncated(2));
+    read_at(&mut rec, 1, 12, 13, chain.truncated(1));
+    read_at(&mut rec, 0, 14, 15, chain.truncated(3));
+    read_at(&mut rec, 1, 16, 17, chain.truncated(2));
+    read_at(&mut rec, 0, 18, 19, chain.truncated(4));
+    read_at(&mut rec, 1, 20, 21, chain.truncated(4));
+    let history = rec.into_history();
+
+    let sc = strong_consistency(Arc::new(LengthScore), Arc::new(AlwaysValid));
+    let ec = eventual_consistency(Arc::new(LengthScore), Arc::new(AlwaysValid));
+    assert!(sc.admits(&history), "{}", sc.check(&history));
+    assert!(ec.admits(&history), "Theorem 3.1: SC ⊆ EC");
+}
+
+/// Builds the forked scenario of Figures 3/4: two branches over a common
+/// prefix, read by two processes.
+fn forked_branches() -> (Blockchain, Blockchain, Blockchain) {
+    let mut w = btadt_types::workload::Workload::new(3);
+    let tree = w.forked_tree(1, 2, 2);
+    let chains = tree.all_chains();
+    let a = chains[0].clone();
+    let b = chains[1].clone();
+    let mut winner = a.clone();
+    for n in 0..2 {
+        let blk = BlockBuilder::new(winner.tip()).nonce(900 + n).build();
+        winner = winner.extended_with(blk).unwrap();
+    }
+    (a, b, winner)
+}
+
+/// Figure 3: a history satisfying BT Eventual Consistency but not Strong
+/// Consistency — the two processes temporarily read diverging branches and
+/// later converge on one of them.
+#[test]
+fn figure_3_eventual_but_not_strong() {
+    let (a, b, winner) = forked_branches();
+    let mut rec = BtRecorder::new();
+    for (k, block) in winner.blocks().iter().enumerate().skip(1) {
+        rec.scripted(
+            ProcessId(9),
+            Timestamp(k as u64 * 2),
+            Timestamp(k as u64 * 2 + 1),
+            btadt_core::BtOperation::Append(block.clone()),
+            btadt_core::BtResponse::Appended(true),
+        );
+    }
+    for (k, block) in b.blocks().iter().enumerate().skip(2) {
+        rec.scripted(
+            ProcessId(9),
+            Timestamp(20 + k as u64 * 2),
+            Timestamp(21 + k as u64 * 2),
+            btadt_core::BtOperation::Append(block.clone()),
+            btadt_core::BtResponse::Appended(true),
+        );
+    }
+    // Divergence: i reads branch a, j reads branch b...
+    read_at(&mut rec, 0, 30, 31, a.clone());
+    read_at(&mut rec, 1, 32, 33, b.clone());
+    // ...then both adopt the winning continuation of branch a.
+    read_at(&mut rec, 0, 40, 41, winner.clone());
+    read_at(&mut rec, 1, 42, 43, winner);
+    let history = rec.into_history();
+
+    let sc = strong_consistency(Arc::new(LengthScore), Arc::new(AlwaysValid));
+    let ec = eventual_consistency(Arc::new(LengthScore), Arc::new(AlwaysValid));
+    assert!(!sc.admits(&history), "the fork breaks Strong Prefix");
+    assert!(ec.admits(&history), "{}", ec.check(&history));
+}
+
+/// Figure 4: a history satisfying neither criterion — the divergence is
+/// never resolved.
+#[test]
+fn figure_4_neither_criterion() {
+    let (a, b, _) = forked_branches();
+    let mut rec = BtRecorder::new();
+    for (k, block) in a.blocks().iter().enumerate().skip(1) {
+        rec.scripted(
+            ProcessId(9),
+            Timestamp(k as u64 * 2),
+            Timestamp(k as u64 * 2 + 1),
+            btadt_core::BtOperation::Append(block.clone()),
+            btadt_core::BtResponse::Appended(true),
+        );
+    }
+    for (k, block) in b.blocks().iter().enumerate().skip(2) {
+        rec.scripted(
+            ProcessId(9),
+            Timestamp(20 + k as u64 * 2),
+            Timestamp(21 + k as u64 * 2),
+            btadt_core::BtOperation::Append(block.clone()),
+            btadt_core::BtResponse::Appended(true),
+        );
+    }
+    read_at(&mut rec, 0, 30, 31, a.clone());
+    read_at(&mut rec, 1, 32, 33, b.clone());
+    read_at(&mut rec, 0, 40, 41, a);
+    read_at(&mut rec, 1, 42, 43, b);
+    let history = rec.into_history();
+
+    // Strong Prefix and Eventual Prefix both fail (the other properties are
+    // checked individually so a single conjunction verdict suffices).
+    assert!(!StrongPrefix::new().admits(&history));
+    assert!(!EventualPrefix::new(Arc::new(LengthScore)).admits(&history));
+}
+
+/// Figures 5 and 6: the Θ_F abstract state — per-merit tapes and the K
+/// array — and a getToken/consumeToken transition path.
+#[test]
+fn figures_5_and_6_oracle_state_and_transitions() {
+    // Tapes: one per merit, Bernoulli with merit-dependent probability.
+    let mut high = Tape::new(5, 0, 0.9);
+    let mut low = Tape::new(5, 1, 0.1);
+    let highs = (0..500).filter(|_| high.pop() == Cell::Token).count();
+    let lows = (0..500).filter(|_| low.pop() == Cell::Token).count();
+    assert!(highs > lows, "the richer tape yields more tokens");
+
+    // Transition path of Figure 6: getToken pops the tape, consumeToken
+    // fills K[obj1] up to k.
+    let merits = MeritTable::uniform(2);
+    let mut oracle = FrugalOracle::new(
+        1,
+        merits,
+        OracleConfig {
+            seed: 6,
+            probability_scale: 1e9,
+            min_probability: 1.0,
+        },
+    );
+    let genesis = Block::genesis();
+    let candidate = BlockBuilder::new(&genesis).nonce(1).build();
+    assert!(oracle.slot(genesis.id).is_empty(), "K[1] starts empty (ξ0)");
+    let grant = oracle.get_token(0, &genesis, candidate.clone()).unwrap();
+    assert!(oracle.slot(genesis.id).is_empty(), "getToken does not touch K (ξ1)");
+    let outcome = oracle.consume_token(&grant);
+    assert!(outcome.accepted);
+    assert_eq!(outcome.slot, vec![candidate], "consumeToken fills K[1] (ξ2)");
+}
+
+/// Figure 7: the refined append — getToken* then consumeToken then the
+/// concatenation, atomically.
+#[test]
+fn figure_7_refined_append() {
+    let merits = MeritTable::uniform(1);
+    let oracle = FrugalOracle::new(
+        1,
+        merits,
+        OracleConfig {
+            seed: 7,
+            probability_scale: 0.3,
+            min_probability: 0.05,
+        },
+    );
+    let mut refined = RefinedBlockTree::new(Arc::new(LongestChain::new()), Box::new(oracle));
+    let outcome = refined.append(0, vec![]);
+    assert!(outcome.appended);
+    assert!(outcome.get_token_attempts >= 1, "getToken is repeated until granted");
+    let chain = refined.read(0);
+    assert_eq!(chain.tip().id, outcome.block.id);
+    assert_eq!(chain.height(), 1);
+}
+
+/// Figure 13: the Update-Agreement history — an update created at one
+/// process is sent, received and applied everywhere.
+#[test]
+fn figure_13_update_agreement_history() {
+    let mut run = ReplicatedRun::new(3, Arc::new(LongestChain::new()));
+    let block = run.create_block(0, vec![], false);
+    run.broadcast(0, &block, &[]);
+    run.read_all();
+    let (_, messages) = run.into_parts();
+    let correct: Vec<ProcessId> = (0..3).map(ProcessId).collect();
+    assert!(UpdateAgreement::new(correct.clone()).holds(&messages));
+    assert!(LightReliableCommunication::new(correct).holds(&messages));
+}

@@ -1,0 +1,87 @@
+//! Integration tests for the protocol models and the Table 1 classification.
+
+use blockchain_adt::prelude::*;
+use btadt_core::UpdateAgreement;
+
+#[test]
+fn table_1_is_reproduced_for_several_seeds() {
+    for seed in [1u64, 17, 4242] {
+        let rows = table1(6, 10, seed);
+        assert_eq!(rows.len(), 7);
+        for row in &rows {
+            assert!(row.matches_paper, "seed {seed}: {}", row.format());
+        }
+        // PoW systems: eventual but not strong (forks must have occurred).
+        for row in rows.iter().take(2) {
+            assert!(row.observed_eventual && !row.observed_strong, "{}", row.format());
+            assert!(row.max_fork_degree > 1, "{}", row.format());
+        }
+        // Committee systems: strong (and therefore eventual), fork-free.
+        for row in rows.iter().skip(2) {
+            assert!(row.observed_strong && row.observed_eventual, "{}", row.format());
+            assert_eq!(row.max_fork_degree, 1, "{}", row.format());
+        }
+    }
+}
+
+#[test]
+fn bitcoin_and_ethereum_histories_differ_in_selection_but_agree_on_class() {
+    let bitcoin = classify(ProtocolSpec {
+        system: SystemModel::Bitcoin,
+        replicas: 6,
+        seed: 99,
+        duration: 12,
+    });
+    let ethereum = classify(ProtocolSpec {
+        system: SystemModel::Ethereum,
+        replicas: 6,
+        seed: 99,
+        duration: 12,
+    });
+    assert!(bitcoin.eventual && ethereum.eventual);
+    assert!(!bitcoin.strong);
+    assert!(bitcoin.blocks_created > 0 && ethereum.blocks_created > 0);
+}
+
+#[test]
+fn committee_runs_satisfy_the_update_agreement() {
+    for system in [SystemModel::RedBelly, SystemModel::HyperledgerFabric] {
+        let c = classify(ProtocolSpec {
+            system,
+            replicas: 7,
+            seed: 5,
+            duration: 8,
+        });
+        assert!(c.strong, "{}", system.name());
+        let ua = UpdateAgreement::all_correct(&c.messages);
+        assert!(ua.holds(&c.messages), "{}", system.name());
+    }
+}
+
+#[test]
+fn classification_is_deterministic_given_the_seed() {
+    let spec = ProtocolSpec {
+        system: SystemModel::Bitcoin,
+        replicas: 5,
+        seed: 31,
+        duration: 10,
+    };
+    let a = classify(spec);
+    let b = classify(spec);
+    assert_eq!(a.strong, b.strong);
+    assert_eq!(a.eventual, b.eventual);
+    assert_eq!(a.blocks_created, b.blocks_created);
+    assert_eq!(a.max_fork_degree, b.max_fork_degree);
+}
+
+#[test]
+fn larger_networks_still_classify_correctly() {
+    let c = classify(ProtocolSpec {
+        system: SystemModel::Algorand,
+        replicas: 16,
+        seed: 8,
+        duration: 10,
+    });
+    assert!(c.strong && c.eventual);
+    assert_eq!(c.max_fork_degree, 1);
+}

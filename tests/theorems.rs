@@ -1,0 +1,187 @@
+//! Integration tests exercising the paper's theorems end-to-end (hierarchy,
+//! consensus numbers, necessity and impossibility results).
+
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::thread;
+
+use blockchain_adt::prelude::*;
+use btadt_core::hierarchy::{fork_bound_inclusion, sc_subset_ec, strong_prefix_violations};
+use btadt_history::ProcessId;
+use btadt_types::BlockBuilder;
+
+fn contended(seed: u64) -> ContendedRunConfig {
+    ContendedRunConfig {
+        processes: 4,
+        rounds: 40,
+        sync_probability: 0.25,
+        seed,
+    }
+}
+
+/// Theorem 3.1: H_SC ⊂ H_EC over generated history families.
+#[test]
+fn theorem_3_1_sc_strictly_included_in_ec() {
+    let seeds: Vec<u64> = (0..8).collect();
+    let report = sc_subset_ec(
+        &[OracleKind::Frugal(1), OracleKind::Frugal(3), OracleKind::Prodigal],
+        &seeds,
+        contended(0),
+    );
+    assert!(report.inclusion_holds(), "{report:?}");
+    assert!(report.is_strict(), "{report:?}");
+}
+
+/// Theorem 3.2: every run driven through Θ_F,k satisfies k-Fork Coherence.
+#[test]
+fn theorem_3_2_k_fork_coherence() {
+    for k in [1usize, 2, 4, 8] {
+        for seed in 0..4 {
+            let run = btadt_core::hierarchy::run_contended(OracleKind::Frugal(k), contended(seed));
+            assert!(
+                ForkCoherenceChecker::frugal(k).holds(&run.log),
+                "k = {k}, seed = {seed}"
+            );
+            assert!(run.max_forks() <= k);
+        }
+    }
+}
+
+/// Theorems 3.3 and 3.4: history-family inclusions along the fork bound.
+#[test]
+fn theorems_3_3_and_3_4_fork_bound_hierarchy() {
+    let seeds: Vec<u64> = (0..6).collect();
+    for (k1, k2) in [(1, Some(2)), (2, Some(4)), (1, Some(8))] {
+        let report = fork_bound_inclusion(k1, k2, &seeds, contended(0));
+        assert!(report.inclusion_holds(), "k1={k1} k2={k2:?}: {report:?}");
+        assert!(report.is_strict(), "k1={k1} k2={k2:?}: {report:?}");
+    }
+    // Θ_F ⊆ Θ_P (Theorem 3.3).
+    let report = fork_bound_inclusion(2, None, &seeds, contended(0));
+    assert!(report.inclusion_holds() && report.is_strict(), "{report:?}");
+}
+
+/// Theorem 4.2: the frugal k=1 oracle wait-free implements consensus for any
+/// number of threads (consensus number ∞).
+#[test]
+fn theorem_4_2_consensus_from_frugal_oracle() {
+    for n in [2usize, 4, 8, 12] {
+        let oracle = SharedOracle::new(FrugalOracle::new(
+            1,
+            MeritTable::uniform(n),
+            OracleConfig {
+                seed: n as u64,
+                probability_scale: 0.5,
+                min_probability: 0.05,
+            },
+        ));
+        let consensus = Arc::new(OracleConsensus::at_genesis(oracle));
+        let decisions: Vec<Block> = (0..n)
+            .map(|i| {
+                let consensus = Arc::clone(&consensus);
+                thread::spawn(move || {
+                    let proposal = BlockBuilder::new(&Block::genesis())
+                        .producer(i as u32)
+                        .nonce(i as u64)
+                        .build();
+                    consensus.propose(i, proposal)
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect();
+        let distinct: HashSet<_> = decisions.iter().map(|b| b.id).collect();
+        assert_eq!(distinct.len(), 1, "agreement with {n} threads");
+        assert!((decisions[0].producer as usize) < n, "validity");
+    }
+}
+
+/// Theorem 4.3 (flavour): the prodigal oracle accepts every concurrent
+/// consume, so it cannot single out a winner the way the k=1 oracle does.
+#[test]
+fn theorem_4_3_prodigal_oracle_decides_nothing() {
+    let n = 8;
+    let oracle = SharedOracle::new(ProdigalOracle::new(
+        MeritTable::uniform(n),
+        OracleConfig {
+            seed: 3,
+            probability_scale: 1e9,
+            min_probability: 1.0,
+        },
+    ));
+    let genesis = Block::genesis();
+    let handles: Vec<_> = (0..n)
+        .map(|i| {
+            let oracle = oracle.clone();
+            let genesis = genesis.clone();
+            thread::spawn(move || {
+                let block = BlockBuilder::new(&genesis).producer(i as u32).nonce(i as u64).build();
+                let grant = oracle.get_token_until_granted(i, &genesis, block).0;
+                oracle.consume_token(&grant).accepted
+            })
+        })
+        .collect();
+    let accepted = handles
+        .into_iter()
+        .map(|h| h.join().unwrap())
+        .filter(|&accepted| accepted)
+        .count();
+    assert_eq!(accepted, n, "every proposal is accepted — no unique decision");
+    assert_eq!(oracle.slot(genesis.id).len(), n);
+}
+
+/// Theorems 4.6/4.7: losing a single update breaks Update Agreement / LRC
+/// and with them Eventual Consistency; lossless runs satisfy all three.
+#[test]
+fn theorems_4_6_and_4_7_update_agreement_and_lrc_necessity() {
+    let correct: Vec<ProcessId> = (0..3).map(ProcessId).collect();
+    let ec = eventual_consistency(Arc::new(LengthScore), Arc::new(AlwaysValid));
+
+    // Lossless run.
+    let mut good = ReplicatedRun::new(3, Arc::new(LongestChain::new()));
+    for round in 0..6 {
+        let creator = round % 3;
+        let b = good.create_block(creator, vec![], false);
+        good.broadcast(creator, &b, &[]);
+        good.read(creator);
+    }
+    good.read_all();
+    let (history, messages) = good.into_parts();
+    assert!(UpdateAgreement::new(correct.clone()).holds(&messages));
+    assert!(LightReliableCommunication::new(correct.clone()).holds(&messages));
+    assert!(ec.admits(&history));
+
+    // One dropped delivery towards replica 2.
+    let mut lossy = ReplicatedRun::new(3, Arc::new(LongestChain::new()));
+    for round in 0..6 {
+        let creator = round % 2;
+        let b = lossy.create_block(creator, vec![], false);
+        let drop: &[usize] = if round == 0 { &[2] } else { &[] };
+        lossy.broadcast(creator, &b, drop);
+        lossy.read(creator);
+        lossy.read(2);
+    }
+    lossy.read_all();
+    let (history, messages) = lossy.into_parts();
+    assert!(!UpdateAgreement::new(correct.clone()).holds(&messages));
+    assert!(!LightReliableCommunication::new(correct).holds(&messages));
+    assert!(
+        !ec.admits(&history),
+        "a single lost update breaks Eventual Consistency (replica 2 is stuck \
+         on the genesis-anchored branch missing the first block)"
+    );
+}
+
+/// Theorem 4.8: with any oracle weaker than Θ_F,k=1 contention produces
+/// Strong-Prefix violations; with Θ_F,k=1 it never does (Figure 14).
+#[test]
+fn theorem_4_8_strong_prefix_needs_frugal_k1() {
+    let seeds: Vec<u64> = (0..6).collect();
+    let (v1, _) = strong_prefix_violations(OracleKind::Frugal(1), &seeds, contended(0));
+    assert_eq!(v1, 0);
+    let (vp, total) = strong_prefix_violations(OracleKind::Prodigal, &seeds, contended(0));
+    assert!(vp > 0, "prodigal: {vp}/{total}");
+    let (vk, _) = strong_prefix_violations(OracleKind::Frugal(4), &seeds, contended(0));
+    assert!(vk > 0, "frugal k>1: {vk}/{total}");
+}
