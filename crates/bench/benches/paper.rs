@@ -1,15 +1,19 @@
-//! Criterion benchmarks — one group per table/figure of the paper.
+//! Benchmarks — one group per table/figure of the paper.
 //!
 //! These measure the cost of regenerating each experiment (and, as a side
 //! effect, re-verify the expected outcome on every run).  Absolute numbers
 //! are machine-dependent; the *shape* documented in EXPERIMENTS.md is what
-//! matters.
+//! matters.  Runs on the in-workspace harness (`btadt_bench::harness`)
+//! because the build environment has no crates.io access for Criterion.
+//!
+//! ```bash
+//! cargo bench -p btadt-bench --bench paper            # full run
+//! cargo bench -p btadt-bench --bench paper -- --test  # CI smoke run
+//! ```
 
 use std::sync::Arc;
-use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use btadt_bench::harness::{workspace_root, Harness};
 use btadt_bench::{classify_contended, default_contention, hierarchy_report};
 use btadt_concurrent::{Consensus, OracleConsensus, SnapshotConsumeToken};
 use btadt_core::hierarchy::{run_contended, OracleKind};
@@ -20,21 +24,15 @@ use btadt_oracle::{
     SimulatedPow, TokenOracle,
 };
 use btadt_protocols::{classify, table1, ProtocolSpec, SystemModel};
+use btadt_types::workload::Workload;
 use btadt_types::{
     AlwaysValid, Block, BlockBuilder, GhostSelection, HeaviestChain, LengthScore, LongestChain,
     SelectionFunction,
 };
-use btadt_types::workload::Workload;
-
-fn quick(c: &mut Criterion) -> &mut Criterion {
-    c
-}
 
 /// Figure 1: replaying the BT-ADT transition-system example through the
 /// sequential-specification checker.
-fn fig01_btadt_transitions(c: &mut Criterion) {
-    let mut group = quick(c).benchmark_group("fig01_btadt_transitions");
-    group.sample_size(20);
+fn fig01_btadt_transitions(h: &mut Harness) {
     let adt = BlockTreeAdt::longest_chain();
     let checker = SequentialChecker::new(adt);
     let genesis = Block::genesis();
@@ -47,68 +45,35 @@ fn fig01_btadt_transitions(c: &mut Criterion) {
             }
         })
         .collect();
-    group.bench_function("replay_64_ops", |b| {
-        b.iter(|| {
-            let word = checker.run(&inputs);
-            assert!(checker.check_word(&word).is_ok());
-        })
+    h.bench("fig01_btadt_transitions", "replay_64_ops", || {
+        let word = checker.run(&inputs);
+        assert!(checker.check_word(&word).is_ok());
     });
-    group.finish();
 }
 
 /// Figures 2–4: classifying contended histories under SC and EC.
-fn fig02_04_history_classification(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig02_04_history_classification");
-    group.sample_size(10);
+fn fig02_04_history_classification(h: &mut Harness) {
     for (label, kind, expect_sc) in [
         ("fig02_strong(frugal_k1)", OracleKind::Frugal(1), true),
         ("fig03_eventual(prodigal)", OracleKind::Prodigal, false),
         ("fig04_neither_is_impossible_here", OracleKind::Frugal(4), false),
     ] {
-        group.bench_function(label, |b| {
-            b.iter(|| {
-                let (strong, eventual, _) = classify_contended(kind, 11);
-                assert_eq!(strong, expect_sc);
-                assert!(eventual);
-            })
+        h.bench("fig02_04_history_classification", label, || {
+            let (strong, eventual, _) = classify_contended(kind, 11);
+            assert_eq!(strong, expect_sc);
+            assert!(eventual);
         });
     }
-    group.finish();
 }
 
 /// Figure 6 / Theorem 3.2: oracle transitions and k-Fork Coherence, with the
 /// tape vs simulated-PoW backend ablation.
-fn fig06_oracle_and_fork_coherence(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig06_oracle_transitions");
-    group.sample_size(20);
+fn fig06_oracle_and_fork_coherence(h: &mut Harness) {
     let genesis = Block::genesis();
     for k in [1usize, 2, 8] {
-        group.bench_with_input(BenchmarkId::new("frugal_tape", k), &k, |b, &k| {
-            b.iter(|| {
-                let mut oracle = FrugalOracle::new(
-                    k,
-                    MeritTable::uniform(4),
-                    OracleConfig {
-                        seed: 5,
-                        probability_scale: 1.0,
-                        min_probability: 0.2,
-                    },
-                );
-                let mut log = btadt_oracle::OracleLog::new();
-                for nonce in 0..64u64 {
-                    let cand = BlockBuilder::new(&genesis).nonce(nonce).build();
-                    let (grant, _) = oracle.get_token_until_granted((nonce % 4) as usize, &genesis, cand);
-                    let outcome = oracle.consume_token(&grant);
-                    log.record(&grant, &outcome);
-                }
-                assert!(ForkCoherenceChecker::frugal(k).holds(&log));
-            })
-        });
-    }
-    group.bench_function("ablation_pow_backend", |b| {
-        b.iter(|| {
-            let mut oracle = SimulatedPow::new(
-                Some(1),
+        h.bench("fig06_oracle_transitions", &format!("frugal_tape_k{k}"), || {
+            let mut oracle = FrugalOracle::new(
+                k,
                 MeritTable::uniform(4),
                 OracleConfig {
                     seed: 5,
@@ -116,225 +81,190 @@ fn fig06_oracle_and_fork_coherence(c: &mut Criterion) {
                     min_probability: 0.2,
                 },
             );
-            let cand = BlockBuilder::new(&genesis).nonce(1).build();
-            let (grant, _) = oracle.get_token_until_granted(0, &genesis, cand);
-            assert!(oracle.consume_token(&grant).accepted);
-        })
+            let mut log = btadt_oracle::OracleLog::new();
+            for nonce in 0..64u64 {
+                let cand = BlockBuilder::new(&genesis).nonce(nonce).build();
+                let (grant, _) =
+                    oracle.get_token_until_granted((nonce % 4) as usize, &genesis, cand);
+                let outcome = oracle.consume_token(&grant);
+                log.record(&grant, &outcome);
+            }
+            assert!(ForkCoherenceChecker::frugal(k).holds(&log));
+        });
+    }
+    h.bench("fig06_oracle_transitions", "ablation_pow_backend", || {
+        let mut oracle = SimulatedPow::new(
+            Some(1),
+            MeritTable::uniform(4),
+            OracleConfig {
+                seed: 5,
+                probability_scale: 1.0,
+                min_probability: 0.2,
+            },
+        );
+        let cand = BlockBuilder::new(&genesis).nonce(1).build();
+        let (grant, _) = oracle.get_token_until_granted(0, &genesis, cand);
+        assert!(oracle.consume_token(&grant).accepted);
     });
-    group.finish();
 }
 
 /// Figure 7: the refined append (getToken* ; consumeToken ; concatenate).
-fn fig07_refined_append(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig07_refined_append");
-    group.sample_size(20);
+fn fig07_refined_append(h: &mut Harness) {
     for (label, p) in [("easy_tokens", 0.9), ("scarce_tokens", 0.1)] {
-        group.bench_function(label, |b| {
-            b.iter(|| {
-                let oracle = FrugalOracle::new(
-                    1,
-                    MeritTable::uniform(2),
-                    OracleConfig {
-                        seed: 3,
-                        probability_scale: p,
-                        min_probability: 0.01,
-                    },
-                );
-                let mut refined =
-                    RefinedBlockTree::new(Arc::new(LongestChain::new()), Box::new(oracle));
-                for round in 0..32 {
-                    assert!(refined.append(round % 2, vec![]).appended);
-                }
-                assert_eq!(refined.tree().height(), 32);
-            })
+        h.bench("fig07_refined_append", label, || {
+            let oracle = FrugalOracle::new(
+                1,
+                MeritTable::uniform(2),
+                OracleConfig {
+                    seed: 3,
+                    probability_scale: p,
+                    min_probability: 0.01,
+                },
+            );
+            let mut refined =
+                RefinedBlockTree::new(Arc::new(LongestChain::new()), Box::new(oracle));
+            for round in 0..32 {
+                assert!(refined.append(round % 2, vec![]).appended);
+            }
+            assert_eq!(refined.tree().height(), 32);
         });
     }
-    group.finish();
 }
 
 /// Figures 8 and 14 / Theorems 3.1, 3.3, 3.4, 4.8: hierarchy inclusions and
 /// impossibility counts.
-fn fig08_14_hierarchy(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig08_14_hierarchy");
-    group.sample_size(10);
-    group.measurement_time(Duration::from_secs(8));
-    group.bench_function("inclusions_and_impossibility", |b| {
-        b.iter(|| {
-            let seeds: Vec<u64> = (0..3).collect();
-            let report = hierarchy_report(&seeds);
-            assert!(report.sc_ec.inclusion_holds());
-            assert_eq!(report.strong_prefix[0].1, 0);
-        })
+fn fig08_14_hierarchy(h: &mut Harness) {
+    h.bench("fig08_14_hierarchy", "inclusions_and_impossibility", || {
+        let seeds: Vec<u64> = (0..3).collect();
+        let report = hierarchy_report(&seeds);
+        assert!(report.sc_ec.inclusion_holds());
+        assert_eq!(report.strong_prefix[0].1, 0);
     });
-    group.finish();
 }
 
 /// Figures 9–11 / Theorem 4.2: CAS and consensus from the frugal k=1 oracle.
-fn fig09_11_consensus_from_frugal(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig09_11_consensus_from_frugal");
-    group.sample_size(10);
+fn fig09_11_consensus_from_frugal(h: &mut Harness) {
     for threads in [2usize, 4, 8] {
-        group.bench_with_input(
-            BenchmarkId::new("threads", threads),
-            &threads,
-            |b, &threads| {
-                b.iter(|| {
-                    let oracle = SharedOracle::new(FrugalOracle::new(
-                        1,
-                        MeritTable::uniform(threads),
-                        OracleConfig {
-                            seed: 9,
-                            probability_scale: 0.8,
-                            min_probability: 0.2,
-                        },
-                    ));
-                    let consensus = Arc::new(OracleConsensus::at_genesis(oracle));
-                    let decisions: Vec<Block> = std::thread::scope(|s| {
-                        (0..threads)
-                            .map(|i| {
-                                let consensus = Arc::clone(&consensus);
-                                s.spawn(move || {
-                                    let p = BlockBuilder::new(&Block::genesis())
-                                        .producer(i as u32)
-                                        .nonce(i as u64)
-                                        .build();
-                                    consensus.propose(i, p)
-                                })
-                            })
-                            .collect::<Vec<_>>()
-                            .into_iter()
-                            .map(|h| h.join().unwrap())
-                            .collect()
-                    });
-                    assert!(decisions.windows(2).all(|w| w[0].id == w[1].id));
-                })
-            },
-        );
-    }
-    group.finish();
-}
-
-/// Figure 12 / Theorem 4.3: the prodigal consumeToken from atomic snapshot.
-fn fig12_prodigal_snapshot(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig12_prodigal_snapshot");
-    group.sample_size(10);
-    for threads in [4usize, 8] {
-        group.bench_with_input(
-            BenchmarkId::new("threads", threads),
-            &threads,
-            |b, &threads| {
-                b.iter(|| {
-                    let ct = Arc::new(SnapshotConsumeToken::new(threads));
-                    std::thread::scope(|s| {
-                        for i in 0..threads {
-                            let ct = Arc::clone(&ct);
+        h.bench(
+            "fig09_11_consensus_from_frugal",
+            &format!("threads_{threads}"),
+            || {
+                let oracle = SharedOracle::new(FrugalOracle::new(
+                    1,
+                    MeritTable::uniform(threads),
+                    OracleConfig {
+                        seed: 9,
+                        probability_scale: 0.8,
+                        min_probability: 0.2,
+                    },
+                ));
+                let consensus = Arc::new(OracleConsensus::at_genesis(oracle));
+                let decisions: Vec<Block> = std::thread::scope(|s| {
+                    (0..threads)
+                        .map(|i| {
+                            let consensus = Arc::clone(&consensus);
                             s.spawn(move || {
-                                let block = BlockBuilder::new(&Block::genesis())
+                                let p = BlockBuilder::new(&Block::genesis())
                                     .producer(i as u32)
                                     .nonce(i as u64)
                                     .build();
-                                ct.consume_token(i, block)
-                            });
-                        }
-                    });
-                    assert_eq!(ct.scan().len(), threads);
-                })
+                                consensus.propose(i, p)
+                            })
+                        })
+                        .collect::<Vec<_>>()
+                        .into_iter()
+                        .map(|handle| handle.join().expect("proposer threads do not panic"))
+                        .collect()
+                });
+                assert!(decisions.windows(2).all(|w| w[0].id == w[1].id));
             },
         );
     }
-    group.finish();
 }
 
-/// Figure 13 / Theorems 4.6–4.7: Update-Agreement & LRC necessity — run a
-/// Bitcoin-style model with and without message loss and check EC.
-fn fig13_thm47_update_agreement(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig13_thm47_update_agreement");
-    group.sample_size(10);
-    group.bench_function("lossless_run_satisfies_ec", |b| {
-        b.iter(|| {
-            let run = run_contended(OracleKind::Prodigal, default_contention(21));
-            let ec = eventual_consistency(Arc::new(LengthScore), Arc::new(AlwaysValid));
-            assert!(ec.admits(&run.history));
-        })
+/// Figure 12 / Theorem 4.3: the prodigal consumeToken from atomic snapshot.
+fn fig12_prodigal_snapshot(h: &mut Harness) {
+    for threads in [4usize, 8] {
+        h.bench("fig12_prodigal_snapshot", &format!("threads_{threads}"), || {
+            let ct = Arc::new(SnapshotConsumeToken::new(threads));
+            std::thread::scope(|s| {
+                for i in 0..threads {
+                    let ct = Arc::clone(&ct);
+                    s.spawn(move || {
+                        let block = BlockBuilder::new(&Block::genesis())
+                            .producer(i as u32)
+                            .nonce(i as u64)
+                            .build();
+                        ct.consume_token(i, block)
+                    });
+                }
+            });
+            assert_eq!(ct.scan().len(), threads);
+        });
+    }
+}
+
+/// Figure 13 / Theorems 4.6–4.7: Update-Agreement & LRC necessity — a
+/// lossless prodigal run satisfies EC.
+fn fig13_thm47_update_agreement(h: &mut Harness) {
+    h.bench("fig13_thm47_update_agreement", "lossless_run_satisfies_ec", || {
+        let run = run_contended(OracleKind::Prodigal, default_contention(21));
+        let ec = eventual_consistency(Arc::new(LengthScore), Arc::new(AlwaysValid));
+        assert!(ec.admits(&run.history));
     });
-    group.finish();
 }
 
 /// Table 1: classification of the seven systems.
-fn table1_classification(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table1_classification");
-    group.sample_size(10);
-    group.measurement_time(Duration::from_secs(15));
+fn table1_classification(h: &mut Harness) {
     for system in [SystemModel::Bitcoin, SystemModel::RedBelly] {
-        group.bench_with_input(
-            BenchmarkId::new("classify", system.name()),
-            &system,
-            |b, &system| {
-                b.iter(|| {
-                    let c = classify(ProtocolSpec {
-                        system,
-                        replicas: 6,
-                        seed: 7,
-                        duration: 10,
-                    });
-                    assert!(c.eventual);
-                    assert_eq!(c.strong, system.paper_strong());
-                })
-            },
-        );
+        h.bench("table1_classification", system.name(), || {
+            let c = classify(ProtocolSpec {
+                system,
+                replicas: 6,
+                seed: 7,
+                duration: 10,
+            });
+            assert!(c.eventual);
+            assert_eq!(c.strong, system.paper_strong());
+        });
     }
-    group.bench_function("full_table", |b| {
-        b.iter(|| {
-            let rows = table1(5, 8, 7);
-            assert!(rows.iter().all(|r| r.matches_paper));
-        })
+    h.bench("table1_classification", "full_table", || {
+        let rows = table1(5, 8, 7);
+        assert!(rows.iter().all(|r| r.matches_paper));
     });
-    group.finish();
 }
 
 /// Ablation: selection function cost over a large random tree.
-fn ablation_selection_fn(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_selection_fn");
-    group.sample_size(20);
-    let mut w = Workload::new(77);
-    let tree = w.random_tree(2_000, 0.6, 1);
+fn ablation_selection_fn(h: &mut Harness) {
+    let tree = Workload::new(77).random_tree(2_000, 0.6, 1);
     let fns: [(&str, Box<dyn SelectionFunction>); 3] = [
         ("longest", Box::new(LongestChain::new())),
         ("heaviest", Box::new(HeaviestChain::new())),
         ("ghost", Box::new(GhostSelection::new())),
     ];
     for (name, f) in &fns {
-        group.bench_function(*name, |b| b.iter(|| f.select(&tree)));
-    }
-    group.finish();
-}
-
-/// Ablation: fork bound k vs observed branching and history family size.
-fn ablation_fork_bound(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_fork_bound");
-    group.sample_size(10);
-    for k in [1usize, 2, 4] {
-        group.bench_with_input(BenchmarkId::new("contended_run", k), &k, |b, &k| {
-            b.iter(|| {
-                let run = run_contended(OracleKind::Frugal(k), default_contention(5));
-                assert!(run.max_forks() <= k);
-            })
+        h.bench("ablation_selection_fn", name, || {
+            assert!(!f.select(&tree).is_empty());
         });
     }
-    group.bench_function("contended_run_prodigal", |b| {
-        b.iter(|| {
-            let run = run_contended(OracleKind::Prodigal, default_contention(5));
-            assert!(run.max_forks() >= 1);
-        })
-    });
-    group.finish();
 }
 
-/// Consistency-checker cost as histories grow (supports the criteria's use
-/// as an online audit tool).
-fn checker_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("checker_scaling");
-    group.sample_size(10);
+/// Ablation: fork bound k vs observed branching.
+fn ablation_fork_bound(h: &mut Harness) {
+    for k in [1usize, 2, 4] {
+        h.bench("ablation_fork_bound", &format!("contended_run_k{k}"), || {
+            let run = run_contended(OracleKind::Frugal(k), default_contention(5));
+            assert!(run.max_forks() <= k);
+        });
+    }
+    h.bench("ablation_fork_bound", "contended_run_prodigal", || {
+        let run = run_contended(OracleKind::Prodigal, default_contention(5));
+        assert!(run.max_forks() >= 1);
+    });
+}
+
+/// Consistency-checker cost as histories grow.
+fn checker_scaling(h: &mut Harness) {
     for rounds in [20usize, 60, 120] {
         let run = run_contended(
             OracleKind::Prodigal,
@@ -346,25 +276,24 @@ fn checker_scaling(c: &mut Criterion) {
             },
         );
         let sc = strong_consistency(Arc::new(LengthScore), Arc::new(AlwaysValid));
-        group.bench_with_input(BenchmarkId::new("strong", rounds), &rounds, |b, _| {
-            b.iter(|| sc.check(&run.history))
+        h.bench("checker_scaling", &format!("strong_{rounds}"), || {
+            let _ = sc.check(&run.history);
         });
     }
-    group.finish();
 }
 
-/// Raw oracle throughput (getToken+consumeToken per second) — prodigal vs
-/// frugal vs PoW backend.
-fn oracle_throughput(c: &mut Criterion) {
-    let mut group = c.benchmark_group("oracle_throughput");
-    group.sample_size(20);
+/// A deferred oracle constructor, used by the throughput ablation.
+type OracleFactory = Box<dyn Fn() -> Box<dyn TokenOracle>>;
+
+/// Raw oracle throughput — prodigal vs frugal vs PoW backend.
+fn oracle_throughput(h: &mut Harness) {
     let genesis = Block::genesis();
     let config = OracleConfig {
         seed: 2,
         probability_scale: 1.0,
         min_probability: 0.5,
     };
-    let mk: Vec<(&str, Box<dyn Fn() -> Box<dyn TokenOracle>>)> = vec![
+    let factories: Vec<(&str, OracleFactory)> = vec![
         (
             "prodigal",
             Box::new(move || {
@@ -374,7 +303,8 @@ fn oracle_throughput(c: &mut Criterion) {
         (
             "frugal_k1",
             Box::new(move || {
-                Box::new(FrugalOracle::new(1, MeritTable::uniform(4), config)) as Box<dyn TokenOracle>
+                Box::new(FrugalOracle::new(1, MeritTable::uniform(4), config))
+                    as Box<dyn TokenOracle>
             }),
         ),
         (
@@ -385,36 +315,33 @@ fn oracle_throughput(c: &mut Criterion) {
             }),
         ),
     ];
-    for (name, factory) in &mk {
-        group.bench_function(*name, |b| {
-            b.iter(|| {
-                let mut oracle = factory();
-                for nonce in 0..128u64 {
-                    let cand = BlockBuilder::new(&genesis).nonce(nonce).build();
-                    let (grant, _) =
-                        oracle.get_token_until_granted((nonce % 4) as usize, &genesis, cand);
-                    oracle.consume_token(&grant);
-                }
-            })
+    for (name, factory) in &factories {
+        h.bench("oracle_throughput", name, || {
+            let mut oracle = factory();
+            for nonce in 0..128u64 {
+                let cand = BlockBuilder::new(&genesis).nonce(nonce).build();
+                let (grant, _) =
+                    oracle.get_token_until_granted((nonce % 4) as usize, &genesis, cand);
+                oracle.consume_token(&grant);
+            }
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    fig01_btadt_transitions,
-    fig02_04_history_classification,
-    fig06_oracle_and_fork_coherence,
-    fig07_refined_append,
-    fig08_14_hierarchy,
-    fig09_11_consensus_from_frugal,
-    fig12_prodigal_snapshot,
-    fig13_thm47_update_agreement,
-    table1_classification,
-    ablation_selection_fn,
-    ablation_fork_bound,
-    checker_scaling,
-    oracle_throughput,
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args("paper");
+    fig01_btadt_transitions(&mut h);
+    fig02_04_history_classification(&mut h);
+    fig06_oracle_and_fork_coherence(&mut h);
+    fig07_refined_append(&mut h);
+    fig08_14_hierarchy(&mut h);
+    fig09_11_consensus_from_frugal(&mut h);
+    fig12_prodigal_snapshot(&mut h);
+    fig13_thm47_update_agreement(&mut h);
+    table1_classification(&mut h);
+    ablation_selection_fn(&mut h);
+    ablation_fork_bound(&mut h);
+    checker_scaling(&mut h);
+    oracle_throughput(&mut h);
+    h.finish(Some(&workspace_root().join("BENCH_paper.json")));
+}

@@ -1,0 +1,183 @@
+//! The BlockTree performance-trajectory suite (`BENCH_tree.json`).
+//!
+//! Measures the arena-indexed `BlockTree` against the naive map-based
+//! reference (`btadt_types::reference::NaiveBlockTree`) on the BT-ADT hot
+//! paths — `append`, `read()` (selection), `leaves()` — at 1k/10k/100k
+//! blocks, plus end-to-end simulator rounds and consistency-criterion
+//! checking.  Results and arena-vs-naive speedups are written to
+//! `BENCH_tree.json` at the workspace root so later PRs have a trajectory
+//! to beat.
+//!
+//! ```bash
+//! cargo bench -p btadt-bench --bench tree            # full run
+//! cargo bench -p btadt-bench --bench tree -- --test  # CI smoke run
+//! ```
+
+use std::sync::Arc;
+
+use btadt_bench::harness::{workspace_root, Harness};
+use btadt_core::hierarchy::{run_contended, ContendedRunConfig, OracleKind};
+use btadt_core::{eventual_consistency, strong_consistency};
+use btadt_history::ConsistencyCriterion;
+use btadt_netsim::{FailurePlan, SimConfig, Simulator};
+use btadt_protocols::{PowConfig, PowReplica};
+use btadt_types::workload::Workload;
+use btadt_types::{
+    AlwaysValid, Block, BlockTree, GhostSelection, HeaviestChain, LengthScore, LongestChain,
+    NaiveBlockTree, SelectionFunction, TieBreak,
+};
+
+/// The fork-heavy profile the BT-ADT sees under contention: 50% of blocks
+/// extend the deepest tip, the rest attach to random earlier blocks.
+const CHAIN_BIAS: f64 = 0.5;
+
+fn naive_mirror(tree: &BlockTree) -> NaiveBlockTree {
+    let mut naive = NaiveBlockTree::new();
+    for block in tree.blocks().skip(1) {
+        naive.insert(block.clone()).expect("arena order is insertable");
+    }
+    naive
+}
+
+fn block_stream(tree: &BlockTree) -> Vec<Block> {
+    tree.blocks().skip(1).cloned().collect()
+}
+
+fn main() {
+    let mut h = Harness::from_args("tree");
+    let sizes: &[usize] = if h.test_mode() {
+        &[500]
+    } else {
+        &[1_000, 10_000, 100_000]
+    };
+
+    for &n in sizes {
+        let tree = Workload::new(7).random_tree(n, CHAIN_BIAS, 0);
+        let naive = naive_mirror(&tree);
+        let stream = block_stream(&tree);
+        let group = |name: &str| format!("{name}_{n}");
+
+        // --- append: rebuild the tree from a pre-generated stream --------
+        h.bench(&group("append"), "arena", || {
+            let mut t = BlockTree::new();
+            for b in &stream {
+                t.insert(b.clone()).expect("stream is insertable");
+            }
+            assert_eq!(t.len(), n + 1);
+        });
+        h.bench(&group("append"), "naive", || {
+            let mut t = NaiveBlockTree::new();
+            for b in &stream {
+                t.insert(b.clone()).expect("stream is insertable");
+            }
+            assert_eq!(t.len(), n + 1);
+        });
+
+        // --- read(): the selection function f(bt) ------------------------
+        h.bench(&group("read"), "arena", || {
+            let chain = LongestChain::new().select(&tree);
+            assert!(chain.height() > 0);
+        });
+        h.bench(&group("read"), "naive", || {
+            let chain = naive.select_longest(TieBreak::LargestId);
+            assert!(chain.height() > 0);
+        });
+        h.bench(&group("read_heaviest"), "arena", || {
+            let chain = HeaviestChain::new().select(&tree);
+            assert!(chain.total_work() > 0);
+        });
+        h.bench(&group("read_heaviest"), "naive", || {
+            let chain = naive.select_heaviest(TieBreak::LargestId);
+            assert!(chain.total_work() > 0);
+        });
+        // GHOST is the pathological case for the naive tree (per-child
+        // subtree re-traversals); keep it off the largest size.
+        if n <= 10_000 {
+            h.bench(&group("read_ghost"), "arena", || {
+                let chain = GhostSelection::new().select(&tree);
+                assert!(chain.height() > 0);
+            });
+            h.bench(&group("read_ghost"), "naive", || {
+                let chain = naive.select_ghost(TieBreak::LargestId);
+                assert!(chain.height() > 0);
+            });
+        }
+
+        // --- leaves() -----------------------------------------------------
+        h.bench(&group("leaves"), "arena", || {
+            assert!(!tree.leaves().is_empty());
+        });
+        h.bench(&group("leaves"), "naive", || {
+            assert!(!naive.leaves().is_empty());
+        });
+
+        // --- incremental aggregates --------------------------------------
+        h.bench(&group("height_and_forks"), "arena", || {
+            assert!(tree.height() > 0);
+            assert!(tree.max_fork_degree() >= 1);
+        });
+        h.bench(&group("height_and_forks"), "naive", || {
+            assert!(naive.height() > 0);
+            assert!(naive.max_fork_degree() >= 1);
+        });
+    }
+
+    // --- simulator rounds: PoW flooding end-to-end -----------------------
+    let sim_rounds = if h.test_mode() { 10 } else { 40 };
+    h.bench("simulator", "pow_rounds", || {
+        let config = PowConfig {
+            selection: Arc::new(LongestChain::new()),
+            success_probability: 0.2,
+            mine_interval: 1,
+            mine_until: sim_rounds,
+            sync_interval: 8,
+            seed: 3,
+        };
+        let replicas: Vec<PowReplica> = (0..5).map(|i| PowReplica::new(i, config.clone())).collect();
+        let sim_config = SimConfig::synchronous(3, 3, sim_rounds * 10 + 100);
+        let mut sim = Simulator::new(replicas, sim_config, FailurePlan::none());
+        let report = sim.run();
+        assert!(report.events_processed > 0);
+    });
+
+    // --- criterion checking over a contended history ----------------------
+    let contended = run_contended(
+        OracleKind::Prodigal,
+        ContendedRunConfig {
+            processes: 4,
+            rounds: if h.test_mode() { 16 } else { 60 },
+            sync_probability: 0.3,
+            seed: 11,
+        },
+    );
+    let sc = strong_consistency(Arc::new(LengthScore), Arc::new(AlwaysValid));
+    let ec = eventual_consistency(Arc::new(LengthScore), Arc::new(AlwaysValid));
+    h.bench("criteria", "strong_consistency_check", || {
+        let verdict = sc.check(&contended.history);
+        assert!(!verdict.is_admitted());
+    });
+    h.bench("criteria", "eventual_consistency_check", || {
+        assert!(ec.admits(&contended.history));
+    });
+
+    // --- derived speedups (the acceptance metric) -------------------------
+    if !h.test_mode() {
+        let mut speedups = Vec::new();
+        for &n in sizes {
+            for metric in ["read", "read_heaviest", "leaves", "append"] {
+                let group = format!("{metric}_{n}");
+                if let (Some(naive), Some(arena)) =
+                    (h.median_of(&group, "naive"), h.median_of(&group, "arena"))
+                {
+                    let ratio = naive / arena.max(1e-9);
+                    speedups.push((format!("speedup_{metric}_{n}"), ratio));
+                }
+            }
+        }
+        for (key, ratio) in speedups {
+            h.record_metric(&key, ratio);
+        }
+    }
+
+    h.finish(Some(&workspace_root().join("BENCH_tree.json")));
+}

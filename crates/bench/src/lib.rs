@@ -16,6 +16,8 @@
 
 #![warn(missing_docs)]
 
+pub mod harness;
+
 use std::sync::Arc;
 
 use btadt_core::hierarchy::{

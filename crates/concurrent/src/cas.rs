@@ -73,7 +73,7 @@ mod tests {
         let handles: Vec<_> = (0..8u64)
             .map(|i| {
                 let r = r.clone();
-                thread::spawn(move || r.compare_and_swap(&None, Some(i)) == None)
+                thread::spawn(move || r.compare_and_swap(&None, Some(i)).is_none())
             })
             .collect();
         let winners = handles

@@ -66,7 +66,7 @@ impl ConsistencyCriterion<BtOperation, BtResponse> for EventualPrefix {
                         *j != i && other.process == p && history.program_order(r, other)
                     })
                     .map(|(_, pair)| pair)
-                    .last();
+                    .next_back();
                 if let Some((rec, c)) = last_after {
                     finals.push((rec, c));
                 }

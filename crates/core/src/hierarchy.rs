@@ -173,8 +173,8 @@ pub fn run_contended(kind: OracleKind, config: ContendedRunConfig) -> ContendedR
 
     // Quiescent final round: everyone converges on the selected chain.
     let final_chain = selection.select(&tree);
-    for p in 0..config.processes {
-        local_tips[p] = final_chain.tip().clone();
+    for (p, tip) in local_tips.iter_mut().enumerate() {
+        *tip = final_chain.tip().clone();
         recorder.instantaneous(
             ProcessId(p as u32),
             BtOperation::Read,

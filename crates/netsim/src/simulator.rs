@@ -16,6 +16,7 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
@@ -101,7 +102,10 @@ enum QueuedEvent<M> {
         to: usize,
         from: usize,
         message_id: u64,
-        msg: M,
+        /// Broadcast fan-out shares one allocation across all destinations;
+        /// the payload is only deep-cloned at delivery time, and not at all
+        /// for the last (or only) receiver.
+        msg: Arc<M>,
     },
     Timer {
         process: usize,
@@ -207,6 +211,10 @@ impl<M: Clone, P: Process<M>> Simulator<M, P> {
             };
             let message_id = self.next_message_id;
             self.next_message_id += 1;
+            // One allocation per logical message, shared by every queued
+            // delivery — broadcasts no longer deep-clone the payload per
+            // destination.
+            let payload = Arc::new(msg);
             for to in targets {
                 if to >= self.processes.len() {
                     continue;
@@ -250,7 +258,7 @@ impl<M: Clone, P: Process<M>> Simulator<M, P> {
                                 to,
                                 from,
                                 message_id,
-                                msg: msg.clone(),
+                                msg: Arc::clone(&payload),
                             },
                         );
                     }
@@ -311,6 +319,8 @@ impl<M: Clone, P: Process<M>> Simulator<M, P> {
                         message_id,
                         kind: TraceEventKind::Delivered,
                     });
+                    // The last receiver takes ownership without copying.
+                    let msg = Arc::try_unwrap(msg).unwrap_or_else(|shared| (*shared).clone());
                     self.activate(to, |proc, ctx| proc.on_message(ctx, from, msg));
                 }
                 QueuedEvent::Timer { process, timer_id } => {

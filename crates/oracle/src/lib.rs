@@ -41,7 +41,10 @@ pub mod tape;
 
 pub use fork_coherence::{ForkCoherenceChecker, OracleLog, OracleLogEntry};
 pub use merit::{Merit, MeritTable};
-pub use oracle::{ConsumeOutcome, FrugalOracle, OracleConfig, ProdigalOracle, TokenGrant, TokenOracle};
+pub use oracle::{
+    ConsumeOutcome, FrugalOracle, OracleConfig, ProdigalOracle, SlotArena, SlotIdx, TokenGrant,
+    TokenOracle,
+};
 pub use pow::SimulatedPow;
 pub use shared::SharedOracle;
 pub use tape::{Cell, Tape};

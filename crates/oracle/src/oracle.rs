@@ -20,6 +20,62 @@ use btadt_types::{Block, BlockId};
 use crate::merit::MeritTable;
 use crate::tape::{Cell, Tape};
 
+/// Dense index of a parent slot `K[h]` inside a [`SlotArena`].
+///
+/// Mirrors the `NodeIdx` arena indexing of `btadt_types::BlockTree`: parent
+/// identifiers are interned once and all per-parent bookkeeping lives in a
+/// dense `Vec` addressed by this index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SlotIdx(pub u32);
+
+/// The oracle's `K[]` array: per-parent sets of consumed blocks, stored in
+/// a dense slab with a `BlockId → SlotIdx` interning layer, mirroring the
+/// `NodeIdx` arena of the BlockTree.  Lookups still hash the parent id once;
+/// what the slab buys is stable dense indices (usable as keys by callers)
+/// and contiguous slot storage instead of a map of scattered vectors.
+#[derive(Clone, Debug, Default)]
+pub struct SlotArena {
+    index: HashMap<BlockId, SlotIdx>,
+    slots: Vec<Vec<Block>>,
+}
+
+impl SlotArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        SlotArena::default()
+    }
+
+    /// The slot index for a parent, interning it on first use.
+    pub fn intern(&mut self, parent: BlockId) -> SlotIdx {
+        if let Some(&idx) = self.index.get(&parent) {
+            return idx;
+        }
+        let idx = SlotIdx(u32::try_from(self.slots.len()).expect("slot arena capacity exceeded"));
+        self.index.insert(parent, idx);
+        self.slots.push(Vec::new());
+        idx
+    }
+
+    /// The slot index of a parent, if it was ever consumed against.
+    pub fn idx_of(&self, parent: BlockId) -> Option<SlotIdx> {
+        self.index.get(&parent).copied()
+    }
+
+    /// Mutable access to `K[h]` for the given parent, interning it.
+    pub fn slot_mut(&mut self, parent: BlockId) -> &mut Vec<Block> {
+        let idx = self.intern(parent);
+        &mut self.slots[idx.0 as usize]
+    }
+
+    /// The contents of `K[h]`, empty for parents never consumed against.
+    pub fn slot(&self, parent: BlockId) -> &[Block] {
+        match self.idx_of(parent) {
+            Some(idx) => &self.slots[idx.0 as usize],
+            None => &[],
+        }
+    }
+}
+
 /// Configuration of a token oracle.
 #[derive(Clone, Copy, Debug)]
 pub struct OracleConfig {
@@ -153,7 +209,7 @@ pub struct FrugalOracle {
     merits: MeritTable,
     k: Option<usize>,
     tapes: HashMap<usize, Tape>,
-    slots: HashMap<BlockId, Vec<Block>>,
+    slots: SlotArena,
     consumed_serials: HashSet<u64>,
     next_serial: u64,
     stats: OracleStats,
@@ -173,7 +229,7 @@ impl FrugalOracle {
             merits,
             k,
             tapes: HashMap::new(),
-            slots: HashMap::new(),
+            slots: SlotArena::new(),
             consumed_serials: HashSet::new(),
             next_serial: 1,
             stats: OracleStats::default(),
@@ -224,7 +280,7 @@ impl TokenOracle for FrugalOracle {
 
     fn consume_token(&mut self, grant: &TokenGrant) -> ConsumeOutcome {
         self.stats.consume_calls += 1;
-        let slot = self.slots.entry(grant.parent).or_default();
+        let slot = self.slots.slot_mut(grant.parent);
         let under_bound = match self.k {
             Some(k) => slot.len() < k,
             None => true,
@@ -247,7 +303,7 @@ impl TokenOracle for FrugalOracle {
     }
 
     fn slot(&self, parent: BlockId) -> Vec<Block> {
-        self.slots.get(&parent).cloned().unwrap_or_default()
+        self.slots.slot(parent).to_vec()
     }
 
     fn stats(&self) -> OracleStats {

@@ -11,14 +11,14 @@
 //! backends are interchangeable, which the `ablation_oracle_backend` bench
 //! demonstrates.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 use btadt_types::{Block, BlockId};
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
 
 use crate::merit::MeritTable;
-use crate::oracle::{ConsumeOutcome, OracleConfig, OracleStats, TokenGrant, TokenOracle};
+use crate::oracle::{ConsumeOutcome, OracleConfig, OracleStats, SlotArena, TokenGrant, TokenOracle};
 
 /// Proof-of-work flavoured token oracle: `getToken` succeeds iff a freshly
 /// drawn nonce solves a difficulty puzzle calibrated to the requester's
@@ -29,7 +29,7 @@ pub struct SimulatedPow {
     merits: MeritTable,
     k: Option<usize>,
     rng: ChaCha8Rng,
-    slots: HashMap<BlockId, Vec<Block>>,
+    slots: SlotArena,
     consumed_serials: HashSet<u64>,
     next_serial: u64,
     stats: OracleStats,
@@ -47,7 +47,7 @@ impl SimulatedPow {
             config,
             merits,
             k,
-            slots: HashMap::new(),
+            slots: SlotArena::new(),
             consumed_serials: HashSet::new(),
             next_serial: 1,
             stats: OracleStats::default(),
@@ -104,7 +104,7 @@ impl TokenOracle for SimulatedPow {
 
     fn consume_token(&mut self, grant: &TokenGrant) -> ConsumeOutcome {
         self.stats.consume_calls += 1;
-        let slot = self.slots.entry(grant.parent).or_default();
+        let slot = self.slots.slot_mut(grant.parent);
         let under_bound = match self.k {
             Some(k) => slot.len() < k,
             None => true,
@@ -127,7 +127,7 @@ impl TokenOracle for SimulatedPow {
     }
 
     fn slot(&self, parent: BlockId) -> Vec<Block> {
-        self.slots.get(&parent).cloned().unwrap_or_default()
+        self.slots.slot(parent).to_vec()
     }
 
     fn stats(&self) -> OracleStats {
@@ -161,9 +161,9 @@ mod tests {
         let trials = 4_000;
         let mut wins = [0u32; 2];
         for _ in 0..trials {
-            for p in 0..2 {
+            for (p, win) in wins.iter_mut().enumerate() {
                 if oracle.get_token(p, &genesis, candidate.clone()).is_some() {
-                    wins[p] += 1;
+                    *win += 1;
                 }
             }
         }

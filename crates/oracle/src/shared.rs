@@ -29,7 +29,7 @@ impl Clone for SharedOracle {
 
 impl SharedOracle {
     /// Wraps an oracle.
-    pub fn new(oracle: impl TokenOracle + Send + 'static) -> Self {
+    pub fn new(oracle: impl TokenOracle + 'static) -> Self {
         SharedOracle {
             inner: Arc::new(Mutex::new(Box::new(oracle))),
         }

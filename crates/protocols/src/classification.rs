@@ -139,6 +139,7 @@ fn run_pow(spec: ProtocolSpec, ghost: bool) -> (Vec<ReplicaLog>, usize) {
         success_probability: 0.12,
         mine_interval: 1,
         mine_until: spec.duration * 4,
+        sync_interval: 8,
         seed: spec.seed,
     };
     let replicas: Vec<PowReplica> = (0..spec.replicas)

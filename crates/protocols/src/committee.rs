@@ -333,6 +333,28 @@ impl Process<Msg> for CommitteeReplica {
                     self.log.record_read(at, self.selected());
                 }
             }
+            Msg::Blocks(blocks) => {
+                // Delta-sync response: committed blocks, parents-first.
+                // Committee replicas never *send* SyncRequest today, so this
+                // arm only fires in mixed fleets; it applies each block with
+                // the same semantics as the NewBlock flood above (insert
+                // failures ignored — committee blocks commit in order).
+                for block in blocks {
+                    if self.seen_blocks.insert(block.id) {
+                        self.log.record_received(at, block.clone());
+                    }
+                    if self.tree.insert(block.clone()).is_ok() {
+                        self.log.record_applied(at, block);
+                        self.log.record_read(at, self.selected());
+                    }
+                }
+            }
+            Msg::SyncRequest { above_height } => {
+                let delta = self.tree.delta_above(above_height);
+                if !delta.is_empty() {
+                    ctx.send(from, Msg::Blocks(delta));
+                }
+            }
         }
     }
 

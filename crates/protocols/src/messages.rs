@@ -1,7 +1,12 @@
 //! Protocol messages.
 //!
 //! Both protocol families flood blocks; the committee family additionally
-//! exchanges proposals and votes for its quorum commit.
+//! exchanges proposals and votes for its quorum commit.  Replicas that
+//! detect a gap (an orphan block) repair it with the delta-sync pair
+//! [`Msg::SyncRequest`] / [`Msg::Blocks`]: instead of gossiping whole
+//! trees, a peer answers with exactly the blocks above the requester's
+//! height, parents-first, extracted from its arena
+//! ([`BlockTree::delta_above`](btadt_types::BlockTree::delta_above)).
 
 use btadt_types::{Block, BlockId};
 
@@ -26,15 +31,27 @@ pub enum Msg {
         /// The full block, piggybacked so late voters can commit directly.
         payload: Block,
     },
+    /// Delta-sync request: "send me every block above this height".  Sent
+    /// to the peer whose block arrived as an orphan.
+    SyncRequest {
+        /// Height of the requester's tree.
+        above_height: u64,
+    },
+    /// Delta-sync response: a batch of blocks sorted `(height, id)` so the
+    /// receiver can insert them parents-first.
+    Blocks(Vec<Block>),
 }
 
 impl Msg {
-    /// The block carried by the message.
-    pub fn block(&self) -> &Block {
+    /// The primary block carried by the message (the first of a delta
+    /// batch), if any.
+    pub fn block(&self) -> Option<&Block> {
         match self {
-            Msg::NewBlock(b) => b,
-            Msg::Propose { block, .. } => block,
-            Msg::Vote { payload, .. } => payload,
+            Msg::NewBlock(b) => Some(b),
+            Msg::Propose { block, .. } => Some(block),
+            Msg::Vote { payload, .. } => Some(payload),
+            Msg::SyncRequest { .. } => None,
+            Msg::Blocks(blocks) => blocks.first(),
         }
     }
 
@@ -44,6 +61,8 @@ impl Msg {
             Msg::NewBlock(_) => "new-block",
             Msg::Propose { .. } => "propose",
             Msg::Vote { .. } => "vote",
+            Msg::SyncRequest { .. } => "sync-request",
+            Msg::Blocks(_) => "blocks",
         }
     }
 }
@@ -57,13 +76,20 @@ mod tests {
     fn accessors() {
         let b = BlockBuilder::new(&Block::genesis()).nonce(1).build();
         let m = Msg::NewBlock(b.clone());
-        assert_eq!(m.block().id, b.id);
+        assert_eq!(m.block().unwrap().id, b.id);
         assert_eq!(m.label(), "new-block");
         let p = Msg::Propose { round: 3, block: b.clone() };
         assert_eq!(p.label(), "propose");
-        assert_eq!(p.block().id, b.id);
+        assert_eq!(p.block().unwrap().id, b.id);
         let v = Msg::Vote { round: 3, block: b.id, payload: b.clone() };
         assert_eq!(v.label(), "vote");
-        assert_eq!(v.block().id, b.id);
+        assert_eq!(v.block().unwrap().id, b.id);
+        let s = Msg::SyncRequest { above_height: 4 };
+        assert_eq!(s.label(), "sync-request");
+        assert!(s.block().is_none());
+        let d = Msg::Blocks(vec![b.clone()]);
+        assert_eq!(d.label(), "blocks");
+        assert_eq!(d.block().unwrap().id, b.id);
+        assert!(Msg::Blocks(vec![]).block().is_none());
     }
 }

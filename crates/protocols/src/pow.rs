@@ -21,6 +21,14 @@ use crate::extract::ReplicaLog;
 use crate::messages::Msg;
 
 const MINE_TIMER: u64 = 1;
+const SYNC_TIMER: u64 = 2;
+/// How many anti-entropy rounds keep running after mining stops, so that
+/// deltas lost to the channel still reconcile before quiescence.
+const SYNC_TAIL_ROUNDS: u64 = 12;
+/// Anti-entropy requests look this far below the local height so that
+/// competing same-height tips (ties the selection must see to be
+/// deterministic across replicas) still propagate.
+const SYNC_LOOKBACK: u64 = 3;
 
 /// Configuration of a proof-of-work replica.
 #[derive(Clone)]
@@ -35,6 +43,10 @@ pub struct PowConfig {
     /// Mining stops after this time; the run then quiesces so outstanding
     /// blocks flood everywhere.
     pub mine_until: u64,
+    /// Interval between periodic anti-entropy rounds (each sends a
+    /// delta-sync request to a rotating peer); `0` disables them and leaves
+    /// only the orphan-triggered requests.
+    pub sync_interval: u64,
     /// Seed for the replica's tape.
     pub seed: u64,
 }
@@ -48,6 +60,12 @@ pub struct PowReplica {
     orphans: Vec<Block>,
     last_read_score: u64,
     next_tx: u64,
+    sync_round: u64,
+    /// Current delta-sync floor.  While orphans persist, each fruitless
+    /// sync round halves it (a response can only carry blocks *above* the
+    /// requested floor, so the floor must be pushed below the unknown fork
+    /// point explicitly); it resets once the orphan buffer drains.
+    sync_floor: Option<u64>,
     /// Everything this replica did (read by the classification driver).
     pub log: ReplicaLog,
 }
@@ -64,6 +82,8 @@ impl PowReplica {
             orphans: Vec::new(),
             last_read_score: 0,
             next_tx: 1,
+            sync_round: 0,
+            sync_floor: None,
             log: ReplicaLog::new(),
         }
     }
@@ -95,9 +115,12 @@ impl PowReplica {
         self.log.record_read(at, chain);
     }
 
-    fn insert_with_orphans(&mut self, at: SimTime, block: Block) {
+    /// Inserts a block, draining any orphans it unblocks.  Returns `true`
+    /// iff the block is in the tree after the call (attached now, or
+    /// already present); `false` iff it was buffered as an orphan.
+    fn insert_with_orphans(&mut self, at: SimTime, block: Block) -> bool {
         if self.tree.contains(block.id) {
-            return;
+            return true;
         }
         if self.tree.insert(block.clone()).is_ok() {
             self.log.record_applied(at, block);
@@ -121,9 +144,47 @@ impl PowReplica {
                     break;
                 }
             }
+            if self.orphans.is_empty() {
+                self.sync_floor = None;
+            }
+            true
         } else {
             self.orphans.push(block);
+            false
         }
+    }
+
+    /// Asks `peer` for the delta that can re-attach our orphans.  An orphan
+    /// at height `h` is missing at least its parent at `h - 1`, and
+    /// `delta_above` is strictly-above, so the floor must sit at `h - 2` for
+    /// the parent to be included.  If a response surfaces still-deeper gaps,
+    /// the floor-halving fallback in the `Msg::Blocks` handler pushes it
+    /// down — bottoming out at genesis, so sync always terminates.
+    fn request_delta_sync(&mut self, ctx: &mut Context<Msg>, peer: usize) {
+        let base = self
+            .orphans
+            .iter()
+            .map(|b| b.height)
+            .min()
+            .map(|h| h.saturating_sub(2))
+            .unwrap_or_else(|| self.tree.height().saturating_sub(SYNC_LOOKBACK));
+        let above_height = match self.sync_floor {
+            Some(floor) => floor.min(base),
+            None => base,
+        };
+        self.sync_floor = Some(above_height);
+        ctx.send(peer, Msg::SyncRequest { above_height });
+    }
+
+    /// One periodic anti-entropy round: ask a rotating peer for the delta
+    /// above our height (or above our orphan floor when gaps are known).
+    fn anti_entropy(&mut self, ctx: &mut Context<Msg>) {
+        if ctx.n() < 2 {
+            return;
+        }
+        let peer = (self.id + 1 + (self.sync_round as usize % (ctx.n() - 1))) % ctx.n();
+        self.sync_round += 1;
+        self.request_delta_sync(ctx, peer);
     }
 
     fn mine(&mut self, ctx: &mut Context<Msg>) {
@@ -154,26 +215,78 @@ impl PowReplica {
 impl Process<Msg> for PowReplica {
     fn on_start(&mut self, ctx: &mut Context<Msg>) {
         ctx.set_timer(self.config.mine_interval, MINE_TIMER);
+        if self.config.sync_interval > 0 {
+            ctx.set_timer(self.config.sync_interval, SYNC_TIMER);
+        }
     }
 
-    fn on_message(&mut self, ctx: &mut Context<Msg>, _from: usize, msg: Msg) {
-        if let Msg::NewBlock(block) = msg {
-            let at = ctx.now();
-            if !self.tree.contains(block.id) {
-                self.log.record_received(at, block.clone());
-                self.insert_with_orphans(at, block);
+    fn on_message(&mut self, ctx: &mut Context<Msg>, from: usize, msg: Msg) {
+        let at = ctx.now();
+        match msg {
+            Msg::NewBlock(block) => {
+                if !self.tree.contains(block.id) {
+                    self.log.record_received(at, block.clone());
+                    if !self.insert_with_orphans(at, block) {
+                        // The block orphaned: something upstream was lost or
+                        // reordered — ask its sender for the missing delta.
+                        self.request_delta_sync(ctx, from);
+                    }
+                    self.maybe_read(at);
+                }
+            }
+            Msg::Blocks(blocks) => {
+                for block in blocks {
+                    if self.tree.contains(block.id) {
+                        continue;
+                    }
+                    self.log.record_received(at, block.clone());
+                    self.insert_with_orphans(at, block);
+                }
                 self.maybe_read(at);
+                if !self.orphans.is_empty() {
+                    // The delta was not deep enough to reach the fork point:
+                    // halve the floor (a response never carries blocks below
+                    // the floor it answered, so orphan heights alone cannot
+                    // push it down) and ask again.  Once the floor has
+                    // bottomed out at 0 this peer has already sent its whole
+                    // tree — stop re-asking it (the periodic anti-entropy
+                    // rotates to other peers), otherwise two replicas would
+                    // ping-pong full-tree payloads for the rest of the run.
+                    let floor = self.sync_floor.unwrap_or_else(|| self.tree.height());
+                    if floor > 0 {
+                        self.sync_floor = Some(floor / 2);
+                        self.request_delta_sync(ctx, from);
+                    }
+                }
+            }
+            Msg::SyncRequest { above_height } => {
+                let delta = self.tree.delta_above(above_height);
+                if !delta.is_empty() {
+                    ctx.send(from, Msg::Blocks(delta));
+                }
+            }
+            Msg::Propose { .. } | Msg::Vote { .. } => {
+                // Committee traffic is not part of the PoW family.
             }
         }
     }
 
     fn on_timer(&mut self, ctx: &mut Context<Msg>, timer_id: u64) {
-        if timer_id != MINE_TIMER {
-            return;
-        }
-        if ctx.now().0 <= self.config.mine_until {
-            self.mine(ctx);
-            ctx.set_timer(self.config.mine_interval, MINE_TIMER);
+        match timer_id {
+            MINE_TIMER
+                if ctx.now().0 <= self.config.mine_until => {
+                    self.mine(ctx);
+                    ctx.set_timer(self.config.mine_interval, MINE_TIMER);
+                }
+            SYNC_TIMER => {
+                self.anti_entropy(ctx);
+                let sync_until =
+                    self.config.mine_until + SYNC_TAIL_ROUNDS * self.config.sync_interval;
+                if ctx.now().0 <= sync_until {
+                    ctx.set_timer(self.config.sync_interval, SYNC_TIMER);
+                }
+            }
+            _ => {}
         }
     }
 }
@@ -190,6 +303,7 @@ mod tests {
             success_probability: p,
             mine_interval: 1,
             mine_until: 40,
+            sync_interval: 8,
             seed,
         }
     }
@@ -247,5 +361,43 @@ mod tests {
         for (x, y) in a.iter().zip(b.iter()) {
             assert_eq!(x.tree().sorted_ids(), y.tree().sorted_ids());
         }
+    }
+
+    #[test]
+    fn delta_sync_repairs_losses_under_a_lossy_channel() {
+        // A dropped NewBlock used to starve its receiver permanently (the
+        // creator floods each block exactly once).  With delta sync, any
+        // later block arriving as an orphan triggers a catch-up request, so
+        // replicas converge despite the loss.
+        use btadt_netsim::ChannelModel;
+        let run_lossy = |drop_probability: f64| {
+            let replicas: Vec<PowReplica> =
+                (0..4).map(|i| PowReplica::new(i, config(13, 0.3))).collect();
+            let sim_config = SimConfig {
+                seed: 13,
+                channel: ChannelModel::lossy(ChannelModel::synchronous(3), drop_probability),
+                max_time: 800,
+                max_events: 500_000,
+            };
+            let mut sim = Simulator::new(replicas, sim_config, FailurePlan::none());
+            sim.run();
+            let (replicas, trace) = sim.into_parts();
+            (replicas, trace)
+        };
+
+        let (replicas, trace) = run_lossy(0.25);
+        assert!(trace.dropped() > 0, "the channel must actually lose messages");
+        let total_mined: usize = replicas.iter().map(|r| r.log.created.len()).sum();
+        assert!(total_mined > 5, "expected mining activity");
+        // Side branches a replica never heard of are irrelevant; the
+        // guarantee delta sync restores is agreement on the *selected*
+        // chain: every replica recovers the globally longest chain even
+        // though individual floods were dropped.
+        let tips: Vec<_> = replicas.iter().map(|r| r.selected().tip().id).collect();
+        let heights: Vec<_> = replicas.iter().map(|r| r.tree().height()).collect();
+        assert!(
+            tips.iter().all(|&t| t == tips[0]),
+            "delta sync reconciles lossy replicas: tips {tips:?}, heights {heights:?}"
+        );
     }
 }

@@ -9,6 +9,7 @@
 
 use std::fmt;
 use std::ops::Index;
+use std::sync::Arc;
 
 use crate::block::{Block, BlockId, GENESIS_ID};
 
@@ -18,17 +19,30 @@ use crate::block::{Block, BlockId, GENESIS_ID};
 /// * the first block is the genesis block;
 /// * every subsequent block's parent is the preceding block;
 /// * heights increase by one along the chain.
-#[derive(Clone, PartialEq, Eq)]
+///
+/// The block sequence is `Arc`-shared: cloning a chain — which every
+/// recorded `read()` response, replica snapshot and criterion check does —
+/// is O(1) instead of a deep copy.  Chains are immutable values; extension
+/// and truncation return new chains.
+#[derive(Clone)]
 pub struct Blockchain {
-    blocks: Vec<Block>,
+    blocks: Arc<Vec<Block>>,
 }
+
+impl PartialEq for Blockchain {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.blocks, &other.blocks) || self.blocks == other.blocks
+    }
+}
+
+impl Eq for Blockchain {}
 
 impl Blockchain {
     /// The chain containing only the genesis block (`read()` on an empty
     /// BlockTree returns this).
     pub fn genesis_only() -> Self {
         Blockchain {
-            blocks: vec![Block::genesis()],
+            blocks: Arc::new(vec![Block::genesis()]),
         }
     }
 
@@ -45,7 +59,21 @@ impl Blockchain {
                 return None;
             }
         }
-        Some(Blockchain { blocks })
+        Some(Blockchain {
+            blocks: Arc::new(blocks),
+        })
+    }
+
+    /// Builds a chain from a vector already known to satisfy the chain
+    /// invariants (the arena tree's path walks).  Checked in debug builds.
+    pub(crate) fn from_vec_trusted(blocks: Vec<Block>) -> Self {
+        debug_assert!(!blocks.is_empty() && blocks[0].is_genesis());
+        debug_assert!(blocks
+            .windows(2)
+            .all(|w| w[1].parent == Some(w[0].id) && w[1].height == w[0].height + 1));
+        Blockchain {
+            blocks: Arc::new(blocks),
+        }
     }
 
     /// Number of blocks in the chain, including the genesis block.
@@ -100,9 +128,12 @@ impl Blockchain {
         if block.parent != Some(self.tip().id) || block.height != self.tip().height + 1 {
             return None;
         }
-        let mut blocks = self.blocks.clone();
+        let mut blocks = Vec::with_capacity(self.blocks.len() + 1);
+        blocks.extend_from_slice(&self.blocks);
         blocks.push(block);
-        Some(Blockchain { blocks })
+        Some(Blockchain {
+            blocks: Arc::new(blocks),
+        })
     }
 
     /// The prefix relation `bc ⊑ bc'`: `self` is a prefix of `other`.
@@ -131,16 +162,19 @@ impl Blockchain {
     /// Both chains start at the genesis block, so the common prefix always
     /// contains at least the genesis block.
     pub fn common_prefix(&self, other: &Blockchain) -> Blockchain {
-        let mut blocks = Vec::new();
-        for (a, b) in self.blocks.iter().zip(other.blocks.iter()) {
-            if a.id == b.id {
-                blocks.push(a.clone());
-            } else {
-                break;
-            }
+        let shared = self
+            .blocks
+            .iter()
+            .zip(other.blocks.iter())
+            .take_while(|(a, b)| a.id == b.id)
+            .count();
+        debug_assert!(shared > 0, "chains share at least the genesis block");
+        if shared == self.blocks.len() {
+            return self.clone();
         }
-        debug_assert!(!blocks.is_empty(), "chains share at least the genesis block");
-        Blockchain { blocks }
+        Blockchain {
+            blocks: Arc::new(self.blocks[..shared].to_vec()),
+        }
     }
 
     /// Length (number of blocks beyond genesis) of the maximal common prefix.
@@ -152,14 +186,18 @@ impl Blockchain {
     /// blocks (`take = 0` returns the genesis-only chain).
     pub fn truncated(&self, take: usize) -> Blockchain {
         let end = (take + 1).min(self.blocks.len());
+        if end == self.blocks.len() {
+            return self.clone();
+        }
         Blockchain {
-            blocks: self.blocks[..end].to_vec(),
+            blocks: Arc::new(self.blocks[..end].to_vec()),
         }
     }
 
-    /// Consumes the chain and returns its blocks.
+    /// Consumes the chain and returns its blocks (without copying when this
+    /// is the last handle to the underlying sequence).
     pub fn into_blocks(self) -> Vec<Block> {
-        self.blocks
+        Arc::try_unwrap(self.blocks).unwrap_or_else(|shared| (*shared).clone())
     }
 }
 
@@ -180,7 +218,7 @@ impl Index<usize> for Blockchain {
 impl fmt::Debug for Blockchain {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut first = true;
-        for b in &self.blocks {
+        for b in self.blocks.iter() {
             if !first {
                 write!(f, "⌢")?;
             }

@@ -11,8 +11,12 @@
 //! * [`Blockchain`] — a path from the genesis block to some block of the
 //!   tree, together with the prefix relation `⊑` and the maximal common
 //!   prefix score `mcps` used by the consistency criteria.
-//! * [`BlockTree`] — the directed rooted tree `bt = (V_bt, E_bt)`: an arena
-//!   of blocks with children adjacency, heights and subtree weights.
+//! * [`BlockTree`] — the directed rooted tree `bt = (V_bt, E_bt)`: a dense
+//!   arena slab addressed by [`NodeIdx`] with cached heights, cumulative
+//!   work and incrementally maintained leaf/tip indices (see
+//!   [`tree`] for the representation notes);
+//! * [`reference`] — the naive map-based tree kept as the executable
+//!   specification for property tests and as the benchmark baseline.
 //! * [`score`] — monotonically increasing score functions over blockchains
 //!   (length, cumulative work, …).
 //! * [`selection`] — selection functions `f ∈ F : BT → BC` (longest chain,
@@ -31,6 +35,7 @@
 
 pub mod block;
 pub mod chain;
+pub mod reference;
 pub mod score;
 pub mod selection;
 pub mod transaction;
@@ -42,8 +47,9 @@ pub use block::{Block, BlockBuilder, BlockId, GENESIS_ID};
 pub use chain::Blockchain;
 pub use score::{ChainScore, LengthScore, Score, WorkScore};
 pub use selection::{GhostSelection, HeaviestChain, LongestChain, SelectionFunction, TieBreak};
+pub use reference::NaiveBlockTree;
 pub use transaction::{Transaction, TxId};
-pub use tree::BlockTree;
+pub use tree::{BlockTree, NodeIdx};
 pub use validity::{
     AlwaysValid, CompositeValidity, MaxPayload, NeverValid, NoDoubleSpend, StructuralValidity,
     ValidityPredicate,

@@ -23,29 +23,31 @@ use crate::tree::BlockTree;
 /// Deterministic tie-breaking rule applied when several chains have the same
 /// score under a selection function.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Default)]
 pub enum TieBreak {
     /// Prefer the chain whose tip has the numerically smallest id.
     SmallestId,
     /// Prefer the chain whose tip has the numerically largest id (the
     /// "largest based on the lexicographical order" rule of Figure 2).
+    #[default]
     LargestId,
 }
 
 impl TieBreak {
     /// Returns `true` iff `candidate` beats `incumbent` under this rule.
-    fn beats(self, candidate: BlockId, incumbent: BlockId) -> bool {
+    pub fn prefers(self, candidate: BlockId, incumbent: BlockId) -> bool {
         match self {
             TieBreak::SmallestId => candidate < incumbent,
             TieBreak::LargestId => candidate > incumbent,
         }
     }
-}
 
-impl Default for TieBreak {
-    fn default() -> Self {
-        TieBreak::LargestId
+    /// Returns `true` iff this rule prefers the numerically largest id.
+    pub fn prefers_largest(self) -> bool {
+        matches!(self, TieBreak::LargestId)
     }
 }
+
 
 /// A selection function `f : BT → BC`.
 ///
@@ -83,23 +85,11 @@ impl LongestChain {
 
 impl SelectionFunction for LongestChain {
     fn select(&self, tree: &BlockTree) -> Blockchain {
-        let mut best: Option<(u64, BlockId)> = None;
-        for leaf in tree.leaves() {
-            let height = tree.get(leaf).map(|b| b.height).unwrap_or(0);
-            match best {
-                None => best = Some((height, leaf)),
-                Some((best_h, best_id)) => {
-                    if height > best_h || (height == best_h && self.tie_break.beats(leaf, best_id))
-                    {
-                        best = Some((height, leaf));
-                    }
-                }
-            }
-        }
-        match best {
-            Some((_, leaf)) => tree.chain_to(leaf).unwrap_or_else(Blockchain::genesis_only),
-            None => Blockchain::genesis_only(),
-        }
+        // The tree maintains the longest-chain tip incumbents on insert:
+        // the tip is an O(1) read and the chain extraction a dense-index
+        // walk.
+        let tip = tree.best_leaf_by_height(self.tie_break.prefers_largest());
+        tree.chain_to(tip).unwrap_or_else(Blockchain::genesis_only)
     }
 
     fn name(&self) -> &'static str {
@@ -129,22 +119,10 @@ impl HeaviestChain {
 
 impl SelectionFunction for HeaviestChain {
     fn select(&self, tree: &BlockTree) -> Blockchain {
-        let mut best: Option<(u64, BlockId)> = None;
-        for leaf in tree.leaves() {
-            let work = tree.cumulative_work(leaf).unwrap_or(0);
-            match best {
-                None => best = Some((work, leaf)),
-                Some((best_w, best_id)) => {
-                    if work > best_w || (work == best_w && self.tie_break.beats(leaf, best_id)) {
-                        best = Some((work, leaf));
-                    }
-                }
-            }
-        }
-        match best {
-            Some((_, leaf)) => tree.chain_to(leaf).unwrap_or_else(Blockchain::genesis_only),
-            None => Blockchain::genesis_only(),
-        }
+        // Cumulative work is cached per node and the heaviest-tip
+        // incumbents are maintained on insert, so the tip is an O(1) read.
+        let tip = tree.best_leaf_by_work(self.tie_break.prefers_largest());
+        tree.chain_to(tip).unwrap_or_else(Blockchain::genesis_only)
     }
 
     fn name(&self) -> &'static str {
@@ -179,29 +157,35 @@ impl GhostSelection {
 
 impl SelectionFunction for GhostSelection {
     fn select(&self, tree: &BlockTree) -> Blockchain {
-        let mut cursor = crate::block::GENESIS_ID;
+        // One O(n) reverse pass computes every subtree weight (the arena
+        // guarantees parents precede children), making the whole greedy
+        // descent linear — the per-child re-traversals of the naive
+        // implementation made it quadratic on deep trees.
+        let weights = tree.subtree_work_table();
+        let mut cursor = crate::tree::NodeIdx::GENESIS;
         loop {
-            let children = tree.children(cursor);
+            let children = tree.children_idx(cursor);
             if children.is_empty() {
                 break;
             }
-            let mut best: Option<(u64, BlockId)> = None;
+            let mut best: Option<(u64, BlockId, crate::tree::NodeIdx)> = None;
             for &child in children {
-                let weight = tree.subtree_work(child);
-                match best {
-                    None => best = Some((weight, child)),
-                    Some((best_w, best_id)) => {
-                        if weight > best_w
-                            || (weight == best_w && self.tie_break.beats(child, best_id))
-                        {
-                            best = Some((weight, child));
-                        }
+                let weight = weights[child.0 as usize];
+                let child_id = tree.block_at(child).id;
+                let replace = match best {
+                    None => true,
+                    Some((best_w, best_id, _)) => {
+                        weight > best_w
+                            || (weight == best_w && self.tie_break.prefers(child_id, best_id))
                     }
+                };
+                if replace {
+                    best = Some((weight, child_id, child));
                 }
             }
-            cursor = best.expect("children is non-empty").1;
+            cursor = best.expect("children is non-empty").2;
         }
-        tree.chain_to(cursor).unwrap_or_else(Blockchain::genesis_only)
+        tree.chain_to_idx(cursor)
     }
 
     fn name(&self) -> &'static str {

@@ -1,20 +1,99 @@
-//! The BlockTree: a directed rooted tree of blocks.
+//! The BlockTree: an arena-indexed directed rooted tree of blocks.
 //!
 //! The BlockTree `bt = (V_bt, E_bt)` is the abstract state of the BT-ADT.
 //! Each vertex is a block, every edge points backward towards the root (the
-//! genesis block `b0`).  The tree supports the operations needed by the
-//! sequential specification and by the selection functions:
+//! genesis block `b0`).
 //!
-//! * inserting a block under an existing parent (which may create a *fork*,
-//!   i.e. a new branch);
-//! * enumerating leaves and chains;
-//! * computing subtree weights (for GHOST-style selection);
-//! * extracting the path (blockchain) from the genesis block to any vertex.
+//! ## Representation
+//!
+//! Blocks live in a dense slab (`Vec<BlockNode>`) addressed by [`NodeIdx`];
+//! a `BlockId → NodeIdx` map (with a pass-through hasher — identifiers are
+//! already structural hashes) interns identifiers once at insertion.  Each
+//! node caches its parent/children links and cumulative work, and the tree
+//! incrementally maintains its leaf set and best tips, so the hot
+//! read-path queries are cheap:
+//!
+//! * [`height`](BlockTree::height),
+//!   [`max_fork_degree`](BlockTree::max_fork_degree),
+//!   [`best_leaf_by_height`](BlockTree::best_leaf_by_height) and
+//!   [`best_leaf_by_work`](BlockTree::best_leaf_by_work) — the
+//!   longest-chain and heaviest-chain tips under either tie-break — are
+//!   O(1);
+//! * [`leaves`](BlockTree::leaves) copies the id-ordered leaf set: O(L)
+//!   for L leaves, no scan, no sort;
+//! * [`chain_to`](BlockTree::chain_to) walks dense parent indices without
+//!   re-hashing block identifiers.
+//!
+//! A key slab invariant — parents are always inserted before their children,
+//! so `parent.idx < child.idx` — makes whole-tree aggregation a single
+//! reverse pass ([`subtree_work_table`](BlockTree::subtree_work_table),
+//! used by GHOST) and makes [`blocks_since`](BlockTree::blocks_since) a
+//! natural delta-extraction primitive for gossip.
+//!
+//! The observable semantics (insert errors, leaves, heights, fork degrees,
+//! chains, merges) are unchanged from the naive map-based implementation,
+//! which survives as [`crate::reference::NaiveBlockTree`] — the executable
+//! specification the property tests compare against.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
+use std::hash::{BuildHasherDefault, Hasher};
 
 use crate::block::{Block, BlockId, GENESIS_ID};
 use crate::chain::Blockchain;
+
+/// A pass-through hasher for [`BlockId`] keys: block identifiers already
+/// *are* structural hashes, so the interning map only needs a cheap avalanche
+/// (Fibonacci multiply) instead of SipHash.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BlockIdHasher(u64);
+
+impl Hasher for BlockIdHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Only u64 keys are ever hashed; this path exists for completeness.
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+}
+
+type BlockIdMap<V> = HashMap<BlockId, V, BuildHasherDefault<BlockIdHasher>>;
+
+/// Dense index of a block inside the tree's arena.
+///
+/// Indices are assigned in insertion order, never reused, and satisfy
+/// `parent.idx < child.idx`.  They are only meaningful for the tree that
+/// issued them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeIdx(pub u32);
+
+impl NodeIdx {
+    /// The index of the genesis block in every tree.
+    pub const GENESIS: NodeIdx = NodeIdx(0);
+
+    #[inline]
+    fn at(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One slab entry: a block plus its cached tree metadata.
+#[derive(Clone, Debug)]
+struct BlockNode {
+    block: Block,
+    parent: Option<NodeIdx>,
+    children: Vec<NodeIdx>,
+    /// Cached cumulative work of the path from genesis to this block
+    /// (inclusive).
+    cumulative_work: u64,
+}
 
 /// Error returned when a block cannot be inserted into the tree.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -56,54 +135,105 @@ impl std::fmt::Display for InsertError {
 
 impl std::error::Error for InsertError {}
 
-/// The BlockTree: an arena of blocks with children adjacency.
+/// The BlockTree: a slab of interned blocks with incrementally maintained
+/// leaf and tip indices.
 #[derive(Clone, Debug)]
 pub struct BlockTree {
-    blocks: HashMap<BlockId, Block>,
-    children: HashMap<BlockId, Vec<BlockId>>,
-    /// Cached cumulative work of the path from genesis to each block
-    /// (inclusive), used by weight-based selection functions.
-    cumulative_work: HashMap<BlockId, u64>,
+    nodes: Vec<BlockNode>,
+    index: BlockIdMap<NodeIdx>,
+    /// Leaves ordered by id — the deterministic enumeration order
+    /// [`leaves`](BlockTree::leaves) returns without sorting.
+    leaf_ids: BTreeSet<BlockId>,
+    /// Longest-chain tips under the two tie-break rules, maintained in O(1):
+    /// a child strictly out-heights its parent, so the incumbent can never
+    /// silently stop being a leaf — whenever it gains a child, that child
+    /// replaces it within the same insert.
+    best_height_largest: (u64, BlockId),
+    best_height_smallest: (u64, BlockId),
+    /// Heaviest-chain tips under the two tie-break rules.  Same incumbent
+    /// scheme; the one case where an incumbent can go stale — a work-0 child
+    /// that merely *ties* its parent, leaving the true best ambiguous — falls
+    /// back to an O(L) leaf rescan.  Block work is ≥ 1 everywhere blocks are
+    /// built, so the fallback is a correctness backstop, not a hot path.
+    best_work_largest: (u64, BlockId),
+    best_work_smallest: (u64, BlockId),
+    max_fork_degree: usize,
 }
 
 impl BlockTree {
     /// Creates a tree containing only the genesis block.
     pub fn new() -> Self {
         let genesis = Block::genesis();
-        let mut blocks = HashMap::new();
-        let mut cumulative_work = HashMap::new();
-        cumulative_work.insert(genesis.id, genesis.work);
-        blocks.insert(genesis.id, genesis);
+        let genesis_work = genesis.work;
+        let mut index = BlockIdMap::default();
+        index.insert(genesis.id, NodeIdx::GENESIS);
         BlockTree {
-            blocks,
-            children: HashMap::new(),
-            cumulative_work,
+            nodes: vec![BlockNode {
+                block: genesis,
+                parent: None,
+                children: Vec::new(),
+                cumulative_work: genesis_work,
+            }],
+            index,
+            leaf_ids: BTreeSet::from([GENESIS_ID]),
+            best_height_largest: (0, GENESIS_ID),
+            best_height_smallest: (0, GENESIS_ID),
+            best_work_largest: (genesis_work, GENESIS_ID),
+            best_work_smallest: (genesis_work, GENESIS_ID),
+            max_fork_degree: 0,
         }
     }
 
     /// Number of blocks in the tree (including the genesis block).
     pub fn len(&self) -> usize {
-        self.blocks.len()
+        self.nodes.len()
     }
 
     /// Returns `true` iff the tree contains only the genesis block.
     pub fn is_empty(&self) -> bool {
-        self.blocks.len() == 1
+        self.nodes.len() == 1
     }
 
     /// Returns `true` iff the tree contains a block with the given id.
     pub fn contains(&self, id: BlockId) -> bool {
-        self.blocks.contains_key(&id)
+        self.index.contains_key(&id)
     }
 
     /// Looks up a block by id.
     pub fn get(&self, id: BlockId) -> Option<&Block> {
-        self.blocks.get(&id)
+        self.idx_of(id).map(|idx| self.block_at(idx))
+    }
+
+    /// The arena index of a block, if present.
+    pub fn idx_of(&self, id: BlockId) -> Option<NodeIdx> {
+        self.index.get(&id).copied()
+    }
+
+    /// The block stored at an arena index.
+    ///
+    /// Panics if the index was not issued by this tree.
+    pub fn block_at(&self, idx: NodeIdx) -> &Block {
+        &self.nodes[idx.at()].block
+    }
+
+    /// The parent index of a node (`None` only for the genesis block).
+    pub fn parent_idx(&self, idx: NodeIdx) -> Option<NodeIdx> {
+        self.nodes[idx.at()].parent
+    }
+
+    /// The children indices of a node.
+    pub fn children_idx(&self, idx: NodeIdx) -> &[NodeIdx] {
+        &self.nodes[idx.at()].children
+    }
+
+    /// Cached cumulative work of the node at `idx`.
+    pub fn cumulative_work_at(&self, idx: NodeIdx) -> u64 {
+        self.nodes[idx.at()].cumulative_work
     }
 
     /// The genesis block.
     pub fn genesis(&self) -> &Block {
-        self.blocks.get(&GENESIS_ID).expect("genesis always present")
+        &self.nodes[NodeIdx::GENESIS.at()].block
     }
 
     /// Inserts a block under its parent.
@@ -112,16 +242,19 @@ impl BlockTree {
     /// or the recorded height is inconsistent.  Inserting a second child
     /// under the same parent creates a fork; the tree itself never forbids
     /// forks — fork control is the role of the token oracle.
+    ///
+    /// Amortized O(log n): one interning insert plus the incremental
+    /// leaf-set and tip maintenance.
     pub fn insert(&mut self, block: Block) -> Result<(), InsertError> {
-        if self.blocks.contains_key(&block.id) {
+        if self.index.contains_key(&block.id) {
             return Err(InsertError::Duplicate(block.id));
         }
-        let parent = block.parent.ok_or(InsertError::MissingParent(block.id))?;
-        let parent_block = self
-            .blocks
-            .get(&parent)
-            .ok_or(InsertError::UnknownParent(parent))?;
-        let expected = parent_block.height + 1;
+        let parent_id = block.parent.ok_or(InsertError::MissingParent(block.id))?;
+        let parent_idx = self
+            .idx_of(parent_id)
+            .ok_or(InsertError::UnknownParent(parent_id))?;
+        let parent = &self.nodes[parent_idx.at()];
+        let expected = parent.block.height + 1;
         if block.height != expected {
             return Err(InsertError::HeightMismatch {
                 block: block.id,
@@ -129,135 +262,267 @@ impl BlockTree {
                 expected,
             });
         }
-        let parent_work = self.cumulative_work[&parent];
-        self.cumulative_work
-            .insert(block.id, parent_work + block.work);
-        self.children.entry(parent).or_default().push(block.id);
-        self.blocks.insert(block.id, block);
+        let parent_work = parent.cumulative_work;
+        let cumulative_work = parent_work + block.work;
+        let idx = NodeIdx(u32::try_from(self.nodes.len()).expect("arena capacity exceeded"));
+
+        // Link into the parent and maintain the incremental indices.
+        let parent = &mut self.nodes[parent_idx.at()];
+        let parent_was_leaf = parent.children.is_empty();
+        parent.children.push(idx);
+        self.max_fork_degree = self.max_fork_degree.max(parent.children.len());
+        if parent_was_leaf {
+            self.leaf_ids.remove(&parent_id);
+        }
+        self.leaf_ids.insert(block.id);
+        let (h, id) = (block.height, block.id);
+        let (best_h, best_id) = self.best_height_largest;
+        if h > best_h || (h == best_h && id > best_id) {
+            self.best_height_largest = (h, id);
+        }
+        let (best_h, best_id) = self.best_height_smallest;
+        if h > best_h || (h == best_h && id < best_id) {
+            self.best_height_smallest = (h, id);
+        }
+        // A parent incumbent whose work-0 child merely ties it leaves the
+        // true heaviest leaf ambiguous: rescan.  (Unreachable for work ≥ 1.)
+        let stale_work_incumbent = parent_was_leaf
+            && cumulative_work == parent_work
+            && (self.best_work_largest.1 == parent_id
+                || self.best_work_smallest.1 == parent_id);
+
+        self.index.insert(block.id, idx);
+        self.nodes.push(BlockNode {
+            block,
+            parent: Some(parent_idx),
+            children: Vec::new(),
+            cumulative_work,
+        });
+
+        if stale_work_incumbent {
+            self.rescan_best_work();
+        } else {
+            let (best_w, best_id) = self.best_work_largest;
+            if cumulative_work > best_w || (cumulative_work == best_w && id > best_id) {
+                self.best_work_largest = (cumulative_work, id);
+            }
+            let (best_w, best_id) = self.best_work_smallest;
+            if cumulative_work > best_w || (cumulative_work == best_w && id < best_id) {
+                self.best_work_smallest = (cumulative_work, id);
+            }
+        }
         Ok(())
     }
 
-    /// Children of a block (empty slice for leaves and unknown blocks).
-    pub fn children(&self, id: BlockId) -> &[BlockId] {
-        self.children.get(&id).map(Vec::as_slice).unwrap_or(&[])
+    /// Recomputes the heaviest-work incumbents from the leaf set.  Only
+    /// reached through the work-0 tie backstop in [`insert`](Self::insert).
+    fn rescan_best_work(&mut self) {
+        let mut largest: Option<(u64, BlockId)> = None;
+        let mut smallest: Option<(u64, BlockId)> = None;
+        for &leaf in &self.leaf_ids {
+            let idx = self.index[&leaf];
+            let work = self.nodes[idx.at()].cumulative_work;
+            largest = Some(match largest {
+                None => (work, leaf),
+                Some((bw, bid)) if work > bw || (work == bw && leaf > bid) => (work, leaf),
+                Some(best) => best,
+            });
+            smallest = Some(match smallest {
+                None => (work, leaf),
+                Some((bw, bid)) if work > bw || (work == bw && leaf < bid) => (work, leaf),
+                Some(best) => best,
+            });
+        }
+        self.best_work_largest = largest.expect("the leaf set is never empty");
+        self.best_work_smallest = smallest.expect("the leaf set is never empty");
+    }
+
+    /// Children of a block (empty for leaves and unknown blocks).
+    pub fn children(&self, id: BlockId) -> Vec<BlockId> {
+        match self.idx_of(id) {
+            Some(idx) => self
+                .children_idx(idx)
+                .iter()
+                .map(|&c| self.nodes[c.at()].block.id)
+                .collect(),
+            None => Vec::new(),
+        }
     }
 
     /// Number of children of a block — the number of forks from that block.
     pub fn fork_degree(&self, id: BlockId) -> usize {
-        self.children(id).len()
-    }
-
-    /// The maximum fork degree over all blocks of the tree.
-    pub fn max_fork_degree(&self) -> usize {
-        self.blocks
-            .keys()
-            .map(|id| self.fork_degree(*id))
-            .max()
+        self.idx_of(id)
+            .map(|idx| self.children_idx(idx).len())
             .unwrap_or(0)
     }
 
-    /// All leaves of the tree (blocks without children).  The genesis block
-    /// is a leaf iff the tree is empty.
-    pub fn leaves(&self) -> Vec<BlockId> {
-        let mut leaves: Vec<BlockId> = self
-            .blocks
-            .keys()
-            .copied()
-            .filter(|id| self.children(*id).is_empty())
-            .collect();
-        leaves.sort_unstable();
-        leaves
+    /// The maximum fork degree over all blocks of the tree.  O(1): the value
+    /// is maintained incrementally (insert-only trees make it monotone).
+    pub fn max_fork_degree(&self) -> usize {
+        self.max_fork_degree
     }
 
-    /// Height of the tree: the maximum block height.
+    /// All leaves of the tree (blocks without children), sorted by id.  The
+    /// genesis block is a leaf iff the tree is empty.  O(L) for L leaves —
+    /// the set is maintained in id order, so no scan and no sort.
+    pub fn leaves(&self) -> Vec<BlockId> {
+        self.leaf_ids.iter().copied().collect()
+    }
+
+    /// Number of leaves, without materialising them.
+    pub fn leaf_count(&self) -> usize {
+        self.leaf_ids.len()
+    }
+
+    /// Height of the tree: the maximum block height.  O(1).
     pub fn height(&self) -> u64 {
-        self.blocks.values().map(|b| b.height).max().unwrap_or(0)
+        self.best_height_largest.0
+    }
+
+    /// The leaf selected by the longest-chain rule: maximum height, ties
+    /// broken towards the largest (or smallest) identifier.  O(1): both
+    /// incumbents are maintained on insert.
+    pub fn best_leaf_by_height(&self, prefer_largest_id: bool) -> BlockId {
+        if prefer_largest_id {
+            self.best_height_largest.1
+        } else {
+            self.best_height_smallest.1
+        }
+    }
+
+    /// The leaf selected by the heaviest-chain rule: maximum cumulative
+    /// work, ties broken towards the largest (or smallest) identifier.
+    /// O(1): both incumbents are maintained on insert.
+    pub fn best_leaf_by_work(&self, prefer_largest_id: bool) -> BlockId {
+        if prefer_largest_id {
+            self.best_work_largest.1
+        } else {
+            self.best_work_smallest.1
+        }
     }
 
     /// Cumulative work of the path from the genesis block to `id`.
     pub fn cumulative_work(&self, id: BlockId) -> Option<u64> {
-        self.cumulative_work.get(&id).copied()
+        self.idx_of(id).map(|idx| self.cumulative_work_at(idx))
     }
 
     /// Total work of the subtree rooted at `id` (GHOST weight).
     pub fn subtree_work(&self, id: BlockId) -> u64 {
-        let mut total = match self.blocks.get(&id) {
-            Some(b) => b.work,
-            None => return 0,
+        let Some(root) = self.idx_of(id) else {
+            return 0;
         };
-        let mut stack: Vec<BlockId> = self.children(id).to_vec();
-        while let Some(next) = stack.pop() {
-            if let Some(b) = self.blocks.get(&next) {
-                total += b.work;
-            }
-            stack.extend_from_slice(self.children(next));
+        let mut total = 0;
+        let mut stack = vec![root];
+        while let Some(idx) = stack.pop() {
+            let node = &self.nodes[idx.at()];
+            total += node.block.work;
+            stack.extend_from_slice(&node.children);
         }
         total
     }
 
     /// Number of blocks in the subtree rooted at `id` (including `id`).
     pub fn subtree_size(&self, id: BlockId) -> usize {
-        if !self.blocks.contains_key(&id) {
+        let Some(root) = self.idx_of(id) else {
             return 0;
-        }
-        let mut total = 1;
-        let mut stack: Vec<BlockId> = self.children(id).to_vec();
-        while let Some(next) = stack.pop() {
+        };
+        let mut total = 0;
+        let mut stack = vec![root];
+        while let Some(idx) = stack.pop() {
             total += 1;
-            stack.extend_from_slice(self.children(next));
+            stack.extend_from_slice(&self.nodes[idx.at()].children);
         }
         total
     }
 
-    /// The blockchain (path from the genesis block) ending at `id`.
-    pub fn chain_to(&self, id: BlockId) -> Option<Blockchain> {
-        let mut rev = Vec::new();
-        let mut cursor = self.blocks.get(&id)?;
-        loop {
-            rev.push(cursor.clone());
-            match cursor.parent {
-                None => break,
-                Some(p) => cursor = self.blocks.get(&p)?,
-            }
+    /// Subtree work of **every** node, indexed by [`NodeIdx`], in one O(n)
+    /// reverse pass over the slab (children always follow their parents).
+    /// This is what makes a full GHOST descent linear instead of quadratic.
+    pub fn subtree_work_table(&self) -> Vec<u64> {
+        let mut weights: Vec<u64> = self.nodes.iter().map(|n| n.block.work).collect();
+        for i in (1..self.nodes.len()).rev() {
+            let parent = self.nodes[i].parent.expect("non-genesis nodes have parents");
+            weights[parent.at()] += weights[i];
+        }
+        weights
+    }
+
+    /// The blockchain (path from the genesis block) ending at the node at
+    /// `idx`.  Walks dense parent indices; no identifier hashing.
+    pub fn chain_to_idx(&self, idx: NodeIdx) -> Blockchain {
+        let depth = self.nodes[idx.at()].block.height as usize + 1;
+        let mut rev: Vec<Block> = Vec::with_capacity(depth);
+        let mut cursor = Some(idx);
+        while let Some(at) = cursor {
+            let node = &self.nodes[at.at()];
+            rev.push(node.block.clone());
+            cursor = node.parent;
         }
         rev.reverse();
-        Blockchain::from_blocks(rev)
+        Blockchain::from_vec_trusted(rev)
+    }
+
+    /// The blockchain (path from the genesis block) ending at `id`.
+    pub fn chain_to(&self, id: BlockId) -> Option<Blockchain> {
+        self.idx_of(id).map(|idx| self.chain_to_idx(idx))
     }
 
     /// All maximal chains of the tree (one per leaf), sorted by leaf id.
     pub fn all_chains(&self) -> Vec<Blockchain> {
-        self.leaves()
-            .into_iter()
-            .filter_map(|leaf| self.chain_to(leaf))
+        self.leaf_ids
+            .iter()
+            .filter_map(|&leaf| self.chain_to(leaf))
             .collect()
     }
 
-    /// Iterator over all blocks of the tree in unspecified order.
+    /// Iterator over all blocks of the tree in insertion (arena) order.
     pub fn blocks(&self) -> impl Iterator<Item = &Block> {
-        self.blocks.values()
+        self.nodes.iter().map(|n| &n.block)
     }
 
     /// All block ids, sorted (deterministic iteration for reports/tests).
     pub fn sorted_ids(&self) -> Vec<BlockId> {
-        let mut ids: Vec<BlockId> = self.blocks.keys().copied().collect();
+        let mut ids: Vec<BlockId> = self.index.keys().copied().collect();
         ids.sort_unstable();
         ids
     }
 
-    /// Merges another tree into this one, inserting every block of `other`
-    /// that is not yet present.  Blocks are inserted in height order so that
-    /// parents are always present first.  Returns the number of blocks
-    /// actually inserted.
-    pub fn merge(&mut self, other: &BlockTree) -> usize {
-        let mut incoming: Vec<&Block> = other
-            .blocks
-            .values()
-            .filter(|b| !b.is_genesis() && !self.contains(b.id))
+    /// The blocks appended at or after the given arena watermark, in
+    /// insertion order (parents before children).
+    ///
+    /// `blocks_since(tree.len())` is empty; `blocks_since(mark)` after more
+    /// inserts yields exactly the delta — the primitive replicas use to
+    /// announce new blocks instead of gossiping whole trees.
+    pub fn blocks_since(&self, mark: usize) -> impl Iterator<Item = &Block> {
+        self.nodes[mark.min(self.nodes.len())..]
+            .iter()
+            .map(|n| &n.block)
+    }
+
+    /// The non-genesis blocks strictly above the given height, sorted by
+    /// `(height, id)` so that receivers can insert them parents-first.  Used
+    /// by delta-sync responses: a replica that fell behind asks for
+    /// everything above its own height.
+    pub fn delta_above(&self, height: u64) -> Vec<Block> {
+        let mut delta: Vec<Block> = self
+            .nodes
+            .iter()
+            .skip(1)
+            .filter(|n| n.block.height > height)
+            .map(|n| n.block.clone())
             .collect();
-        incoming.sort_by_key(|b| (b.height, b.id));
+        delta.sort_unstable_by_key(|b| (b.height, b.id));
+        delta
+    }
+
+    /// Merges another tree into this one, inserting every block of `other`
+    /// that is not yet present.  `other`'s arena order already lists parents
+    /// before children, so no sorting is needed.  Returns the number of
+    /// blocks actually inserted.
+    pub fn merge(&mut self, other: &BlockTree) -> usize {
         let mut inserted = 0;
-        for block in incoming {
-            if self.insert(block.clone()).is_ok() {
+        for node in other.nodes.iter().skip(1) {
+            if !self.contains(node.block.id) && self.insert(node.block.clone()).is_ok() {
                 inserted += 1;
             }
         }
@@ -295,6 +560,9 @@ mod tests {
         assert_eq!(tree.len(), 1);
         assert_eq!(tree.height(), 0);
         assert_eq!(tree.leaves(), vec![GENESIS_ID]);
+        assert_eq!(tree.leaf_count(), 1);
+        assert_eq!(tree.best_leaf_by_height(true), GENESIS_ID);
+        assert_eq!(tree.best_leaf_by_work(true), GENESIS_ID);
     }
 
     #[test]
@@ -309,6 +577,20 @@ mod tests {
         assert_eq!(kids, expected);
         assert_eq!(tree.fork_degree(a.id), 2);
         assert_eq!(tree.max_fork_degree(), 2);
+    }
+
+    #[test]
+    fn arena_indices_are_dense_and_parent_precedes_child() {
+        let (tree, a, b, c) = forked_tree();
+        assert_eq!(tree.idx_of(GENESIS_ID), Some(NodeIdx::GENESIS));
+        for (child, parent) in [(a.id, GENESIS_ID), (b.id, a.id), (c.id, a.id)] {
+            let child_idx = tree.idx_of(child).unwrap();
+            let parent_idx = tree.idx_of(parent).unwrap();
+            assert!(parent_idx < child_idx, "parents precede children");
+            assert_eq!(tree.parent_idx(child_idx), Some(parent_idx));
+            assert_eq!(tree.block_at(child_idx).id, child);
+        }
+        assert_eq!(tree.idx_of(BlockId(0xdead)), None);
     }
 
     #[test]
@@ -340,6 +622,19 @@ mod tests {
         orphan.parent = None;
         let id = orphan.id;
         assert_eq!(tree.insert(orphan), Err(InsertError::MissingParent(id)));
+    }
+
+    #[test]
+    fn failed_inserts_leave_the_indices_untouched() {
+        let (mut tree, a, _b, _c) = forked_tree();
+        let before_leaves = tree.leaves();
+        let before_len = tree.len();
+        assert!(tree.insert(a.clone()).is_err());
+        let mut wrong_height = BlockBuilder::new(&a).nonce(99).build();
+        wrong_height.height = 9;
+        assert!(tree.insert(wrong_height).is_err());
+        assert_eq!(tree.leaves(), before_leaves);
+        assert_eq!(tree.len(), before_len);
     }
 
     #[test]
@@ -389,15 +684,71 @@ mod tests {
         assert_eq!(tree.subtree_work(GENESIS_ID), 1 + 2 + 3 + 10);
         assert_eq!(tree.subtree_work(BlockId(0xdead)), 0);
         assert_eq!(tree.subtree_size(BlockId(0xdead)), 0);
+
+        // The one-pass table agrees with the per-node traversal.
+        let table = tree.subtree_work_table();
+        for id in tree.sorted_ids() {
+            let idx = tree.idx_of(id).unwrap();
+            assert_eq!(table[idx.0 as usize], tree.subtree_work(id));
+        }
     }
 
     #[test]
-    fn merge_imports_missing_blocks_in_height_order() {
+    fn best_leaf_queries_respect_ties() {
+        let mut tree = BlockTree::new();
+        let a = BlockBuilder::new(tree.genesis()).nonce(1).build();
+        let b = BlockBuilder::new(tree.genesis()).nonce(2).build();
+        tree.insert(a.clone()).unwrap();
+        tree.insert(b.clone()).unwrap();
+        let hi = a.id.max(b.id);
+        let lo = a.id.min(b.id);
+        assert_eq!(tree.best_leaf_by_height(true), hi);
+        assert_eq!(tree.best_leaf_by_height(false), lo);
+        assert_eq!(tree.best_leaf_by_work(true), hi);
+        assert_eq!(tree.best_leaf_by_work(false), lo);
+    }
+
+    #[test]
+    fn work_zero_tie_backstop_matches_the_naive_reference() {
+        // A work-0 child ties its parent's cumulative work; if that parent
+        // was the heaviest incumbent the tree must rescan instead of keeping
+        // a stale (non-leaf) tip.  Exercise both fork sides and both
+        // tie-breaks against the naive reference.
+        use crate::reference::NaiveBlockTree;
+        use crate::selection::TieBreak;
+
+        let mut tree = BlockTree::new();
+        let mut naive = NaiveBlockTree::new();
+        let a = BlockBuilder::new(tree.genesis()).nonce(1).work(5).build();
+        let b = BlockBuilder::new(tree.genesis()).nonce(2).work(5).build();
+        for blk in [&a, &b] {
+            tree.insert(blk.clone()).unwrap();
+            naive.insert(blk.clone()).unwrap();
+        }
+        for (parent, nonce) in [(&a, 10u64), (&b, 11u64)] {
+            let mut child = BlockBuilder::new(parent).nonce(nonce).build();
+            child.work = 0; // bypasses the builder's work ≥ 1 clamp
+            tree.insert(child.clone()).unwrap();
+            naive.insert(child).unwrap();
+            for tie in [TieBreak::LargestId, TieBreak::SmallestId] {
+                assert_eq!(
+                    tree.best_leaf_by_work(tie.prefers_largest()),
+                    naive.select_heaviest(tie).tip().id,
+                    "work-0 tie under {tie:?}"
+                );
+            }
+            assert_eq!(tree.leaves(), naive.leaves());
+        }
+    }
+
+    #[test]
+    fn merge_imports_missing_blocks_in_arena_order() {
         let (tree_full, _a, _b, _c) = forked_tree();
         let mut tree = BlockTree::new();
         let inserted = tree.merge(&tree_full);
         assert_eq!(inserted, 3);
         assert_eq!(tree.len(), tree_full.len());
+        assert_eq!(tree.sorted_ids(), tree_full.sorted_ids());
         // Merging again is a no-op.
         assert_eq!(tree.merge(&tree_full), 0);
     }
@@ -409,5 +760,35 @@ mod tests {
         let d = BlockBuilder::new(&b).nonce(77).build();
         tree.insert(d).unwrap();
         assert_eq!(tree.height(), 3);
+    }
+
+    #[test]
+    fn blocks_since_yields_the_delta_in_insertion_order() {
+        let (mut tree, _a, b, _c) = forked_tree();
+        let mark = tree.len();
+        assert_eq!(tree.blocks_since(mark).count(), 0);
+        let d = BlockBuilder::new(&b).nonce(7).build();
+        let e = BlockBuilder::new(&d).nonce(8).build();
+        tree.insert(d.clone()).unwrap();
+        tree.insert(e.clone()).unwrap();
+        let delta: Vec<BlockId> = tree.blocks_since(mark).map(|blk| blk.id).collect();
+        assert_eq!(delta, vec![d.id, e.id]);
+        assert_eq!(tree.blocks_since(tree.len() + 10).count(), 0);
+    }
+
+    #[test]
+    fn delta_above_returns_sorted_insertable_blocks() {
+        let (tree, _a, _b, _c) = forked_tree();
+        let delta = tree.delta_above(1);
+        assert_eq!(delta.len(), 2, "only the height-2 fork blocks");
+        assert!(delta.windows(2).all(|w| (w[0].height, w[0].id) <= (w[1].height, w[1].id)));
+
+        let everything = tree.delta_above(0);
+        assert_eq!(everything.len(), 3);
+        let mut fresh = BlockTree::new();
+        for blk in everything {
+            fresh.insert(blk).unwrap();
+        }
+        assert_eq!(fresh.sorted_ids(), tree.sorted_ids());
     }
 }

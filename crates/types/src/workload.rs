@@ -81,17 +81,21 @@ impl Workload {
     /// trees (more forks).
     pub fn random_tree(&mut self, n: usize, chain_bias: f64, txs_per_block: usize) -> BlockTree {
         let mut tree = BlockTree::new();
+        // Track ids incrementally: re-enumerating the tree per insertion
+        // made generation quadratic, which the 100k-block benches cannot
+        // afford.
+        let mut ids: Vec<BlockId> = vec![crate::block::GENESIS_ID];
         for i in 0..n {
             let parent_id = if self.rng.gen_bool(chain_bias.clamp(0.0, 1.0)) {
                 // Attach to the tip of the current longest chain.
                 deepest_leaf(&tree)
             } else {
                 // Attach to a uniformly random existing block.
-                let ids = tree.sorted_ids();
                 ids[self.rng.gen_range(0..ids.len())]
             };
             let parent = tree.get(parent_id).expect("parent exists").clone();
             let block = self.block_on(&parent, (i % 8) as u32, txs_per_block, 4);
+            ids.push(block.id);
             tree.insert(block).expect("generator produces valid blocks");
         }
         tree
@@ -146,19 +150,7 @@ impl Workload {
 
 /// The deepest leaf of a tree (smallest id on ties, for determinism).
 pub fn deepest_leaf(tree: &BlockTree) -> BlockId {
-    let mut best: Option<(u64, BlockId)> = None;
-    for leaf in tree.leaves() {
-        let h = tree.get(leaf).map(|b| b.height).unwrap_or(0);
-        match best {
-            None => best = Some((h, leaf)),
-            Some((bh, bid)) => {
-                if h > bh || (h == bh && leaf < bid) {
-                    best = Some((h, leaf));
-                }
-            }
-        }
-    }
-    best.map(|(_, id)| id).unwrap_or(crate::block::GENESIS_ID)
+    tree.best_leaf_by_height(false)
 }
 
 #[cfg(test)]
@@ -201,7 +193,7 @@ mod tests {
         let mut w = Workload::new(11);
         let tree = w.random_tree(50, 0.5, 1);
         assert_eq!(tree.len(), 51);
-        assert_eq!(tree.height() >= 1, true);
+        assert!(tree.height() >= 1);
     }
 
     #[test]
