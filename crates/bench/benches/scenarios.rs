@@ -1,0 +1,30 @@
+//! `cargo bench -p btadt-bench --bench scenarios` — the adversarial
+//! scenario sweep.
+//!
+//! Runs the shipped (scenario × seed) matrix across OS threads and writes
+//! `BENCH_scenarios.json` (per-cell criterion verdicts and convergence
+//! metrics, per-scenario pass rates, and the serial-sum vs parallel-wall
+//! speedup).  `-- --test` runs the reduced smoke matrix instead and writes
+//! nothing, which is what CI exercises.
+
+use btadt_bench::harness::workspace_root;
+use btadt_bench::scenarios::{
+    default_threads, print_summary, shipped_matrix, smoke_matrix, sweep, write_json,
+};
+
+fn main() {
+    let test_mode = std::env::args().skip(1).any(|a| a == "--test");
+    let matrix = if test_mode {
+        smoke_matrix()
+    } else {
+        shipped_matrix()
+    };
+    let threads = default_threads(matrix.len());
+    let report = sweep(&matrix, threads);
+    print_summary(&report);
+    if test_mode {
+        println!("scenarios: smoke run complete");
+    } else {
+        write_json(&report, &workspace_root().join("BENCH_scenarios.json"));
+    }
+}

@@ -1,0 +1,48 @@
+//! `cargo run --release -p btadt-bench --bin scenarios [-- --smoke]
+//! [--threads N]` — the adversarial scenario sweep as a plain binary.
+//!
+//! Without flags, runs the shipped matrix on the machine's parallelism
+//! (≥ 4 threads) and writes `BENCH_scenarios.json` at the workspace root.
+//! `--smoke` runs the reduced matrix and skips the report — the fast CI
+//! job.  `--threads N` pins the worker count (e.g. `--threads 1` for a
+//! serial baseline; outcomes are identical by construction).
+
+use btadt_bench::harness::workspace_root;
+use btadt_bench::scenarios::{
+    default_threads, print_summary, shipped_matrix, smoke_matrix, sweep, write_json,
+};
+
+fn main() {
+    let mut smoke = false;
+    let mut threads: Option<usize> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .or_else(|| {
+                        eprintln!("--threads expects a positive integer");
+                        std::process::exit(2);
+                    });
+            }
+            other => {
+                eprintln!("unknown argument: {other} (expected --smoke or --threads N)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let matrix = if smoke { smoke_matrix() } else { shipped_matrix() };
+    let threads = threads.unwrap_or_else(|| default_threads(matrix.len()));
+    let report = sweep(&matrix, threads);
+    print_summary(&report);
+    if smoke {
+        println!("scenarios: smoke run complete");
+    } else {
+        write_json(&report, &workspace_root().join("BENCH_scenarios.json"));
+    }
+}

@@ -210,7 +210,9 @@ fn fmt_ns(ns: f64) -> String {
     format!("{ns:.1}")
 }
 
-fn json_string(s: &str) -> String {
+/// JSON-escapes a string (shared by the report writers; the workspace has
+/// no serde).
+pub fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

@@ -17,6 +17,7 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod scenarios;
 
 use std::sync::Arc;
 

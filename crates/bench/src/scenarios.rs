@@ -1,0 +1,519 @@
+//! The scenario sweep: running the adversarial experiment matrix and
+//! aggregating `BENCH_scenarios.json`.
+//!
+//! A *cell* is one (scenario, seed) pair.  [`run_cell`] builds the miner
+//! population the scenario prescribes (honest flooding replicas plus the
+//! selfish/withholding adversaries of `btadt-protocols::adversary`), runs
+//! it on its own deterministic simulator, and distils the run into a
+//! [`CellOutcome`]: did the honest replicas converge, when did the network
+//! settle, how deep did forks get, and do the recorded histories satisfy
+//! BT Strong / Eventual Consistency (Definitions 3.2/3.4)?
+//!
+//! [`sweep`] fans the matrix across OS threads via
+//! [`ScenarioMatrix::run`]; because every cell is deterministic in
+//! (scenario, seed), the same matrix produces identical outcomes at any
+//! thread count (`thread_count_is_invisible_in_outcomes` below locks this
+//! in).  [`write_json`] emits the per-cell rows, per-scenario aggregates
+//! and the serial-sum vs parallel-wall speedup into
+//! `BENCH_scenarios.json`; `docs/SCENARIOS.md` documents the format.
+
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+
+use btadt_core::{eventual_consistency, strong_consistency};
+use btadt_history::ConsistencyCriterion;
+use btadt_netsim::{
+    AdversaryMix, Latency, MatrixCell, Scenario, ScenarioMatrix, SimReport, SimTime, Simulator,
+};
+use btadt_protocols::adversary::{build_miners, scenario_pow_config};
+use btadt_protocols::extract::{build_histories, ReplicaLog};
+use btadt_types::{AlwaysValid, Blockchain, LengthScore};
+
+use crate::harness::json_string;
+
+/// Release delay of withholding miners in scenario cells, in ticks (a few
+/// synchronous δ's: long enough to let honest miners extend a stale tip).
+pub const WITHHOLD_DELAY: u64 = 12;
+
+/// What one (scenario, seed) cell measured.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CellOutcome {
+    /// The simulator's own report (events, final time, quiescence).
+    pub report: SimReport,
+    /// Whether all surviving honest replicas selected the same tip at the
+    /// end of the run.
+    pub converged: bool,
+    /// Settle time: the last simulated instant at which any honest replica
+    /// still updated its tree.  Convergence *time* in the paper's sense —
+    /// once the network settles, Eventual Prefix requires agreement.
+    pub convergence_time: u64,
+    /// Deepest end-of-run divergence between two honest selected chains:
+    /// `max(height) − |maximal common prefix|` over honest pairs (0 when
+    /// converged).
+    pub divergence_depth: u64,
+    /// Maximum fork degree across honest trees (1 = chain, ≥ 2 = forks).
+    pub max_fork_degree: usize,
+    /// Blocks created by all replicas (adversaries included).
+    pub blocks_created: usize,
+    /// BT Strong Consistency verdict over the recorded history.
+    pub strong: bool,
+    /// BT Eventual Consistency verdict over the recorded history.
+    pub eventual: bool,
+    /// Messages delivered by the channel.
+    pub delivered: usize,
+    /// Messages dropped (loss, partitions, Byzantine omission).
+    pub dropped: usize,
+}
+
+/// Runs one cell: scenario × seed → outcome.
+///
+/// Honest replicas record growth reads during the run plus a forced read at
+/// the horizon; adversaries record none (criterion verdicts measure what
+/// honest clients observe under attack).  Replicas crashed by the scenario
+/// are excluded from the final read and from the convergence check — the
+/// criteria quantify over correct processes.
+pub fn run_cell(scenario: &Scenario, seed: u64) -> CellOutcome {
+    let config = scenario_pow_config(seed, scenario.duration);
+    let miners = build_miners(
+        scenario.nodes,
+        scenario.adversaries,
+        &config,
+        WITHHOLD_DELAY,
+    );
+    let mut sim = Simulator::new(miners, scenario.sim_config(seed), scenario.failure_plan());
+    let report = sim.run();
+    let (mut miners, trace) = sim.into_parts();
+
+    let crashed: Vec<usize> = scenario.crashes.iter().map(|&(p, _)| p).collect();
+    let final_time = SimTime(scenario.max_time);
+    for (i, m) in miners.iter_mut().enumerate() {
+        if !crashed.contains(&i) {
+            m.force_read(final_time);
+        }
+    }
+
+    let honest_chains: Vec<Blockchain> = miners
+        .iter()
+        .enumerate()
+        .filter(|(i, m)| m.is_honest() && !crashed.contains(i))
+        .map(|(_, m)| m.selected())
+        .collect();
+    let converged = honest_chains
+        .windows(2)
+        .all(|w| w[0].tip().id == w[1].tip().id);
+    let mut divergence_depth = 0u64;
+    for (i, a) in honest_chains.iter().enumerate() {
+        for b in honest_chains.iter().skip(i + 1) {
+            let mcp = a.mcp_len(b);
+            divergence_depth = divergence_depth.max(a.height().max(b.height()) - mcp);
+        }
+    }
+    let max_fork_degree = miners
+        .iter()
+        .filter(|m| m.is_honest())
+        .map(|m| m.tree().max_fork_degree())
+        .max()
+        .unwrap_or(1);
+    let convergence_time = miners
+        .iter()
+        .enumerate()
+        .filter(|(i, m)| m.is_honest() && !crashed.contains(i))
+        .filter_map(|(_, m)| m.log().applied.last().map(|(at, _)| at.0))
+        .max()
+        .unwrap_or(0);
+
+    let logs: Vec<ReplicaLog> = miners.iter().map(|m| m.log().clone()).collect();
+    let blocks_created = logs.iter().map(|l| l.created.len()).sum();
+    let (history, _messages) = build_histories(&logs);
+    let sc = strong_consistency(Arc::new(LengthScore), Arc::new(AlwaysValid));
+    let ec = eventual_consistency(Arc::new(LengthScore), Arc::new(AlwaysValid));
+
+    CellOutcome {
+        report,
+        converged,
+        convergence_time,
+        divergence_depth,
+        max_fork_degree,
+        blocks_created,
+        strong: sc.admits(&history),
+        eventual: ec.admits(&history),
+        delivered: trace.delivered(),
+        dropped: trace.dropped(),
+    }
+}
+
+/// The shipped scenario matrix: ten adversarial network regimes spanning
+/// the paper's synchrony assumptions (Section 4.2), the failure modes of
+/// the necessity results (loss — Theorem 4.7 — partitions, churn, crash,
+/// Byzantine omission) and the mining attacks.
+pub fn shipped_matrix() -> ScenarioMatrix {
+    let n = 8;
+    let scenarios = vec![
+        Scenario::new("baseline-sync", n),
+        Scenario::new("async", n).with_latency(Latency::Async { max_delay: 12 }),
+        Scenario::new("partial-sync", n).with_latency(Latency::PartialSync {
+            gst: 80,
+            pre_gst_delay: 24,
+            delta: 3,
+        }),
+        Scenario::new("lossy-20", n).with_loss(0.2),
+        Scenario::new("partition-heal", n).with_partition(vec![0, 1, 2, 3], 10, 120),
+        Scenario::new("churn", n).with_churn(6, 10, 120).with_churn(7, 40, 160),
+        Scenario::new("crash", n).with_crash(7, 60),
+        Scenario::new("byzantine", n).with_byzantine(0).with_byzantine(1),
+        Scenario::new("selfish-25", n).with_adversaries(AdversaryMix {
+            selfish: 2,
+            withholding: 0,
+        }),
+        Scenario::new("withhold-25", n).with_adversaries(AdversaryMix {
+            selfish: 0,
+            withholding: 2,
+        }),
+    ];
+    ScenarioMatrix::new(scenarios, vec![1, 2, 3])
+}
+
+/// A reduced matrix for CI smoke runs and the quickstart example: three
+/// scenarios, short horizons, two seeds.
+pub fn smoke_matrix() -> ScenarioMatrix {
+    let scenarios = vec![
+        Scenario::new("baseline-sync", 5).with_duration(24),
+        Scenario::new("partition-heal", 5)
+            .with_duration(24)
+            .with_partition(vec![0, 1], 8, 60),
+        Scenario::new("selfish-20", 5)
+            .with_duration(24)
+            .with_adversaries(AdversaryMix {
+                selfish: 1,
+                withholding: 0,
+            }),
+    ];
+    ScenarioMatrix::new(scenarios, vec![1, 2])
+}
+
+/// A completed sweep: the per-cell results plus the parallel wall-clock.
+#[derive(Clone, Debug)]
+pub struct SweepReport {
+    /// Per-cell results, in matrix order.
+    pub cells: Vec<MatrixCell<CellOutcome>>,
+    /// Threads the sweep ran on.
+    pub threads: usize,
+    /// Wall-clock of the whole parallel sweep.
+    pub wall: Duration,
+}
+
+impl SweepReport {
+    /// Sum of the per-cell wall times: what a serial sweep would cost.
+    pub fn serial_sum(&self) -> Duration {
+        self.cells.iter().map(|c| c.wall).sum()
+    }
+
+    /// Serial-sum / parallel-wall ratio (> 1 once threads help).
+    pub fn speedup(&self) -> f64 {
+        let wall = self.wall.as_secs_f64();
+        if wall > 0.0 {
+            self.serial_sum().as_secs_f64() / wall
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Runs every cell of `matrix` on `threads` threads.
+pub fn sweep(matrix: &ScenarioMatrix, threads: usize) -> SweepReport {
+    let start = std::time::Instant::now();
+    let cells = matrix.run(threads, run_cell);
+    SweepReport {
+        cells,
+        threads,
+        wall: start.elapsed(),
+    }
+}
+
+/// Per-scenario aggregate over the seeds the sweep ran.
+#[derive(Clone, Debug)]
+pub struct ScenarioSummary {
+    /// Scenario name.
+    pub name: String,
+    /// Number of cells (seeds) aggregated.
+    pub cells: usize,
+    /// Fraction of cells whose history satisfied BT Strong Consistency.
+    pub sc_pass_rate: f64,
+    /// Fraction of cells whose history satisfied BT Eventual Consistency.
+    pub ec_pass_rate: f64,
+    /// Fraction of cells whose honest replicas agreed on the tip at the end.
+    pub converged_rate: f64,
+    /// Mean settle time across cells (ticks).
+    pub mean_convergence_time: f64,
+    /// Worst end-of-run divergence depth across cells.
+    pub max_divergence_depth: u64,
+    /// Worst honest fork degree across cells.
+    pub max_fork_degree: usize,
+    /// Mean wall-clock per cell (nanoseconds).
+    pub mean_wall_ns: f64,
+}
+
+/// Aggregates a sweep per scenario, preserving matrix order.
+pub fn summarize(report: &SweepReport) -> Vec<ScenarioSummary> {
+    let mut order: Vec<&str> = Vec::new();
+    for cell in &report.cells {
+        if !order.contains(&cell.scenario.as_str()) {
+            order.push(&cell.scenario);
+        }
+    }
+    order
+        .into_iter()
+        .map(|name| {
+            let cells: Vec<&MatrixCell<CellOutcome>> = report
+                .cells
+                .iter()
+                .filter(|c| c.scenario == name)
+                .collect();
+            let n = cells.len() as f64;
+            let rate = |pred: &dyn Fn(&CellOutcome) -> bool| {
+                cells.iter().filter(|c| pred(&c.result)).count() as f64 / n
+            };
+            ScenarioSummary {
+                name: name.to_string(),
+                cells: cells.len(),
+                sc_pass_rate: rate(&|o| o.strong),
+                ec_pass_rate: rate(&|o| o.eventual),
+                converged_rate: rate(&|o| o.converged),
+                mean_convergence_time: cells
+                    .iter()
+                    .map(|c| c.result.convergence_time as f64)
+                    .sum::<f64>()
+                    / n,
+                max_divergence_depth: cells
+                    .iter()
+                    .map(|c| c.result.divergence_depth)
+                    .max()
+                    .unwrap_or(0),
+                max_fork_degree: cells
+                    .iter()
+                    .map(|c| c.result.max_fork_degree)
+                    .max()
+                    .unwrap_or(1),
+                mean_wall_ns: cells.iter().map(|c| c.wall.as_nanos() as f64).sum::<f64>() / n,
+            }
+        })
+        .collect()
+}
+
+/// Renders the sweep as the `BENCH_scenarios.json` document (see
+/// `docs/SCENARIOS.md` for the schema).
+pub fn render_json(report: &SweepReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"bench\": \"scenarios\",");
+    let _ = writeln!(out, "  \"threads\": {},", report.threads);
+    let _ = writeln!(out, "  \"cells\": [");
+    for (i, cell) in report.cells.iter().enumerate() {
+        let o = &cell.result;
+        let comma = if i + 1 == report.cells.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"scenario\": {}, \"seed\": {}, \"wall_ns\": {}, \"events\": {}, \
+             \"quiescent\": {}, \"converged\": {}, \"convergence_time\": {}, \
+             \"divergence_depth\": {}, \"max_fork_degree\": {}, \"blocks_created\": {}, \
+             \"strong\": {}, \"eventual\": {}, \"delivered\": {}, \"dropped\": {}}}{comma}",
+            json_string(&cell.scenario),
+            cell.seed,
+            cell.wall.as_nanos(),
+            o.report.events_processed,
+            o.report.quiescent,
+            o.converged,
+            o.convergence_time,
+            o.divergence_depth,
+            o.max_fork_degree,
+            o.blocks_created,
+            o.strong,
+            o.eventual,
+            o.delivered,
+            o.dropped,
+        );
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"scenarios\": [");
+    let summaries = summarize(report);
+    for (i, s) in summaries.iter().enumerate() {
+        let comma = if i + 1 == summaries.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"name\": {}, \"cells\": {}, \"sc_pass_rate\": {:.3}, \
+             \"ec_pass_rate\": {:.3}, \"converged_rate\": {:.3}, \
+             \"mean_convergence_time\": {:.1}, \"max_divergence_depth\": {}, \
+             \"max_fork_degree\": {}, \"mean_wall_ns\": {:.1}}}{comma}",
+            json_string(&s.name),
+            s.cells,
+            s.sc_pass_rate,
+            s.ec_pass_rate,
+            s.converged_rate,
+            s.mean_convergence_time,
+            s.max_divergence_depth,
+            s.max_fork_degree,
+            s.mean_wall_ns,
+        );
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"metrics\": {{");
+    let _ = writeln!(
+        out,
+        "    \"serial_sum_ns\": {},",
+        report.serial_sum().as_nanos()
+    );
+    let _ = writeln!(out, "    \"parallel_wall_ns\": {},", report.wall.as_nanos());
+    let _ = writeln!(out, "    \"parallel_speedup\": {:.3}", report.speedup());
+    let _ = writeln!(out, "  }}");
+    out.push_str("}\n");
+    out
+}
+
+/// Writes `BENCH_scenarios.json` to `path`.
+pub fn write_json(report: &SweepReport, path: &Path) {
+    match std::fs::write(path, render_json(report)) {
+        Ok(()) => println!("scenarios: report written to {}", path.display()),
+        Err(e) => eprintln!("scenarios: could not write {}: {e}", path.display()),
+    }
+}
+
+/// Prints the per-scenario aggregate table to stdout.
+pub fn print_summary(report: &SweepReport) {
+    println!(
+        "{:<16} {:>5} {:>8} {:>8} {:>9} {:>10} {:>7} {:>7}",
+        "scenario", "cells", "SC", "EC", "converged", "settle", "div", "forks"
+    );
+    for s in summarize(report) {
+        println!(
+            "{:<16} {:>5} {:>7.0}% {:>7.0}% {:>8.0}% {:>10.1} {:>7} {:>7}",
+            s.name,
+            s.cells,
+            s.sc_pass_rate * 100.0,
+            s.ec_pass_rate * 100.0,
+            s.converged_rate * 100.0,
+            s.mean_convergence_time,
+            s.max_divergence_depth,
+            s.max_fork_degree,
+        );
+    }
+    println!(
+        "{} cells on {} threads: wall {:.1} ms, serial sum {:.1} ms, speedup {:.2}x",
+        report.cells.len(),
+        report.threads,
+        report.wall.as_secs_f64() * 1e3,
+        report.serial_sum().as_secs_f64() * 1e3,
+        report.speedup(),
+    );
+}
+
+/// The thread count a full sweep should use: the machine's parallelism,
+/// at least 4 (the acceptance bar for the parallel speedup), at most the
+/// cell count.
+pub fn default_threads(cells: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .max(4)
+        .clamp(1, cells.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strip_wall(cells: &[MatrixCell<CellOutcome>]) -> Vec<(&str, u64, &CellOutcome)> {
+        cells
+            .iter()
+            .map(|c| (c.scenario.as_str(), c.seed, &c.result))
+            .collect()
+    }
+
+    #[test]
+    fn thread_count_is_invisible_in_outcomes() {
+        // Same scenario + seed ⇒ identical SimReport and outcome whether
+        // the matrix runs on one thread or four.
+        let matrix = smoke_matrix();
+        let serial = sweep(&matrix, 1);
+        let parallel = sweep(&matrix, 4);
+        assert_eq!(strip_wall(&serial.cells), strip_wall(&parallel.cells));
+    }
+
+    #[test]
+    fn baseline_cells_converge_and_pass_eventual_consistency() {
+        let outcome = run_cell(&Scenario::new("baseline", 5).with_duration(24), 7);
+        assert!(outcome.report.events_processed > 0);
+        assert!(outcome.converged, "a loss-free synchronous run converges");
+        assert!(outcome.eventual, "an honest converged run satisfies EC");
+        assert_eq!(outcome.divergence_depth, 0);
+        assert!(outcome.blocks_created > 0);
+    }
+
+    #[test]
+    fn selfish_mining_degrades_the_run() {
+        let honest = run_cell(&Scenario::new("h", 5).with_duration(30), 3);
+        let attacked = run_cell(
+            &Scenario::new("a", 5)
+                .with_duration(30)
+                .with_adversaries(AdversaryMix {
+                    selfish: 1,
+                    withholding: 0,
+                }),
+            3,
+        );
+        assert!(
+            attacked.max_fork_degree >= honest.max_fork_degree,
+            "withheld branches do not reduce fork pressure (honest {}, attacked {})",
+            honest.max_fork_degree,
+            attacked.max_fork_degree
+        );
+        assert!(attacked.blocks_created > 0);
+    }
+
+    #[test]
+    fn byzantine_omission_cells_record_drops() {
+        let outcome = run_cell(
+            &Scenario::new("b", 6).with_duration(30).with_byzantine(0),
+            9,
+        );
+        assert!(
+            outcome.dropped > 0,
+            "Byzantine omission must starve some destinations"
+        );
+        assert!(outcome.blocks_created > 0);
+    }
+
+    #[test]
+    fn partition_cells_still_converge_after_heal() {
+        let outcome = run_cell(
+            &Scenario::new("p", 6)
+                .with_duration(30)
+                .with_partition(vec![0, 1, 2], 8, 90),
+            5,
+        );
+        assert!(outcome.dropped > 0, "the partition must cut messages");
+        assert!(outcome.converged, "delta sync reconciles after the heal");
+    }
+
+    #[test]
+    fn summaries_aggregate_per_scenario_in_matrix_order() {
+        let report = sweep(&smoke_matrix(), 2);
+        let summaries = summarize(&report);
+        assert_eq!(summaries.len(), 3);
+        assert_eq!(summaries[0].name, "baseline-sync");
+        assert_eq!(summaries[0].cells, 2);
+        for s in &summaries {
+            assert!(s.ec_pass_rate >= 0.0 && s.ec_pass_rate <= 1.0);
+        }
+    }
+
+    #[test]
+    fn json_report_is_structurally_sound() {
+        let report = sweep(&smoke_matrix(), 2);
+        let json = render_json(&report);
+        assert!(json.contains("\"bench\": \"scenarios\""));
+        assert!(json.contains("\"parallel_speedup\""));
+        assert_eq!(json.matches("\"scenario\": ").count(), report.cells.len());
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

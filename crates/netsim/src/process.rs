@@ -114,6 +114,16 @@ pub trait Process<M>: Send {
 
     /// Called when a previously armed timer fires.
     fn on_timer(&mut self, ctx: &mut Context<M>, timer_id: u64);
+
+    /// Called when the process comes back from a churn window (see
+    /// [`ChurnWindow`](crate::simulator::ChurnWindow)).  Timers armed before
+    /// the window were discarded while the process was down, so the default
+    /// implementation simply restarts the process via
+    /// [`Process::on_start`] — protocols with an anti-entropy loop then
+    /// catch up on whatever they missed.
+    fn on_rejoin(&mut self, ctx: &mut Context<M>) {
+        self.on_start(ctx);
+    }
 }
 
 #[cfg(test)]

@@ -52,13 +52,74 @@ impl SimConfig {
     }
 }
 
+/// A timed network partition: messages crossing the `group_a` / rest split
+/// are dropped while `from ≤ now < until`, after which the partition heals.
+///
+/// Unlike [`ChannelModel::Partitioned`](crate::channel::ChannelModel), which
+/// models a single partition baked into the channel for the whole run, a
+/// plan may schedule several windows (partition, heal, re-partition) — the
+/// adversarial schedules the scenario engine fans out.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PartitionWindow {
+    /// Members of the first group (everyone else is in the second).
+    pub group_a: Vec<usize>,
+    /// Start of the partition (inclusive).
+    pub from: u64,
+    /// End of the partition (exclusive): the heal time.
+    pub until: u64,
+}
+
+impl PartitionWindow {
+    /// Whether a message sent at `now` from `from` to `to` is cut by this
+    /// window.
+    pub fn cuts(&self, now: SimTime, from: usize, to: usize) -> bool {
+        now.0 >= self.from
+            && now.0 < self.until
+            && (self.group_a.contains(&from) != self.group_a.contains(&to))
+    }
+}
+
+/// A node-churn window: the process goes offline at `down_at` and rejoins
+/// at `up_at`.
+///
+/// While down the process receives no activations, its pending deliveries
+/// and timers are discarded, and it sends nothing.  At `up_at` the simulator
+/// calls [`Process::on_rejoin`], whose default implementation restarts the
+/// process via [`Process::on_start`] so it can re-arm its timers and (for
+/// gossip protocols) catch up on the blocks it missed via delta sync.  A
+/// window with `down_at = 0` models a late joiner.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChurnWindow {
+    /// The churned process.
+    pub process: usize,
+    /// When the process goes offline (inclusive).
+    pub down_at: u64,
+    /// When the process rejoins (exclusive end of the down window).
+    pub up_at: u64,
+}
+
+impl ChurnWindow {
+    /// Whether the process is down at `at` under this window.
+    pub fn covers(&self, process: usize, at: SimTime) -> bool {
+        process == self.process && at.0 >= self.down_at && at.0 < self.up_at
+    }
+}
+
 /// Failure injection plan.
+///
+/// Combines permanent failures (crash-stop, Byzantine omission) with the
+/// timed adversarial schedule — partition windows that heal and node churn —
+/// used by the scenario engine ([`crate::scenario`]).
 #[derive(Clone, Debug, Default)]
 pub struct FailurePlan {
     /// `(process, time)` pairs: the process crashes at the given time.
     pub crashes: Vec<(usize, u64)>,
     /// Processes exhibiting Byzantine omission/equivocation.
     pub byzantine: Vec<usize>,
+    /// Timed partitions (each heals on schedule).
+    pub partitions: Vec<PartitionWindow>,
+    /// Node churn: temporary offline windows with automatic rejoin.
+    pub churn: Vec<ChurnWindow>,
 }
 
 impl FailurePlan {
@@ -71,16 +132,43 @@ impl FailurePlan {
     pub fn crashing(crashes: Vec<(usize, u64)>) -> Self {
         FailurePlan {
             crashes,
-            byzantine: Vec::new(),
+            ..FailurePlan::default()
         }
     }
 
     /// A plan marking the given processes Byzantine.
     pub fn byzantine(byzantine: Vec<usize>) -> Self {
         FailurePlan {
-            crashes: Vec::new(),
             byzantine,
+            ..FailurePlan::default()
         }
+    }
+
+    /// Adds a partition window: `group_a` is split from the rest during
+    /// `[from, until)`.
+    pub fn with_partition(mut self, group_a: Vec<usize>, from: u64, until: u64) -> Self {
+        self.partitions.push(PartitionWindow { group_a, from, until });
+        self
+    }
+
+    /// Adds a churn window: `process` is down during `[down_at, up_at)`.
+    pub fn with_churn(mut self, process: usize, down_at: u64, up_at: u64) -> Self {
+        self.churn.push(ChurnWindow {
+            process,
+            down_at,
+            up_at,
+        });
+        self
+    }
+
+    /// Whether a message sent at `now` crosses an active partition window.
+    pub fn partition_cuts(&self, now: SimTime, from: usize, to: usize) -> bool {
+        self.partitions.iter().any(|w| w.cuts(now, from, to))
+    }
+
+    /// Whether `process` is inside one of its churn down-windows at `at`.
+    pub fn churned_down(&self, process: usize, at: SimTime) -> bool {
+        self.churn.iter().any(|w| w.covers(process, at))
     }
 }
 
@@ -110,6 +198,14 @@ enum QueuedEvent<M> {
     Timer {
         process: usize,
         timer_id: u64,
+        /// The process's incarnation when the timer was armed; a rejoin
+        /// bumps the incarnation, invalidating every timer armed before
+        /// the churn window (they "were discarded while the process was
+        /// down", even if their expiry lands after the rejoin).
+        incarnation: u64,
+    },
+    Rejoin {
+        process: usize,
     },
 }
 
@@ -126,6 +222,8 @@ pub struct Simulator<M, P> {
     next_message_id: u64,
     crashed: Vec<bool>,
     halted: Vec<bool>,
+    /// Per-process rejoin count; timers from older incarnations are stale.
+    incarnation: Vec<u64>,
     trace: NetTrace,
 }
 
@@ -146,6 +244,7 @@ impl<M: Clone, P: Process<M>> Simulator<M, P> {
             next_message_id: 0,
             crashed: vec![false; n],
             halted: vec![false; n],
+            incarnation: vec![0; n],
             trace: NetTrace::new(),
         }
     }
@@ -188,6 +287,7 @@ impl<M: Clone, P: Process<M>> Simulator<M, P> {
         self.crashed[p]
             || self.halted[p]
             || self.crash_time(p).map(|t| at >= t).unwrap_or(false)
+            || self.failures.churned_down(p, at)
     }
 
     fn push(&mut self, at: SimTime, event: QueuedEvent<M>) {
@@ -226,6 +326,20 @@ impl<M: Clone, P: Process<M>> Simulator<M, P> {
                     message_id,
                     kind: TraceEventKind::Sent,
                 });
+                // An active partition window cuts the message before the
+                // channel model even sees it (and before it consumes any
+                // randomness, so healing windows do not perturb the delay
+                // stream of unrelated runs).
+                if self.failures.partition_cuts(self.clock, from, to) {
+                    self.trace.record(TraceEvent {
+                        at: self.clock,
+                        from,
+                        to,
+                        message_id,
+                        kind: TraceEventKind::Dropped,
+                    });
+                    continue;
+                }
                 // Byzantine omission: each destination independently starved.
                 if byzantine && self.rng.gen_bool(0.5) {
                     self.trace.record(TraceEvent {
@@ -271,6 +385,7 @@ impl<M: Clone, P: Process<M>> Simulator<M, P> {
                 QueuedEvent::Timer {
                     process: from,
                     timer_id,
+                    incarnation: self.incarnation[from],
                 },
             );
         }
@@ -285,7 +400,15 @@ impl<M: Clone, P: Process<M>> Simulator<M, P> {
     /// Runs the simulation to quiescence or until the time/event bound is
     /// reached, and returns a report.
     pub fn run(&mut self) -> SimReport {
-        // Start every process at time zero.
+        // Schedule a rejoin activation at the end of every churn window.
+        for w in self.failures.churn.clone() {
+            if w.process < self.processes.len() && w.up_at > w.down_at {
+                self.push(SimTime(w.up_at), QueuedEvent::Rejoin { process: w.process });
+            }
+        }
+
+        // Start every process at time zero (churned-out processes — late
+        // joiners — start when their rejoin fires instead).
         for p in 0..self.processes.len() {
             if !self.is_down(p, SimTime::ZERO) {
                 self.activate(p, |proc, ctx| proc.on_start(ctx));
@@ -323,11 +446,29 @@ impl<M: Clone, P: Process<M>> Simulator<M, P> {
                     let msg = Arc::try_unwrap(msg).unwrap_or_else(|shared| (*shared).clone());
                     self.activate(to, |proc, ctx| proc.on_message(ctx, from, msg));
                 }
-                QueuedEvent::Timer { process, timer_id } => {
-                    if self.is_down(process, at) {
+                QueuedEvent::Timer {
+                    process,
+                    timer_id,
+                    incarnation,
+                } => {
+                    if self.is_down(process, at) || incarnation != self.incarnation[process] {
+                        // Down, or armed before a churn window the process
+                        // has since rejoined from: the timer is stale even
+                        // if its expiry lands after the rejoin.
                         continue;
                     }
                     self.activate(process, |proc, ctx| proc.on_timer(ctx, timer_id));
+                }
+                QueuedEvent::Rejoin { process } => {
+                    if self.is_down(process, at) {
+                        // Crashed/halted (or still inside a later churn
+                        // window) — the rejoin is moot.
+                        continue;
+                    }
+                    // A new incarnation: every timer armed before the churn
+                    // window dies with the old one.
+                    self.incarnation[process] += 1;
+                    self.activate(process, |proc, ctx| proc.on_rejoin(ctx));
                 }
             }
         }
@@ -503,6 +644,116 @@ mod tests {
         assert_eq!(sim.process(1).value, 3);
         assert_eq!(sim.process(2).value, 0);
         assert_eq!(sim.process(3).value, 0);
+    }
+
+    #[test]
+    fn failure_plan_partition_heals_on_schedule() {
+        // Processes {0, 1} are cut off from {2, 3} for the first 40 ticks.
+        // Process 0 keeps bumping well past the heal, so once the window
+        // closes the other side catches up on the next flood.
+        let config = SimConfig::synchronous(8, 2, 10_000);
+        let plan = FailurePlan::none().with_partition(vec![0, 1], 0, 40);
+        let mut sim = Simulator::new(flooders(4, 20), config, plan);
+        let report = sim.run();
+        assert!(report.quiescent);
+        assert!(
+            sim.trace().dropped() > 0,
+            "the partition must cut cross-group messages"
+        );
+        for p in 0..4 {
+            assert_eq!(sim.process(p).value, 20, "process {p} converged after heal");
+        }
+    }
+
+    #[test]
+    fn partition_window_only_cuts_cross_group_messages_inside_the_window() {
+        let w = PartitionWindow {
+            group_a: vec![0, 1],
+            from: 10,
+            until: 20,
+        };
+        assert!(w.cuts(SimTime(10), 0, 2));
+        assert!(w.cuts(SimTime(19), 3, 1));
+        assert!(!w.cuts(SimTime(9), 0, 2), "not yet active");
+        assert!(!w.cuts(SimTime(20), 0, 2), "healed");
+        assert!(!w.cuts(SimTime(15), 0, 1), "same group");
+        assert!(!w.cuts(SimTime(15), 2, 3), "same group");
+    }
+
+    #[test]
+    fn churned_process_misses_the_window_but_rejoins() {
+        // Process 3 is down during [10, 50); process 0 bumps until ~t=105,
+        // so after rejoining process 3 adopts the next flooded value.
+        let config = SimConfig::synchronous(9, 2, 10_000);
+        let plan = FailurePlan::none().with_churn(3, 10, 50);
+        let mut sim = Simulator::new(flooders(4, 20), config, plan);
+        let report = sim.run();
+        assert!(report.quiescent);
+        for p in 0..4 {
+            assert_eq!(sim.process(p).value, 20, "process {p} converged");
+        }
+        // Down processes receive strictly fewer messages than their peers.
+        assert!(sim.process(3).received < sim.process(1).received);
+    }
+
+    #[test]
+    fn late_joiner_starts_at_its_rejoin_time() {
+        // A churn window starting at 0 models a late joiner: the process is
+        // only started (via on_rejoin -> on_start) when the window closes.
+        let config = SimConfig::synchronous(11, 2, 10_000);
+        let plan = FailurePlan::none().with_churn(2, 0, 30);
+        let mut sim = Simulator::new(flooders(3, 12), config, plan);
+        sim.run();
+        assert_eq!(sim.process(2).value, 12, "late joiner caught up");
+    }
+
+    #[test]
+    fn timers_armed_before_a_churn_window_do_not_survive_the_rejoin() {
+        /// Re-arms an 8-tick timer forever and counts the fires.
+        struct Ticker {
+            fires: u64,
+        }
+        impl Process<u64> for Ticker {
+            fn on_start(&mut self, ctx: &mut Context<u64>) {
+                ctx.set_timer(8, 1);
+            }
+            fn on_message(&mut self, _: &mut Context<u64>, _: usize, _: u64) {}
+            fn on_timer(&mut self, ctx: &mut Context<u64>, _: u64) {
+                self.fires += 1;
+                ctx.set_timer(8, 1);
+            }
+        }
+        // The timer armed at t=8 expires at t=16 — *after* the [10, 15)
+        // window — but must still die with the old incarnation; otherwise
+        // the rejoin's fresh chain would run alongside it, doubling the
+        // tick rate for the rest of the run.
+        let config = SimConfig {
+            seed: 1,
+            channel: ChannelModel::synchronous(1),
+            max_time: 100,
+            max_events: 10_000,
+        };
+        let plan = FailurePlan::none().with_churn(0, 10, 15);
+        let mut sim = Simulator::new(vec![Ticker { fires: 0 }], config, plan);
+        sim.run();
+        // One chain: a fire at t=8, then from the rejoin at 15 every 8
+        // ticks until 100 → 1 + ⌊(100 − 15) / 8⌋ = 11 fires.  A surviving
+        // stale chain would roughly double that.
+        assert_eq!(sim.process(0).fires, 11);
+    }
+
+    #[test]
+    fn extended_failure_plans_stay_deterministic() {
+        let run = |_: ()| {
+            let config = SimConfig::synchronous(13, 3, 10_000);
+            let plan = FailurePlan::none()
+                .with_partition(vec![0], 5, 25)
+                .with_churn(2, 12, 40);
+            let mut sim = Simulator::new(flooders(4, 10), config, plan);
+            let report = sim.run();
+            (report.events_processed, report.final_time, sim.trace().len())
+        };
+        assert_eq!(run(()), run(()));
     }
 
     #[test]

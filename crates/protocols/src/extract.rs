@@ -5,9 +5,9 @@
 //! (`receive` + `update`) and the chains it read.  After the simulation the
 //! logs of all replicas are merged into
 //!
-//! * a [`BtHistory`](btadt_core::BtHistory) — the concurrent history of
+//! * a [`BtHistory`] — the concurrent history of
 //!   `append`/`read` operations judged by the consistency criteria, and
-//! * a [`MessageHistory`](btadt_core::MessageHistory) — the
+//! * a [`MessageHistory`] — the
 //!   send/receive/update event log judged by the Update-Agreement and LRC
 //!   checkers.
 

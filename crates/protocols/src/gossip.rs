@@ -1,0 +1,172 @@
+//! Shared delta-sync gossip machinery for the mining replicas.
+//!
+//! Honest ([`PowReplica`](crate::pow::PowReplica)) and adversarial
+//! ([`AdversarialMiner`](crate::adversary::AdversarialMiner)) miners repair
+//! gaps the same way: orphaned blocks are buffered, a
+//! [`Msg::SyncRequest`](crate::messages::Msg) asks the peer for the delta
+//! above a floor, and fruitless responses halve the floor until the fork
+//! point is reached.  This module holds that state machine once so the two
+//! replica types cannot drift.
+
+use btadt_netsim::{Context, SimTime};
+use btadt_types::{Block, BlockBuilder, BlockId, BlockTree, Transaction};
+
+use crate::extract::ReplicaLog;
+use crate::messages::Msg;
+
+/// How many anti-entropy rounds keep running after mining stops, so that
+/// deltas lost to the channel still reconcile before quiescence.
+pub(crate) const SYNC_TAIL_ROUNDS: u64 = 12;
+/// Anti-entropy requests look this far below the local height so that
+/// competing same-height tips (ties the selection must see to be
+/// deterministic across replicas) still propagate.
+pub(crate) const SYNC_LOOKBACK: u64 = 3;
+
+/// Builds the block a miner chains onto `parent`: a single transfer whose
+/// id/nonce are derived from the miner id and a per-miner counter (which
+/// this bumps).  Shared by honest and adversarial miners so the block
+/// scheme cannot drift between them.
+pub(crate) fn mint_block(id: usize, n: usize, next_tx: &mut u64, parent: &Block) -> Block {
+    let tx = Transaction::transfer(
+        (id as u64) << 32 | *next_tx,
+        id as u32,
+        ((id + 1) % n) as u32,
+        1,
+    );
+    *next_tx += 1;
+    BlockBuilder::new(parent)
+        .producer(id as u32)
+        .nonce((id as u64) << 32 | *next_tx)
+        .push_tx(tx)
+        .build()
+}
+
+/// A replica's local tree plus the orphan-repair / delta-sync state.
+pub(crate) struct GossipSync {
+    id: usize,
+    tree: BlockTree,
+    orphans: Vec<Block>,
+    sync_round: u64,
+    /// Current delta-sync floor.  While orphans persist, each fruitless
+    /// sync round halves it (a response can only carry blocks *above* the
+    /// requested floor, so the floor must be pushed below the unknown fork
+    /// point explicitly); it resets once the orphan buffer drains.
+    sync_floor: Option<u64>,
+}
+
+impl GossipSync {
+    pub(crate) fn new(id: usize) -> Self {
+        GossipSync {
+            id,
+            tree: BlockTree::new(),
+            orphans: Vec::new(),
+            sync_round: 0,
+            sync_floor: None,
+        }
+    }
+
+    pub(crate) fn tree(&self) -> &BlockTree {
+        &self.tree
+    }
+
+    pub(crate) fn contains(&self, id: BlockId) -> bool {
+        self.tree.contains(id)
+    }
+
+    /// Inserts a block, draining any orphans it unblocks and recording each
+    /// application in `log`.  Returns `true` iff the block is in the tree
+    /// after the call (attached now, or already present); `false` iff it
+    /// was buffered as an orphan.
+    pub(crate) fn insert_with_orphans(
+        &mut self,
+        at: SimTime,
+        block: Block,
+        log: &mut ReplicaLog,
+    ) -> bool {
+        if self.tree.contains(block.id) {
+            return true;
+        }
+        if self.tree.insert(block.clone()).is_ok() {
+            log.record_applied(at, block);
+            // Drain any orphans that can now attach.
+            loop {
+                let mut progressed = false;
+                let mut remaining = Vec::new();
+                for orphan in std::mem::take(&mut self.orphans) {
+                    if self.tree.contains(orphan.id) {
+                        continue;
+                    }
+                    if self.tree.insert(orphan.clone()).is_ok() {
+                        log.record_applied(at, orphan);
+                        progressed = true;
+                    } else {
+                        remaining.push(orphan);
+                    }
+                }
+                self.orphans = remaining;
+                if !progressed {
+                    break;
+                }
+            }
+            if self.orphans.is_empty() {
+                self.sync_floor = None;
+            }
+            true
+        } else {
+            self.orphans.push(block);
+            false
+        }
+    }
+
+    /// Asks `peer` for the delta that can re-attach our orphans.  An orphan
+    /// at height `h` is missing at least its parent at `h - 1`, and
+    /// `delta_above` is strictly-above, so the floor must sit at `h - 2` for
+    /// the parent to be included.  If a response surfaces still-deeper gaps,
+    /// the floor-halving fallback in [`GossipSync::after_blocks`] pushes it
+    /// down — bottoming out at genesis, so sync always terminates.
+    pub(crate) fn request_delta_sync(&mut self, ctx: &mut Context<Msg>, peer: usize) {
+        let base = self
+            .orphans
+            .iter()
+            .map(|b| b.height)
+            .min()
+            .map(|h| h.saturating_sub(2))
+            .unwrap_or_else(|| self.tree.height().saturating_sub(SYNC_LOOKBACK));
+        let above_height = match self.sync_floor {
+            Some(floor) => floor.min(base),
+            None => base,
+        };
+        self.sync_floor = Some(above_height);
+        ctx.send(peer, Msg::SyncRequest { above_height });
+    }
+
+    /// One periodic anti-entropy round: ask a rotating peer for the delta
+    /// above our height (or above our orphan floor when gaps are known).
+    pub(crate) fn anti_entropy(&mut self, ctx: &mut Context<Msg>) {
+        if ctx.n() < 2 {
+            return;
+        }
+        let peer = (self.id + 1 + (self.sync_round as usize % (ctx.n() - 1))) % ctx.n();
+        self.sync_round += 1;
+        self.request_delta_sync(ctx, peer);
+    }
+
+    /// Follow-up after handling a [`Msg::Blocks`] batch.  If orphans
+    /// remain, the delta was not deep enough to reach the fork point: halve
+    /// the floor (a response never carries blocks below the floor it
+    /// answered, so orphan heights alone cannot push it down) and ask
+    /// again.  Once the floor has bottomed out at 0 this peer has already
+    /// sent its whole tree — stop re-asking it (the periodic anti-entropy
+    /// rotates to other peers), otherwise two replicas would ping-pong
+    /// full-tree payloads for the rest of the run.
+    pub(crate) fn after_blocks(&mut self, ctx: &mut Context<Msg>, from: usize) {
+        if self.orphans.is_empty() {
+            return;
+        }
+        let floor = self.sync_floor.unwrap_or_else(|| self.tree.height());
+        if floor > 0 {
+            self.sync_floor = Some(floor / 2);
+            self.request_delta_sync(ctx, from);
+        }
+    }
+}

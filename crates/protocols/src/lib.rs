@@ -28,12 +28,15 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod adversary;
 pub mod classification;
 pub mod committee;
 pub mod extract;
+mod gossip;
 pub mod messages;
 pub mod pow;
 
+pub use adversary::{build_miners, scenario_pow_config, AdversarialMiner, Miner, Strategy};
 pub use classification::{classify, table1, Classification, ProtocolSpec, SystemModel, TableRow};
 pub use committee::{CommitteeConfig, CommitteeReplica, LeaderRule};
 pub use extract::{build_histories, ReplicaLog};

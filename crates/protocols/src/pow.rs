@@ -15,20 +15,14 @@ use std::sync::Arc;
 
 use btadt_netsim::{Context, Process, SimTime};
 use btadt_oracle::{Cell, Tape};
-use btadt_types::{Block, BlockBuilder, BlockTree, Blockchain, SelectionFunction, Transaction};
+use btadt_types::{BlockTree, Blockchain, SelectionFunction};
 
 use crate::extract::ReplicaLog;
+use crate::gossip::{GossipSync, SYNC_TAIL_ROUNDS};
 use crate::messages::Msg;
 
 const MINE_TIMER: u64 = 1;
 const SYNC_TIMER: u64 = 2;
-/// How many anti-entropy rounds keep running after mining stops, so that
-/// deltas lost to the channel still reconcile before quiescence.
-const SYNC_TAIL_ROUNDS: u64 = 12;
-/// Anti-entropy requests look this far below the local height so that
-/// competing same-height tips (ties the selection must see to be
-/// deterministic across replicas) still propagate.
-const SYNC_LOOKBACK: u64 = 3;
 
 /// Configuration of a proof-of-work replica.
 #[derive(Clone)]
@@ -56,16 +50,10 @@ pub struct PowReplica {
     id: usize,
     config: PowConfig,
     tape: Tape,
-    tree: BlockTree,
-    orphans: Vec<Block>,
+    /// Local tree plus the shared orphan-repair / delta-sync machinery.
+    sync: GossipSync,
     last_read_score: u64,
     next_tx: u64,
-    sync_round: u64,
-    /// Current delta-sync floor.  While orphans persist, each fruitless
-    /// sync round halves it (a response can only carry blocks *above* the
-    /// requested floor, so the floor must be pushed below the unknown fork
-    /// point explicitly); it resets once the orphan buffer drains.
-    sync_floor: Option<u64>,
     /// Everything this replica did (read by the classification driver).
     pub log: ReplicaLog,
 }
@@ -78,24 +66,21 @@ impl PowReplica {
             id,
             config,
             tape,
-            tree: BlockTree::new(),
-            orphans: Vec::new(),
+            sync: GossipSync::new(id),
             last_read_score: 0,
             next_tx: 1,
-            sync_round: 0,
-            sync_floor: None,
             log: ReplicaLog::new(),
         }
     }
 
     /// The replica's current local BlockTree.
     pub fn tree(&self) -> &BlockTree {
-        &self.tree
+        self.sync.tree()
     }
 
     /// The chain currently selected by the replica.
     pub fn selected(&self) -> Blockchain {
-        self.config.selection.select(&self.tree)
+        self.config.selection.select(self.sync.tree())
     }
 
     fn maybe_read(&mut self, at: SimTime) {
@@ -115,98 +100,15 @@ impl PowReplica {
         self.log.record_read(at, chain);
     }
 
-    /// Inserts a block, draining any orphans it unblocks.  Returns `true`
-    /// iff the block is in the tree after the call (attached now, or
-    /// already present); `false` iff it was buffered as an orphan.
-    fn insert_with_orphans(&mut self, at: SimTime, block: Block) -> bool {
-        if self.tree.contains(block.id) {
-            return true;
-        }
-        if self.tree.insert(block.clone()).is_ok() {
-            self.log.record_applied(at, block);
-            // Drain any orphans that can now attach.
-            loop {
-                let mut progressed = false;
-                let mut remaining = Vec::new();
-                for orphan in std::mem::take(&mut self.orphans) {
-                    if self.tree.contains(orphan.id) {
-                        continue;
-                    }
-                    if self.tree.insert(orphan.clone()).is_ok() {
-                        self.log.record_applied(at, orphan);
-                        progressed = true;
-                    } else {
-                        remaining.push(orphan);
-                    }
-                }
-                self.orphans = remaining;
-                if !progressed {
-                    break;
-                }
-            }
-            if self.orphans.is_empty() {
-                self.sync_floor = None;
-            }
-            true
-        } else {
-            self.orphans.push(block);
-            false
-        }
-    }
-
-    /// Asks `peer` for the delta that can re-attach our orphans.  An orphan
-    /// at height `h` is missing at least its parent at `h - 1`, and
-    /// `delta_above` is strictly-above, so the floor must sit at `h - 2` for
-    /// the parent to be included.  If a response surfaces still-deeper gaps,
-    /// the floor-halving fallback in the `Msg::Blocks` handler pushes it
-    /// down — bottoming out at genesis, so sync always terminates.
-    fn request_delta_sync(&mut self, ctx: &mut Context<Msg>, peer: usize) {
-        let base = self
-            .orphans
-            .iter()
-            .map(|b| b.height)
-            .min()
-            .map(|h| h.saturating_sub(2))
-            .unwrap_or_else(|| self.tree.height().saturating_sub(SYNC_LOOKBACK));
-        let above_height = match self.sync_floor {
-            Some(floor) => floor.min(base),
-            None => base,
-        };
-        self.sync_floor = Some(above_height);
-        ctx.send(peer, Msg::SyncRequest { above_height });
-    }
-
-    /// One periodic anti-entropy round: ask a rotating peer for the delta
-    /// above our height (or above our orphan floor when gaps are known).
-    fn anti_entropy(&mut self, ctx: &mut Context<Msg>) {
-        if ctx.n() < 2 {
-            return;
-        }
-        let peer = (self.id + 1 + (self.sync_round as usize % (ctx.n() - 1))) % ctx.n();
-        self.sync_round += 1;
-        self.request_delta_sync(ctx, peer);
-    }
-
     fn mine(&mut self, ctx: &mut Context<Msg>) {
         if self.tape.pop() != Cell::Token {
             return;
         }
         let parent = self.selected().tip().clone();
-        let tx = Transaction::transfer(
-            (self.id as u64) << 32 | self.next_tx,
-            self.id as u32,
-            ((self.id + 1) % ctx.n()) as u32,
-            1,
-        );
-        self.next_tx += 1;
-        let block = BlockBuilder::new(&parent)
-            .producer(self.id as u32)
-            .nonce((self.id as u64) << 32 | self.next_tx)
-            .push_tx(tx)
-            .build();
+        let block = crate::gossip::mint_block(self.id, ctx.n(), &mut self.next_tx, &parent);
         let at = ctx.now();
         self.log.record_created(at, block.clone());
-        self.insert_with_orphans(at, block.clone());
+        self.sync.insert_with_orphans(at, block.clone(), &mut self.log);
         self.maybe_read(at);
         ctx.broadcast(Msg::NewBlock(block));
     }
@@ -224,43 +126,29 @@ impl Process<Msg> for PowReplica {
         let at = ctx.now();
         match msg {
             Msg::NewBlock(block) => {
-                if !self.tree.contains(block.id) {
+                if !self.sync.contains(block.id) {
                     self.log.record_received(at, block.clone());
-                    if !self.insert_with_orphans(at, block) {
+                    if !self.sync.insert_with_orphans(at, block, &mut self.log) {
                         // The block orphaned: something upstream was lost or
                         // reordered — ask its sender for the missing delta.
-                        self.request_delta_sync(ctx, from);
+                        self.sync.request_delta_sync(ctx, from);
                     }
                     self.maybe_read(at);
                 }
             }
             Msg::Blocks(blocks) => {
                 for block in blocks {
-                    if self.tree.contains(block.id) {
+                    if self.sync.contains(block.id) {
                         continue;
                     }
                     self.log.record_received(at, block.clone());
-                    self.insert_with_orphans(at, block);
+                    self.sync.insert_with_orphans(at, block, &mut self.log);
                 }
                 self.maybe_read(at);
-                if !self.orphans.is_empty() {
-                    // The delta was not deep enough to reach the fork point:
-                    // halve the floor (a response never carries blocks below
-                    // the floor it answered, so orphan heights alone cannot
-                    // push it down) and ask again.  Once the floor has
-                    // bottomed out at 0 this peer has already sent its whole
-                    // tree — stop re-asking it (the periodic anti-entropy
-                    // rotates to other peers), otherwise two replicas would
-                    // ping-pong full-tree payloads for the rest of the run.
-                    let floor = self.sync_floor.unwrap_or_else(|| self.tree.height());
-                    if floor > 0 {
-                        self.sync_floor = Some(floor / 2);
-                        self.request_delta_sync(ctx, from);
-                    }
-                }
+                self.sync.after_blocks(ctx, from);
             }
             Msg::SyncRequest { above_height } => {
-                let delta = self.tree.delta_above(above_height);
+                let delta = self.sync.tree().delta_above(above_height);
                 if !delta.is_empty() {
                     ctx.send(from, Msg::Blocks(delta));
                 }
@@ -279,7 +167,7 @@ impl Process<Msg> for PowReplica {
                     ctx.set_timer(self.config.mine_interval, MINE_TIMER);
                 }
             SYNC_TIMER => {
-                self.anti_entropy(ctx);
+                self.sync.anti_entropy(ctx);
                 let sync_until =
                     self.config.mine_until + SYNC_TAIL_ROUNDS * self.config.sync_interval;
                 if ctx.now().0 <= sync_until {
@@ -361,6 +249,32 @@ mod tests {
         for (x, y) in a.iter().zip(b.iter()) {
             assert_eq!(x.tree().sorted_ids(), y.tree().sorted_ids());
         }
+    }
+
+    #[test]
+    fn churned_replica_rejoins_and_syncs_via_delta_gossip() {
+        // Replica 3 is offline during [10, 60) while the others keep mining.
+        // On rejoin, `on_rejoin` restarts its timers; the next anti-entropy
+        // round (and any orphan-triggered catch-up) pulls the missed blocks
+        // as a delta, so by quiescence it selects the same chain.
+        let replicas: Vec<PowReplica> =
+            (0..4).map(|i| PowReplica::new(i, config(17, 0.3))).collect();
+        let sim_config = SimConfig::synchronous(17, 3, 600);
+        let plan = FailurePlan::none().with_churn(3, 10, 60);
+        let mut sim = Simulator::new(replicas, sim_config, plan);
+        sim.run();
+        let (replicas, _) = sim.into_parts();
+        let total_mined: usize = replicas.iter().map(|r| r.log.created.len()).sum();
+        assert!(total_mined > 5, "expected mining activity");
+        // The churned replica heard strictly less from the network first-hand…
+        let tips: Vec<_> = replicas.iter().map(|r| r.selected().tip().id).collect();
+        let heights: Vec<_> = replicas.iter().map(|r| r.tree().height()).collect();
+        // …but delta gossip restored agreement on the selected chain.
+        assert!(
+            tips.iter().all(|&t| t == tips[0]),
+            "churned replica re-synced: tips {tips:?}, heights {heights:?}"
+        );
+        assert_eq!(heights[3], heights[0], "the rejoined tree caught up in height");
     }
 
     #[test]

@@ -5,7 +5,8 @@
 //! `{b0}⌢f(bt)`, i.e. the selected chain rooted at the genesis block.  This
 //! module implements the chain value itself, the prefix relation `⊑` and the
 //! *maximal common prefix score* `mcps` used by the Strong Prefix and
-//! Eventual Prefix properties.
+//! Eventual Prefix properties of the consistency criteria
+//! (Definitions 3.2/3.4).
 
 use std::fmt;
 use std::ops::Index;

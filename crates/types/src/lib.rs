@@ -10,12 +10,15 @@
 //!   hash of its contents.
 //! * [`Blockchain`] — a path from the genesis block to some block of the
 //!   tree, together with the prefix relation `⊑` and the maximal common
-//!   prefix score `mcps` used by the consistency criteria.
+//!   prefix score `mcps` used by the consistency criteria: `read()` on the
+//!   BT-ADT (Def. 3.1) returns `{b0}⌢f(bt)`, and Strong/Eventual Prefix
+//!   (Defs. 3.2/3.4) are stated in terms of `⊑` and `mcps` over the chains
+//!   those reads return.
 //! * [`BlockTree`] — the directed rooted tree `bt = (V_bt, E_bt)`: a dense
 //!   arena slab addressed by [`NodeIdx`] with cached heights, cumulative
 //!   work and incrementally maintained leaf/tip indices (see
 //!   [`tree`] for the representation notes);
-//! * [`reference`] — the naive map-based tree kept as the executable
+//! * [`mod@reference`] — the naive map-based tree kept as the executable
 //!   specification for property tests and as the benchmark baseline.
 //! * [`score`] — monotonically increasing score functions over blockchains
 //!   (length, cumulative work, …).

@@ -1,8 +1,10 @@
 //! The BlockTree: an arena-indexed directed rooted tree of blocks.
 //!
-//! The BlockTree `bt = (V_bt, E_bt)` is the abstract state of the BT-ADT.
-//! Each vertex is a block, every edge points backward towards the root (the
-//! genesis block `b0`).
+//! The BlockTree `bt = (V_bt, E_bt)` is the abstract state of the BT-ADT
+//! (Definition 3.1): `append(b)` grafts a valid block onto the chain
+//! selected by `f`, `read()` returns `{b0}⌢f(bt)`.  Each vertex is a
+//! block, every edge points backward towards the root (the genesis block
+//! `b0`).
 //!
 //! ## Representation
 //!

@@ -1,13 +1,14 @@
-//! Quickstart: build a BlockTree through the oracle refinement, read it, and
-//! check the consistency criteria.
+//! Quickstart: build a BlockTree through the oracle refinement, check the
+//! consistency criteria, and sweep a 3-scenario adversarial mini-matrix.
 //!
 //! ```bash
-//! cargo run --example quickstart
+//! cargo run --release --example quickstart
 //! ```
 
 use std::sync::Arc;
 
 use blockchain_adt::prelude::*;
+use btadt_bench::scenarios::{print_summary, smoke_matrix, sweep};
 use btadt_oracle::OracleLog;
 
 fn main() {
@@ -66,4 +67,16 @@ fn main() {
         "Eventual Consistency admitted: {} (forks are temporary)",
         ec.admits(&run.history)
     );
+
+    // --- 5. A scenario mini-matrix: three adversarial network regimes
+    // (loss-free baseline, a partition that heals, a selfish miner), two
+    // seeds each, fanned across threads.  Every cell runs honest PoW miners
+    // (plus the scheduled adversaries) on its own deterministic simulator
+    // and is judged by the consistency criteria.  `smoke_matrix()` is the
+    // same matrix CI exercises; docs/SCENARIOS.md documents the schema for
+    // building your own with `Scenario::new(..).with_partition(..)` etc. --
+    let matrix = smoke_matrix();
+    println!("\nscenario mini-matrix ({} cells):", matrix.len());
+    let report = sweep(&matrix, 2);
+    print_summary(&report);
 }
