@@ -1,0 +1,42 @@
+//! The shared-memory replica scaling suite (`BENCH_concurrent.json`).
+//!
+//! ```bash
+//! cargo bench -p btadt-bench --bench concurrent            # full run
+//! cargo bench -p btadt-bench --bench concurrent -- --test  # CI smoke run
+//! ```
+//!
+//! Sweeps [`btadt_bench::concurrent::run_suite`]: append/read throughput of
+//! the oracle-mediated `ConcurrentBlockTree` at 1/2/4/8 OS threads on
+//! append-heavy and read-heavy mixes, criterion verdicts for the recorded
+//! multi-threaded histories, and the coarse-lock read baseline.  The full
+//! run writes `BENCH_concurrent.json` at the workspace root.
+
+use btadt_bench::concurrent::{print_summary, render_json, run_suite, SuiteParams};
+use btadt_bench::harness::workspace_root;
+
+fn main() {
+    let test_mode = std::env::args().skip(1).any(|a| a == "--test");
+    let params = if test_mode {
+        SuiteParams::smoke()
+    } else {
+        SuiteParams::full()
+    };
+    let report = run_suite(params, 2024);
+    print_summary(&report);
+    if !report.all_verified() {
+        eprintln!("concurrent: a recorded history failed its claimed criterion");
+        std::process::exit(1);
+    }
+    if test_mode {
+        println!("concurrent: smoke run complete");
+        return;
+    }
+    let path = workspace_root().join("BENCH_concurrent.json");
+    match std::fs::write(&path, render_json(&report)) {
+        Ok(()) => println!("concurrent: report written to {}", path.display()),
+        Err(e) => {
+            eprintln!("concurrent: could not write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}

@@ -56,7 +56,11 @@ fn fig02_04_history_classification(h: &mut Harness) {
     for (label, kind, expect_sc) in [
         ("fig02_strong(frugal_k1)", OracleKind::Frugal(1), true),
         ("fig03_eventual(prodigal)", OracleKind::Prodigal, false),
-        ("fig04_neither_is_impossible_here", OracleKind::Frugal(4), false),
+        (
+            "fig04_neither_is_impossible_here",
+            OracleKind::Frugal(4),
+            false,
+        ),
     ] {
         h.bench("fig02_04_history_classification", label, || {
             let (strong, eventual, _) = classify_contended(kind, 11);
@@ -71,26 +75,30 @@ fn fig02_04_history_classification(h: &mut Harness) {
 fn fig06_oracle_and_fork_coherence(h: &mut Harness) {
     let genesis = Block::genesis();
     for k in [1usize, 2, 8] {
-        h.bench("fig06_oracle_transitions", &format!("frugal_tape_k{k}"), || {
-            let mut oracle = FrugalOracle::new(
-                k,
-                MeritTable::uniform(4),
-                OracleConfig {
-                    seed: 5,
-                    probability_scale: 1.0,
-                    min_probability: 0.2,
-                },
-            );
-            let mut log = btadt_oracle::OracleLog::new();
-            for nonce in 0..64u64 {
-                let cand = BlockBuilder::new(&genesis).nonce(nonce).build();
-                let (grant, _) =
-                    oracle.get_token_until_granted((nonce % 4) as usize, &genesis, cand);
-                let outcome = oracle.consume_token(&grant);
-                log.record(&grant, &outcome);
-            }
-            assert!(ForkCoherenceChecker::frugal(k).holds(&log));
-        });
+        h.bench(
+            "fig06_oracle_transitions",
+            &format!("frugal_tape_k{k}"),
+            || {
+                let mut oracle = FrugalOracle::new(
+                    k,
+                    MeritTable::uniform(4),
+                    OracleConfig {
+                        seed: 5,
+                        probability_scale: 1.0,
+                        min_probability: 0.2,
+                    },
+                );
+                let mut log = btadt_oracle::OracleLog::new();
+                for nonce in 0..64u64 {
+                    let cand = BlockBuilder::new(&genesis).nonce(nonce).build();
+                    let (grant, _) =
+                        oracle.get_token_until_granted((nonce % 4) as usize, &genesis, cand);
+                    let outcome = oracle.consume_token(&grant);
+                    log.record(&grant, &outcome);
+                }
+                assert!(ForkCoherenceChecker::frugal(k).holds(&log));
+            },
+        );
     }
     h.bench("fig06_oracle_transitions", "ablation_pow_backend", || {
         let mut oracle = SimulatedPow::new(
@@ -185,33 +193,41 @@ fn fig09_11_consensus_from_frugal(h: &mut Harness) {
 /// Figure 12 / Theorem 4.3: the prodigal consumeToken from atomic snapshot.
 fn fig12_prodigal_snapshot(h: &mut Harness) {
     for threads in [4usize, 8] {
-        h.bench("fig12_prodigal_snapshot", &format!("threads_{threads}"), || {
-            let ct = Arc::new(SnapshotConsumeToken::new(threads));
-            std::thread::scope(|s| {
-                for i in 0..threads {
-                    let ct = Arc::clone(&ct);
-                    s.spawn(move || {
-                        let block = BlockBuilder::new(&Block::genesis())
-                            .producer(i as u32)
-                            .nonce(i as u64)
-                            .build();
-                        ct.consume_token(i, block)
-                    });
-                }
-            });
-            assert_eq!(ct.scan().len(), threads);
-        });
+        h.bench(
+            "fig12_prodigal_snapshot",
+            &format!("threads_{threads}"),
+            || {
+                let ct = Arc::new(SnapshotConsumeToken::new(threads));
+                std::thread::scope(|s| {
+                    for i in 0..threads {
+                        let ct = Arc::clone(&ct);
+                        s.spawn(move || {
+                            let block = BlockBuilder::new(&Block::genesis())
+                                .producer(i as u32)
+                                .nonce(i as u64)
+                                .build();
+                            ct.consume_token(i, block)
+                        });
+                    }
+                });
+                assert_eq!(ct.scan().len(), threads);
+            },
+        );
     }
 }
 
 /// Figure 13 / Theorems 4.6–4.7: Update-Agreement & LRC necessity — a
 /// lossless prodigal run satisfies EC.
 fn fig13_thm47_update_agreement(h: &mut Harness) {
-    h.bench("fig13_thm47_update_agreement", "lossless_run_satisfies_ec", || {
-        let run = run_contended(OracleKind::Prodigal, default_contention(21));
-        let ec = eventual_consistency(Arc::new(LengthScore), Arc::new(AlwaysValid));
-        assert!(ec.admits(&run.history));
-    });
+    h.bench(
+        "fig13_thm47_update_agreement",
+        "lossless_run_satisfies_ec",
+        || {
+            let run = run_contended(OracleKind::Prodigal, default_contention(21));
+            let ec = eventual_consistency(Arc::new(LengthScore), Arc::new(AlwaysValid));
+            assert!(ec.admits(&run.history));
+        },
+    );
 }
 
 /// Table 1: classification of the seven systems.
@@ -252,10 +268,14 @@ fn ablation_selection_fn(h: &mut Harness) {
 /// Ablation: fork bound k vs observed branching.
 fn ablation_fork_bound(h: &mut Harness) {
     for k in [1usize, 2, 4] {
-        h.bench("ablation_fork_bound", &format!("contended_run_k{k}"), || {
-            let run = run_contended(OracleKind::Frugal(k), default_contention(5));
-            assert!(run.max_forks() <= k);
-        });
+        h.bench(
+            "ablation_fork_bound",
+            &format!("contended_run_k{k}"),
+            || {
+                let run = run_contended(OracleKind::Frugal(k), default_contention(5));
+                assert!(run.max_forks() <= k);
+            },
+        );
     }
     h.bench("ablation_fork_bound", "contended_run_prodigal", || {
         let run = run_contended(OracleKind::Prodigal, default_contention(5));
@@ -297,7 +317,8 @@ fn oracle_throughput(h: &mut Harness) {
         (
             "prodigal",
             Box::new(move || {
-                Box::new(ProdigalOracle::new(MeritTable::uniform(4), config)) as Box<dyn TokenOracle>
+                Box::new(ProdigalOracle::new(MeritTable::uniform(4), config))
+                    as Box<dyn TokenOracle>
             }),
         ),
         (

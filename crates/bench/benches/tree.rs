@@ -34,7 +34,9 @@ const CHAIN_BIAS: f64 = 0.5;
 fn naive_mirror(tree: &BlockTree) -> NaiveBlockTree {
     let mut naive = NaiveBlockTree::new();
     for block in tree.blocks().skip(1) {
-        naive.insert(block.clone()).expect("arena order is insertable");
+        naive
+            .insert(block.clone())
+            .expect("arena order is insertable");
     }
     naive
 }
@@ -133,7 +135,8 @@ fn main() {
             sync_interval: 8,
             seed: 3,
         };
-        let replicas: Vec<PowReplica> = (0..5).map(|i| PowReplica::new(i, config.clone())).collect();
+        let replicas: Vec<PowReplica> =
+            (0..5).map(|i| PowReplica::new(i, config.clone())).collect();
         let sim_config = SimConfig::synchronous(3, 3, sim_rounds * 10 + 100);
         let mut sim = Simulator::new(replicas, sim_config, FailurePlan::none());
         let report = sim.run();

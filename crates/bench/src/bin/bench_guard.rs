@@ -1,0 +1,85 @@
+//! `cargo run --release -p btadt-bench --bin bench_guard -- <baseline.json>
+//! <fresh.json> [--threshold 0.25]` — the bench-regression gate.
+//!
+//! Compares the medians of a freshly generated harness report against a
+//! baseline (see [`btadt_bench::guard`]) and exits non-zero if any
+//! benchmark regressed beyond the threshold or disappeared.  The CI
+//! workflow snapshots the committed `BENCH_tree.json`, re-runs the tree
+//! bench, and feeds both files here.
+
+use btadt_bench::guard::{compare, rows_from_str};
+
+fn read_rows(path: &str) -> Vec<btadt_bench::guard::BenchRow> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench_guard: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    rows_from_str(&text).unwrap_or_else(|e| {
+        eprintln!("bench_guard: cannot parse {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let mut positional = Vec::new();
+    let mut threshold = 0.25f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threshold" => {
+                threshold = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&t| (0.0..10.0).contains(&t))
+                    .unwrap_or_else(|| {
+                        eprintln!("--threshold expects a ratio like 0.25");
+                        std::process::exit(2);
+                    });
+            }
+            other if !other.starts_with('-') => positional.push(other.to_string()),
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let [baseline_path, fresh_path] = positional.as_slice() else {
+        eprintln!("usage: bench_guard <baseline.json> <fresh.json> [--threshold 0.25]");
+        std::process::exit(2);
+    };
+
+    let baseline = read_rows(baseline_path);
+    let fresh = read_rows(fresh_path);
+    let report = compare(&baseline, &fresh, threshold);
+
+    println!(
+        "bench_guard: compared {} benchmarks (threshold +{:.0}%)",
+        report.compared,
+        threshold * 100.0
+    );
+    for key in &report.added {
+        println!("  new benchmark (no baseline yet): {key}");
+    }
+    for key in &report.missing {
+        println!("  MISSING from fresh report: {key}");
+    }
+    for r in &report.regressions {
+        println!(
+            "  REGRESSION {}: {:.1} ns -> {:.1} ns ({:.2}x)",
+            r.key,
+            r.baseline_ns,
+            r.fresh_ns,
+            r.ratio()
+        );
+    }
+    if report.passed() {
+        println!("bench_guard: ok, no median regressed beyond the threshold");
+    } else {
+        eprintln!(
+            "bench_guard: FAILED ({} regressions, {} missing)",
+            report.regressions.len(),
+            report.missing.len()
+        );
+        std::process::exit(1);
+    }
+}

@@ -17,9 +17,18 @@ fn main() {
     println!("Figures 2–4 — history classification under contention");
     println!("{}", "-".repeat(72));
     for (label, kind) in [
-        ("frugal(k=1)  [Figure 2 regime: strong]", OracleKind::Frugal(1)),
-        ("frugal(k=4)  [Figure 3 regime: eventual only]", OracleKind::Frugal(4)),
-        ("prodigal     [Figure 3 regime: eventual only]", OracleKind::Prodigal),
+        (
+            "frugal(k=1)  [Figure 2 regime: strong]",
+            OracleKind::Frugal(1),
+        ),
+        (
+            "frugal(k=4)  [Figure 3 regime: eventual only]",
+            OracleKind::Frugal(4),
+        ),
+        (
+            "prodigal     [Figure 3 regime: eventual only]",
+            OracleKind::Prodigal,
+        ),
     ] {
         let mut sc_count = 0;
         let mut ec_count = 0;

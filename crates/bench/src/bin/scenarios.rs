@@ -1,20 +1,26 @@
 //! `cargo run --release -p btadt-bench --bin scenarios [-- --smoke]
-//! [--threads N]` — the adversarial scenario sweep as a plain binary.
+//! [--threads N] [--out PATH]` — the adversarial scenario sweep as a plain
+//! binary.
 //!
 //! Without flags, runs the shipped matrix on the machine's parallelism
 //! (≥ 4 threads) and writes `BENCH_scenarios.json` at the workspace root.
-//! `--smoke` runs the reduced matrix and skips the report — the fast CI
-//! job.  `--threads N` pins the worker count (e.g. `--threads 1` for a
-//! serial baseline; outcomes are identical by construction).
+//! `--smoke` runs the reduced matrix and skips the full report — the fast
+//! CI job.  `--threads N` pins the worker count (e.g. `--threads 1` for a
+//! serial baseline; outcomes are identical by construction).  `--out PATH`
+//! additionally writes the *deterministic outcome summary* (all timing
+//! stripped) to PATH — the CI determinism gate runs the smoke sweep at
+//! `--threads 1` and `--threads 4` and diffs the two summaries.
 
 use btadt_bench::harness::workspace_root;
 use btadt_bench::scenarios::{
     default_threads, print_summary, shipped_matrix, smoke_matrix, sweep, write_json,
+    write_outcomes_json,
 };
 
 fn main() {
     let mut smoke = false;
     let mut threads: Option<usize> = None;
+    let mut out: Option<std::path::PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -29,17 +35,32 @@ fn main() {
                         std::process::exit(2);
                     });
             }
+            "--out" => {
+                out = args.next().map(std::path::PathBuf::from).or_else(|| {
+                    eprintln!("--out expects a path");
+                    std::process::exit(2);
+                });
+            }
             other => {
-                eprintln!("unknown argument: {other} (expected --smoke or --threads N)");
+                eprintln!(
+                    "unknown argument: {other} (expected --smoke, --threads N or --out PATH)"
+                );
                 std::process::exit(2);
             }
         }
     }
 
-    let matrix = if smoke { smoke_matrix() } else { shipped_matrix() };
+    let matrix = if smoke {
+        smoke_matrix()
+    } else {
+        shipped_matrix()
+    };
     let threads = threads.unwrap_or_else(|| default_threads(matrix.len()));
     let report = sweep(&matrix, threads);
     print_summary(&report);
+    if let Some(path) = &out {
+        write_outcomes_json(&report, path);
+    }
     if smoke {
         println!("scenarios: smoke run complete");
     } else {

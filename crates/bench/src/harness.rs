@@ -111,8 +111,8 @@ impl Harness {
 
         // Calibrate: split the measurement budget into batches so a median
         // is available, with at least one iteration per batch.
-        let total_iters = ((TARGET_MEASURE.as_nanos() as f64 / per_iter.max(1.0)) as u64)
-            .clamp(10, MAX_ITERS);
+        let total_iters =
+            ((TARGET_MEASURE.as_nanos() as f64 / per_iter.max(1.0)) as u64).clamp(10, MAX_ITERS);
         let batches = 10u64;
         let per_batch = (total_iters / batches).max(1);
         let mut batch_means = Vec::with_capacity(batches as usize);
@@ -180,7 +180,11 @@ impl Harness {
         let _ = writeln!(out, "  \"bench\": {},", json_string(&self.label));
         let _ = writeln!(out, "  \"results\": [");
         for (i, m) in self.measurements.iter().enumerate() {
-            let comma = if i + 1 == self.measurements.len() { "" } else { "," };
+            let comma = if i + 1 == self.measurements.len() {
+                ""
+            } else {
+                ","
+            };
             let _ = writeln!(
                 out,
                 "    {{\"group\": {}, \"name\": {}, \"iters\": {}, \"mean_ns\": {:.1}, \"median_ns\": {:.1}}}{comma}",

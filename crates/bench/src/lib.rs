@@ -16,7 +16,10 @@
 
 #![warn(missing_docs)]
 
+pub mod concurrent;
+pub mod guard;
 pub mod harness;
+pub mod json;
 pub mod scenarios;
 
 use std::sync::Arc;
@@ -59,17 +62,25 @@ pub fn hierarchy_report(seeds: &[u64]) -> HierarchyReport {
         .map(|&(k1, k2)| (k1, k2, fork_bound_inclusion(k1, k2, seeds, base)))
         .collect();
     let sc_ec = sc_subset_ec(
-        &[OracleKind::Frugal(1), OracleKind::Frugal(4), OracleKind::Prodigal],
+        &[
+            OracleKind::Frugal(1),
+            OracleKind::Frugal(4),
+            OracleKind::Prodigal,
+        ],
         seeds,
         base,
     );
-    let strong_prefix = [OracleKind::Frugal(1), OracleKind::Frugal(4), OracleKind::Prodigal]
-        .iter()
-        .map(|&kind| {
-            let (v, t) = strong_prefix_violations(kind, seeds, base);
-            (kind.label(), v, t)
-        })
-        .collect();
+    let strong_prefix = [
+        OracleKind::Frugal(1),
+        OracleKind::Frugal(4),
+        OracleKind::Prodigal,
+    ]
+    .iter()
+    .map(|&kind| {
+        let (v, t) = strong_prefix_violations(kind, seeds, base);
+        (kind.label(), v, t)
+    })
+    .collect();
     HierarchyReport {
         fork_inclusions,
         sc_ec,

@@ -159,9 +159,13 @@ pub fn shipped_matrix() -> ScenarioMatrix {
         }),
         Scenario::new("lossy-20", n).with_loss(0.2),
         Scenario::new("partition-heal", n).with_partition(vec![0, 1, 2, 3], 10, 120),
-        Scenario::new("churn", n).with_churn(6, 10, 120).with_churn(7, 40, 160),
+        Scenario::new("churn", n)
+            .with_churn(6, 10, 120)
+            .with_churn(7, 40, 160),
         Scenario::new("crash", n).with_crash(7, 60),
-        Scenario::new("byzantine", n).with_byzantine(0).with_byzantine(1),
+        Scenario::new("byzantine", n)
+            .with_byzantine(0)
+            .with_byzantine(1),
         Scenario::new("selfish-25", n).with_adversaries(AdversaryMix {
             selfish: 2,
             withholding: 0,
@@ -265,11 +269,8 @@ pub fn summarize(report: &SweepReport) -> Vec<ScenarioSummary> {
     order
         .into_iter()
         .map(|name| {
-            let cells: Vec<&MatrixCell<CellOutcome>> = report
-                .cells
-                .iter()
-                .filter(|c| c.scenario == name)
-                .collect();
+            let cells: Vec<&MatrixCell<CellOutcome>> =
+                report.cells.iter().filter(|c| c.scenario == name).collect();
             let n = cells.len() as f64;
             let rate = |pred: &dyn Fn(&CellOutcome) -> bool| {
                 cells.iter().filter(|c| pred(&c.result)).count() as f64 / n
@@ -370,6 +371,80 @@ pub fn render_json(report: &SweepReport) -> String {
     out
 }
 
+/// Renders only the **deterministic** portion of a sweep: per-cell outcomes
+/// and per-scenario aggregates with every timing field stripped.
+///
+/// Outcomes are a pure function of (scenario, seed), so two sweeps of the
+/// same matrix must render byte-identical documents regardless of thread
+/// count or machine load — this is what the CI determinism gate diffs
+/// between a `--threads 1` and a `--threads 4` run.
+pub fn render_outcomes_json(report: &SweepReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"bench\": \"scenarios-outcomes\",");
+    let _ = writeln!(out, "  \"cells\": [");
+    for (i, cell) in report.cells.iter().enumerate() {
+        let o = &cell.result;
+        let comma = if i + 1 == report.cells.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"scenario\": {}, \"seed\": {}, \"events\": {}, \
+             \"quiescent\": {}, \"converged\": {}, \"convergence_time\": {}, \
+             \"divergence_depth\": {}, \"max_fork_degree\": {}, \"blocks_created\": {}, \
+             \"strong\": {}, \"eventual\": {}, \"delivered\": {}, \"dropped\": {}}}{comma}",
+            json_string(&cell.scenario),
+            cell.seed,
+            o.report.events_processed,
+            o.report.quiescent,
+            o.converged,
+            o.convergence_time,
+            o.divergence_depth,
+            o.max_fork_degree,
+            o.blocks_created,
+            o.strong,
+            o.eventual,
+            o.delivered,
+            o.dropped,
+        );
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"scenarios\": [");
+    let summaries = summarize(report);
+    for (i, s) in summaries.iter().enumerate() {
+        let comma = if i + 1 == summaries.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"name\": {}, \"cells\": {}, \"sc_pass_rate\": {:.3}, \
+             \"ec_pass_rate\": {:.3}, \"converged_rate\": {:.3}, \
+             \"mean_convergence_time\": {:.1}, \"max_divergence_depth\": {}, \
+             \"max_fork_degree\": {}}}{comma}",
+            json_string(&s.name),
+            s.cells,
+            s.sc_pass_rate,
+            s.ec_pass_rate,
+            s.converged_rate,
+            s.mean_convergence_time,
+            s.max_divergence_depth,
+            s.max_fork_degree,
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    out.push_str("}\n");
+    out
+}
+
+/// Writes the deterministic outcome summary (see [`render_outcomes_json`])
+/// to `path`.
+pub fn write_outcomes_json(report: &SweepReport, path: &Path) {
+    match std::fs::write(path, render_outcomes_json(report)) {
+        Ok(()) => println!("scenarios: outcome summary written to {}", path.display()),
+        Err(e) => {
+            eprintln!("scenarios: could not write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}
+
 /// Writes `BENCH_scenarios.json` to `path`.
 pub fn write_json(report: &SweepReport, path: &Path) {
     match std::fs::write(path, render_json(report)) {
@@ -437,6 +512,19 @@ mod tests {
         let serial = sweep(&matrix, 1);
         let parallel = sweep(&matrix, 4);
         assert_eq!(strip_wall(&serial.cells), strip_wall(&parallel.cells));
+    }
+
+    #[test]
+    fn outcome_summaries_are_byte_identical_across_thread_counts() {
+        // The CI determinism gate in workflow form: the rendered outcome
+        // document (all timing stripped) must not depend on the worker
+        // count.
+        let matrix = smoke_matrix();
+        let serial = render_outcomes_json(&sweep(&matrix, 1));
+        let parallel = render_outcomes_json(&sweep(&matrix, 4));
+        assert_eq!(serial, parallel);
+        assert!(!serial.contains("wall_ns"), "outcomes carry no timing");
+        assert!(serial.contains("\"bench\": \"scenarios-outcomes\""));
     }
 
     #[test]

@@ -1,0 +1,654 @@
+//! A thread-safe shared-memory BlockTree replica mediated by the oracles.
+//!
+//! Section 4.1 proves the BT-ADT is implementable in shared memory by
+//! reducing each oracle to a classical wait-free object:
+//!
+//! * **Θ_F,k=1 → Compare&Swap** (Figure 10, Theorems 4.1/4.2): with `k = 1`
+//!   at most one `consumeToken` per parent succeeds, so an append mediated
+//!   by [`OracleCas`] behaves like `CAS(K[h], ∅, {b})` — the tree stays a
+//!   single chain and the recorded histories satisfy **BT Strong
+//!   Consistency**;
+//! * **Θ_P → Atomic Snapshot** (Figure 12, Theorem 4.3): the prodigal
+//!   `consumeToken` is `update; scan` on a snapshot object — every append
+//!   is retained, forks appear under contention, and the recorded histories
+//!   satisfy **BT Eventual Consistency** (but not Strong Prefix).
+//!
+//! [`ConcurrentBlockTree`] turns those reductions into an actual replica:
+//! OS threads call [`append`](ConcurrentBlockTree::append) /
+//! [`read`](ConcurrentBlockTree::read) concurrently.  Appends run the
+//! refinement `getToken* ; consumeToken` (Definition 3.7) against the
+//! chosen mediator and then *install* the winning block: insert it into the
+//! rich arena [`BlockTree`] (incremental leaf set and best-tip tracking)
+//! under a writer mutex, mirror it into the wait-free [`SnapshotStore`],
+//! and publish the new `(length, selected tip)` pair with one release
+//! store.  Reads never take the mutex: they decode the published pair with
+//! one acquire load and walk frozen parent links — wait-free, as the
+//! reductions require.
+//!
+//! CAS losers **help**: the winning block returned by the failed
+//! `compare_and_swap` is installed by the loser too (idempotently), so the
+//! replica makes progress even if the winner is descheduled between its CAS
+//! and its install.
+//!
+//! The deliberately unsafe third path, [`AppendPath::Racy`], bypasses the
+//! oracle entirely and publishes its own block as the tip without
+//! re-running the selection function — the classic unmediated
+//! last-writer-wins bug.  Its histories are what the Strong-Consistency
+//! checker is expected to *catch* (see `tests/histories.rs`).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use btadt_oracle::{FrugalOracle, MeritTable, OracleConfig, OracleStats, SharedOracle};
+use btadt_types::{
+    Block, BlockBuilder, BlockTree, Blockchain, LengthScore, Score, Transaction, WorkScore,
+};
+use parking_lot::Mutex;
+
+use crate::cas_from_oracle::OracleCas;
+use crate::prodigal_from_snapshot::SnapshotConsumeToken;
+use crate::store::{SnapshotStore, SnapshotView};
+
+/// Which oracle reduction mediates appends (plus the deliberately broken
+/// unmediated variant).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AppendPath {
+    /// Θ_F,k=1 via Compare&Swap (Figure 10): strongly-consistent appends.
+    Strong,
+    /// Θ_P via Atomic Snapshot (Figure 12): eventually-consistent appends.
+    Eventual,
+    /// No mediation at all; publishes its own tip blindly.  Exists so the
+    /// consistency checkers have a genuine race to catch.
+    Racy,
+}
+
+impl AppendPath {
+    /// Short label used by benches and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            AppendPath::Strong => "strong-cas",
+            AppendPath::Eventual => "eventual-snapshot",
+            AppendPath::Racy => "racy-unmediated",
+        }
+    }
+}
+
+/// How the published tip is selected from the writer-side tree.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TipRule {
+    /// Longest chain (maximum height), the paper's running example.
+    Height {
+        /// Tie-break towards the largest id (`true`) or smallest (`false`).
+        prefer_largest_id: bool,
+    },
+    /// Heaviest chain (maximum cumulative work).
+    Work {
+        /// Tie-break towards the largest id (`true`) or smallest (`false`).
+        prefer_largest_id: bool,
+    },
+}
+
+impl Default for TipRule {
+    fn default() -> Self {
+        TipRule::Height {
+            prefer_largest_id: true,
+        }
+    }
+}
+
+impl TipRule {
+    /// The score function the consistency criteria should judge reads with
+    /// under this rule.
+    pub fn score(self) -> Arc<dyn Score> {
+        match self {
+            TipRule::Height { .. } => Arc::new(LengthScore),
+            TipRule::Work { .. } => Arc::new(WorkScore),
+        }
+    }
+}
+
+enum Mediator {
+    Frugal(SharedOracle),
+    Prodigal {
+        slots: Mutex<HashMap<btadt_types::BlockId, Arc<SnapshotConsumeToken>>>,
+        capacity: usize,
+    },
+    Racy,
+}
+
+/// A candidate append: the parent chosen from a wait-free snapshot and the
+/// block built on it.  Splitting preparation from [`commit`] lets callers
+/// record the invocation of `append(b)` with the actual input block `b`,
+/// and lets tests force two candidates onto the same parent.
+///
+/// [`commit`]: ConcurrentBlockTree::commit
+#[derive(Clone, Debug)]
+pub struct PreparedAppend {
+    /// The client (thread) issuing the append.
+    pub client: usize,
+    /// The parent the candidate chains to (`last_block(f(bt))` at
+    /// preparation time).
+    pub parent: Block,
+    /// The candidate block `b`.
+    pub block: Block,
+}
+
+/// Outcome of one committed append.
+#[derive(Clone, Debug)]
+pub struct AppendOutcome {
+    /// `true` iff the candidate block itself was appended.
+    pub appended: bool,
+    /// The candidate block (appended when `appended`).
+    pub block: Block,
+    /// On a CAS loss, the winning block that occupies the parent's slot
+    /// (installed by helping).
+    pub observed: Option<Block>,
+    /// `getToken` invocations before the token was granted.
+    pub get_token_attempts: u64,
+}
+
+/// The shared-memory BlockTree replica.
+pub struct ConcurrentBlockTree {
+    writer: Mutex<BlockTree>,
+    store: SnapshotStore,
+    mediator: Mediator,
+    tip_rule: TipRule,
+    nonce: AtomicU64,
+    clients: usize,
+}
+
+impl ConcurrentBlockTree {
+    /// Strongly-consistent replica: appends mediated by Θ_F,k=1 through the
+    /// CAS reduction.  `clients` is the number of distinct client indices
+    /// that will call in (it sizes the oracle's merit table).
+    ///
+    /// The oracle is configured with grant probability 1 so `getToken*`
+    /// terminates on the first attempt (no unbounded oracle retries);
+    /// contention is resolved entirely by `consumeToken` — the CAS — as
+    /// Theorem 4.1 requires.  Note that only *reads* are wait-free:
+    /// appends serialize behind the shared oracle's lock and the writer
+    /// mutex during installation.
+    pub fn strong(clients: usize, seed: u64) -> Self {
+        let oracle = SharedOracle::new(FrugalOracle::new(
+            1,
+            MeritTable::uniform(clients.max(1)),
+            OracleConfig {
+                seed,
+                probability_scale: 1e9,
+                min_probability: 1.0,
+            },
+        ));
+        Self::with_mediator(Mediator::Frugal(oracle), clients)
+    }
+
+    /// Strongly-consistent replica over a caller-supplied shared oracle
+    /// (must be frugal with `k = 1`).
+    pub fn strong_with_oracle(oracle: SharedOracle, clients: usize) -> Self {
+        assert_eq!(
+            oracle.fork_bound(),
+            Some(1),
+            "the strong path requires the frugal oracle with k = 1"
+        );
+        Self::with_mediator(Mediator::Frugal(oracle), clients)
+    }
+
+    /// Eventually-consistent replica: appends mediated by Θ_P through the
+    /// atomic-snapshot reduction (one snapshot object per parent block,
+    /// one register per client).
+    pub fn eventual(clients: usize) -> Self {
+        Self::with_mediator(
+            Mediator::Prodigal {
+                slots: Mutex::new(HashMap::new()),
+                capacity: clients.max(1),
+            },
+            clients,
+        )
+    }
+
+    /// The deliberately racy, unmediated replica (see [`AppendPath::Racy`]).
+    pub fn racy(clients: usize) -> Self {
+        Self::with_mediator(Mediator::Racy, clients)
+    }
+
+    fn with_mediator(mediator: Mediator, clients: usize) -> Self {
+        ConcurrentBlockTree {
+            writer: Mutex::new(BlockTree::new()),
+            store: SnapshotStore::new(),
+            mediator,
+            tip_rule: TipRule::default(),
+            nonce: AtomicU64::new(1),
+            clients: clients.max(1),
+        }
+    }
+
+    /// Replaces the tip-selection rule (builder style; call before use).
+    pub fn with_tip_rule(mut self, rule: TipRule) -> Self {
+        self.tip_rule = rule;
+        self
+    }
+
+    /// Which append path this replica runs.
+    pub fn path(&self) -> AppendPath {
+        match self.mediator {
+            Mediator::Frugal(_) => AppendPath::Strong,
+            Mediator::Prodigal { .. } => AppendPath::Eventual,
+            Mediator::Racy => AppendPath::Racy,
+        }
+    }
+
+    /// The tip-selection rule in force.
+    pub fn tip_rule(&self) -> TipRule {
+        self.tip_rule
+    }
+
+    /// Number of client indices the replica was sized for.
+    pub fn clients(&self) -> usize {
+        self.clients
+    }
+
+    /// The wait-free `read()`: `{b0}⌢f(bt)` for the latest published
+    /// selection.  Materializes the chain on every call; hot read loops
+    /// should hold a [`BtReader`] instead, which memoizes per published
+    /// tip.
+    pub fn read(&self) -> Blockchain {
+        self.store.read()
+    }
+
+    /// Creates a per-thread reader handle with tip-versioned memoization.
+    pub fn reader(&self) -> BtReader<'_> {
+        BtReader {
+            replica: self,
+            cached: None,
+        }
+    }
+
+    /// The latest published `(length, tip)` view (one atomic load).
+    pub fn snapshot(&self) -> SnapshotView {
+        self.store.snapshot()
+    }
+
+    /// The block at the latest published tip (wait-free).
+    pub fn tip_block(&self) -> Block {
+        self.store.block(self.store.snapshot().tip).clone()
+    }
+
+    /// Number of published blocks, genesis included (wait-free).
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Returns `true` iff only the genesis block is published.
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// Height of the latest published selected chain (wait-free).
+    pub fn height(&self) -> u64 {
+        self.store.block(self.store.snapshot().tip).height
+    }
+
+    /// Maximum fork degree of the writer-side tree (takes the writer lock;
+    /// diagnostic, not part of the hot path).
+    pub fn max_fork_degree(&self) -> usize {
+        self.writer.lock().max_fork_degree()
+    }
+
+    /// Oracle usage statistics, when an oracle mediates this replica.
+    pub fn oracle_stats(&self) -> Option<OracleStats> {
+        match &self.mediator {
+            Mediator::Frugal(oracle) => Some(oracle.stats()),
+            _ => None,
+        }
+    }
+
+    /// Builds a candidate on the currently selected tip (wait-free): this
+    /// is the `b_h ← last_block(f(bt))` step of Definition 3.7, performed
+    /// before the `append(b)` operation is invoked with the resulting `b`.
+    pub fn prepare(&self, client: usize, payload: Vec<Transaction>) -> PreparedAppend {
+        let parent = self.tip_block();
+        self.prepare_on(client, parent, payload)
+    }
+
+    /// Builds a candidate on an explicit parent (used by tests to force two
+    /// candidates onto the same parent deterministically).
+    pub fn prepare_on(
+        &self,
+        client: usize,
+        parent: Block,
+        payload: Vec<Transaction>,
+    ) -> PreparedAppend {
+        let nonce = self.nonce.fetch_add(1, Ordering::Relaxed);
+        let block = BlockBuilder::new(&parent)
+            .producer(client as u32)
+            .nonce(nonce)
+            .payload(payload)
+            .build();
+        PreparedAppend {
+            client,
+            parent,
+            block,
+        }
+    }
+
+    /// Runs the mediated `consumeToken` and installation for a prepared
+    /// candidate — the linearization of `append(b)`.
+    pub fn commit(&self, prepared: PreparedAppend) -> AppendOutcome {
+        match &self.mediator {
+            Mediator::Frugal(oracle) => {
+                let cas = OracleCas::new(oracle.clone(), prepared.parent.id);
+                let (grant, attempts) = oracle.get_token_until_granted(
+                    prepared.client,
+                    &prepared.parent,
+                    prepared.block.clone(),
+                );
+                match cas.compare_and_swap(&grant) {
+                    None => {
+                        // We won the register K[h]: ours is the unique child
+                        // of this parent; install and publish it.
+                        self.install(&grant.block);
+                        AppendOutcome {
+                            appended: true,
+                            block: grant.block,
+                            observed: None,
+                            get_token_attempts: attempts,
+                        }
+                    }
+                    Some(winner) => {
+                        // Helping: make sure the winner is installed even if
+                        // the winning thread has not gotten there yet.
+                        self.install(&winner);
+                        AppendOutcome {
+                            appended: false,
+                            block: prepared.block,
+                            observed: Some(winner),
+                            get_token_attempts: attempts,
+                        }
+                    }
+                }
+            }
+            Mediator::Prodigal { slots, capacity } => {
+                let slot = {
+                    let mut map = slots.lock();
+                    Arc::clone(
+                        map.entry(prepared.parent.id)
+                            .or_insert_with(|| Arc::new(SnapshotConsumeToken::new(*capacity))),
+                    )
+                };
+                let set = slot.consume_token(prepared.client, prepared.block.clone());
+                debug_assert!(
+                    set.iter().any(|b| b.id == prepared.block.id),
+                    "a prodigal consume always retains the caller's token"
+                );
+                self.install(&prepared.block);
+                AppendOutcome {
+                    appended: true,
+                    block: prepared.block,
+                    observed: None,
+                    get_token_attempts: 1,
+                }
+            }
+            Mediator::Racy => {
+                self.install_racy(&prepared.block);
+                AppendOutcome {
+                    appended: true,
+                    block: prepared.block,
+                    observed: None,
+                    get_token_attempts: 0,
+                }
+            }
+        }
+    }
+
+    /// The full append operation: prepare on the current tip, then commit.
+    pub fn append(&self, client: usize, payload: Vec<Transaction>) -> AppendOutcome {
+        let prepared = self.prepare(client, payload);
+        self.commit(prepared)
+    }
+
+    /// Inserts a block into the writer tree, mirrors it into the wait-free
+    /// store, and publishes the tip `choose_tip` picks from the updated
+    /// tree (given the new block's store index).  Idempotent: helping may
+    /// install the same winner twice.
+    fn install_with_tip(&self, block: &Block, choose_tip: impl FnOnce(&BlockTree, u32) -> u32) {
+        let mut tree = self.writer.lock();
+        if tree.contains(block.id) {
+            return;
+        }
+        tree.insert(block.clone())
+            .expect("published parents are always present in the writer tree");
+        let idx = tree.idx_of(block.id).expect("inserted above");
+        let parent_idx = tree.parent_idx(idx).map(|p| p.0);
+        let store_idx = self.store.push(block.clone(), parent_idx);
+        debug_assert_eq!(store_idx, idx.0, "store indices mirror arena indices");
+        let tip = choose_tip(&tree, store_idx);
+        self.store.publish(tree.len() as u32, tip);
+    }
+
+    /// The mediated install: publishes the freshly re-selected best tip.
+    fn install(&self, block: &Block) {
+        let rule = self.tip_rule;
+        self.install_with_tip(block, |tree, _| {
+            let best = match rule {
+                TipRule::Height { prefer_largest_id } => {
+                    tree.best_leaf_by_height(prefer_largest_id)
+                }
+                TipRule::Work { prefer_largest_id } => tree.best_leaf_by_work(prefer_largest_id),
+            };
+            tree.idx_of(best).expect("best leaf is in the tree").0
+        });
+    }
+
+    /// The racy install: inserts the block but publishes *it* as the tip
+    /// without re-running the selection — last-writer-wins.  Publishing
+    /// under the writer lock keeps the store itself coherent (the bug is
+    /// the tip choice, not memory corruption).
+    fn install_racy(&self, block: &Block) {
+        self.install_with_tip(block, |_, store_idx| store_idx);
+    }
+}
+
+/// A per-thread read handle with tip-versioned memoization.
+///
+/// The published `(length, tip)` pair doubles as a version stamp: the chain
+/// returned by `read()` is a pure function of the tip index, so a reader
+/// that still sees the tip it last materialized can return an `Arc`-backed
+/// clone of the cached chain in O(1) instead of re-walking the store.  The
+/// handle stays wait-free — a read is one atomic load plus, only when the
+/// tip moved, one walk over frozen nodes.
+pub struct BtReader<'a> {
+    replica: &'a ConcurrentBlockTree,
+    cached: Option<(u32, Blockchain)>,
+}
+
+impl BtReader<'_> {
+    /// The wait-free, memoizing `read()`.
+    pub fn read(&mut self) -> Blockchain {
+        let view = self.replica.store.snapshot();
+        if let Some((tip, chain)) = &self.cached {
+            if *tip == view.tip {
+                return chain.clone();
+            }
+        }
+        let chain = self.replica.store.chain_to(view.tip);
+        self.cached = Some((view.tip, chain.clone()));
+        chain
+    }
+
+    /// The replica this handle reads from.
+    pub fn replica(&self) -> &ConcurrentBlockTree {
+        self.replica
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::thread;
+
+    #[test]
+    fn fresh_replica_reads_the_genesis_chain() {
+        let t = ConcurrentBlockTree::strong(2, 1);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.read(), Blockchain::genesis_only());
+        assert_eq!(t.path(), AppendPath::Strong);
+        assert_eq!(t.clients(), 2);
+    }
+
+    #[test]
+    fn sequential_strong_appends_build_a_single_chain() {
+        let t = ConcurrentBlockTree::strong(2, 7);
+        for i in 0..10 {
+            let out = t.append(i % 2, vec![]);
+            assert!(out.appended);
+            assert_eq!(out.get_token_attempts, 1);
+        }
+        assert_eq!(t.height(), 10);
+        assert_eq!(t.max_fork_degree(), 1);
+        assert_eq!(t.read().tip().id, t.tip_block().id);
+        let stats = t.oracle_stats().unwrap();
+        assert_eq!(stats.tokens_consumed, 10);
+    }
+
+    #[test]
+    fn strong_contention_on_one_parent_has_one_winner_and_losers_observe_it() {
+        let t = ConcurrentBlockTree::strong(4, 3);
+        let parent = t.tip_block();
+        let prepared: Vec<_> = (0..4)
+            .map(|c| t.prepare_on(c, parent.clone(), vec![]))
+            .collect();
+        let outcomes: Vec<_> = prepared.into_iter().map(|p| t.commit(p)).collect();
+        let winners: Vec<_> = outcomes.iter().filter(|o| o.appended).collect();
+        assert_eq!(winners.len(), 1, "k = 1: exactly one append per parent");
+        let winner_id = winners[0].block.id;
+        for o in outcomes.iter().filter(|o| !o.appended) {
+            assert_eq!(o.observed.as_ref().unwrap().id, winner_id);
+        }
+        assert_eq!(t.height(), 1);
+        assert_eq!(t.max_fork_degree(), 1);
+    }
+
+    #[test]
+    fn threaded_strong_appends_keep_the_tree_a_chain() {
+        let t = ConcurrentBlockTree::strong(4, 11);
+        thread::scope(|scope| {
+            for c in 0..4 {
+                let t = &t;
+                scope.spawn(move || {
+                    for _ in 0..25 {
+                        t.append(c, vec![]);
+                    }
+                });
+            }
+        });
+        assert_eq!(t.max_fork_degree(), 1, "CAS mediation forbids forks");
+        let chain = t.read();
+        assert_eq!(chain.height(), t.height());
+        // Every published block sits on the single chain.
+        assert_eq!(chain.len(), t.len());
+    }
+
+    #[test]
+    fn eventual_appends_all_succeed_and_forks_are_possible() {
+        let t = ConcurrentBlockTree::eventual(3);
+        let parent = t.tip_block();
+        for c in 0..3 {
+            let p = t.prepare_on(c, parent.clone(), vec![]);
+            assert!(t.commit(p).appended, "the prodigal oracle never rejects");
+        }
+        assert_eq!(t.max_fork_degree(), 3);
+        assert_eq!(t.height(), 1);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.path(), AppendPath::Eventual);
+    }
+
+    #[test]
+    fn eventual_published_tip_height_is_monotone() {
+        let t = ConcurrentBlockTree::eventual(2);
+        let mut last = 0;
+        for i in 0..20 {
+            t.append(i % 2, vec![]);
+            let h = t.height();
+            assert!(h >= last, "selection re-runs on every install");
+            last = h;
+        }
+        assert_eq!(last, 20, "sequential appends chain on the selected tip");
+    }
+
+    #[test]
+    fn racy_appends_publish_their_own_tip() {
+        let t = ConcurrentBlockTree::racy(2);
+        let parent = t.tip_block();
+        let a = t.prepare_on(0, parent.clone(), vec![]);
+        let b = t.prepare_on(1, parent, vec![]);
+        let a_block = t.commit(a).block;
+        assert_eq!(t.read().tip().id, a_block.id);
+        let b_block = t.commit(b).block;
+        // Last writer wins regardless of the selection function.
+        assert_eq!(t.read().tip().id, b_block.id);
+        assert_eq!(t.max_fork_degree(), 2);
+        assert_eq!(t.path(), AppendPath::Racy);
+    }
+
+    #[test]
+    fn threaded_mixed_clients_produce_unique_blocks() {
+        let t = ConcurrentBlockTree::eventual(4);
+        thread::scope(|scope| {
+            for c in 0..4 {
+                let t = &t;
+                scope.spawn(move || {
+                    for _ in 0..20 {
+                        assert!(t.append(c, vec![]).appended);
+                    }
+                });
+            }
+        });
+        assert_eq!(t.len(), 81, "80 appends + genesis, none lost");
+        let chain = t.read();
+        let ids: HashSet<_> = chain.ids().collect();
+        assert_eq!(ids.len(), chain.len(), "chains never repeat blocks");
+    }
+
+    #[test]
+    fn reader_memoizes_per_published_tip() {
+        let t = ConcurrentBlockTree::strong(1, 13);
+        let mut reader = t.reader();
+        t.append(0, vec![]);
+        let first = reader.read();
+        let again = reader.read();
+        assert_eq!(first, again, "unchanged tip returns the cached chain");
+        t.append(0, vec![]);
+        let moved = reader.read();
+        assert_eq!(moved.height(), 2, "a moved tip re-materializes");
+        assert_eq!(moved, t.read(), "cached and uncached reads agree");
+        assert_eq!(reader.replica().len(), 3);
+    }
+
+    #[test]
+    fn work_tip_rule_selects_by_cumulative_work() {
+        let t = ConcurrentBlockTree::strong(1, 5).with_tip_rule(TipRule::Work {
+            prefer_largest_id: true,
+        });
+        t.append(0, vec![]);
+        t.append(0, vec![]);
+        assert_eq!(t.height(), 2);
+        assert!(matches!(t.tip_rule(), TipRule::Work { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "k = 1")]
+    fn strong_with_oracle_rejects_wider_fork_bounds() {
+        let oracle = SharedOracle::new(FrugalOracle::new(
+            2,
+            MeritTable::uniform(2),
+            OracleConfig {
+                seed: 1,
+                probability_scale: 1e9,
+                min_probability: 1.0,
+            },
+        ));
+        ConcurrentBlockTree::strong_with_oracle(oracle, 2);
+    }
+}

@@ -96,7 +96,11 @@ mod tests {
         let g2 = oracle.get_token_until_granted(1, &genesis, b2).0;
 
         assert_eq!(cas.compare_and_swap(&g1), None, "first CAS sees {{}}");
-        assert_eq!(cas.compare_and_swap(&g2), Some(b1.clone()), "loser sees the winner");
+        assert_eq!(
+            cas.compare_and_swap(&g2),
+            Some(b1.clone()),
+            "loser sees the winner"
+        );
         assert_eq!(cas.load(), Some(b1));
     }
 
@@ -131,7 +135,11 @@ mod tests {
         assert_eq!(winners.len(), 1, "exactly one CAS wins");
         let winning_id = winners[0].1;
         let observed: HashSet<_> = results.iter().map(|(_, id)| *id).collect();
-        assert_eq!(observed.len(), 1, "every participant observes the same block");
+        assert_eq!(
+            observed.len(),
+            1,
+            "every participant observes the same block"
+        );
         assert!(observed.contains(&winning_id));
     }
 

@@ -28,20 +28,46 @@
 //!   from CAS, and Figure 11's consensus from the frugal oracle;
 //! * [`prodigal_from_snapshot`] — Figure 12: the prodigal `consumeToken`
 //!   from update/scan of an atomic snapshot.
+//!
+//! On top of the reductions, the crate hosts an actual shared-memory
+//! BlockTree replica and the machinery to validate it:
+//!
+//! * [`store`] — a chunked append-only block arena with a packed
+//!   `(length, tip)` head: the **wait-free read path**;
+//! * [`blocktree`] — [`ConcurrentBlockTree`]: appends mediated by the
+//!   frugal/CAS reduction (strongly consistent) or the prodigal/snapshot
+//!   reduction (eventually consistent), plus a deliberately racy
+//!   unmediated variant for the checkers to catch;
+//! * [`recorder`] — an atomic-clock history recorder whose per-thread
+//!   buffers merge into one `ConcurrentHistory` after the run;
+//! * [`driver`] — the multi-threaded workload driver feeding real
+//!   interleavings to the SC/EC criterion checkers of `btadt-core`.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod blocktree;
 pub mod cas;
 pub mod cas_from_oracle;
 pub mod consensus;
+pub mod driver;
 pub mod prodigal_from_snapshot;
+pub mod recorder;
 pub mod register;
 pub mod snapshot;
+pub mod store;
 
+pub use blocktree::{
+    AppendOutcome, AppendPath, BtReader, ConcurrentBlockTree, PreparedAppend, TipRule,
+};
 pub use cas::CasRegister;
 pub use cas_from_oracle::OracleCas;
 pub use consensus::{CasConsensus, Consensus, OracleConsensus};
+pub use driver::{
+    check_claimed, claimed_criterion, run_workload, run_workload_on, DriverConfig, DriverRun,
+};
 pub use prodigal_from_snapshot::SnapshotConsumeToken;
+pub use recorder::{RecorderHub, ThreadRecorder};
 pub use register::AtomicRegister;
 pub use snapshot::AtomicSnapshot;
+pub use store::{SnapshotStore, SnapshotView};

@@ -81,7 +81,11 @@ mod tests {
         for i in 0..n {
             ct.consume_token(i, block(i));
         }
-        assert_eq!(ct.scan().len(), n, "the prodigal oracle never rejects a token");
+        assert_eq!(
+            ct.scan().len(),
+            n,
+            "the prodigal oracle never rejects a token"
+        );
     }
 
     #[test]
@@ -109,9 +113,20 @@ mod tests {
         // winner (no wait-free consensus from it).  Sequentially this shows
         // up as strictly growing sets.
         let ct = SnapshotConsumeToken::new(4);
-        let s1: HashSet<_> = ct.consume_token(0, block(0)).into_iter().map(|b| b.id).collect();
-        let s2: HashSet<_> = ct.consume_token(1, block(1)).into_iter().map(|b| b.id).collect();
-        assert_ne!(s1, s2, "different consumers observe different K[h] contents");
+        let s1: HashSet<_> = ct
+            .consume_token(0, block(0))
+            .into_iter()
+            .map(|b| b.id)
+            .collect();
+        let s2: HashSet<_> = ct
+            .consume_token(1, block(1))
+            .into_iter()
+            .map(|b| b.id)
+            .collect();
+        assert_ne!(
+            s1, s2,
+            "different consumers observe different K[h] contents"
+        );
         assert!(s1.is_subset(&s2));
     }
 }

@@ -1,0 +1,218 @@
+//! Recording concurrent histories from real multi-threaded executions.
+//!
+//! The single-threaded [`btadt_history::HistoryRecorder`] owns its logical
+//! clock and its record vector, which would serialize every operation of a
+//! multi-threaded run behind one mutex — exactly the bottleneck a
+//! shared-memory replica is built to avoid.  This module splits the
+//! recorder:
+//!
+//! * [`RecorderHub`] owns the **fictional global clock** of Section 4.2 as
+//!   a single `AtomicU64`; every event draws its timestamp with one
+//!   `fetch_add`, so the tick order is a real-time linearization of the
+//!   events (if a response completes before an invocation starts, the
+//!   response's tick is strictly smaller — the operation order `≺` derived
+//!   from these timestamps is sound);
+//! * each OS thread records into its own [`ThreadRecorder`] buffer with no
+//!   sharing, and the buffers are merged into one
+//!   [`btadt_history::ConcurrentHistory`] after the threads join.
+//!
+//! Operation ids are `(process << 32) | seq`, globally unique as long as
+//! each process id is claimed by one handle — [`RecorderHub::handle`]
+//! enforces nothing (handles are plain data) but the workload driver claims
+//! one process id per thread.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use btadt_history::{ConcurrentHistory, OpId, OperationRecord, ProcessId, Timestamp};
+
+/// Shared clock plus the merge point for per-thread record buffers.
+pub struct RecorderHub {
+    clock: Arc<AtomicU64>,
+}
+
+impl RecorderHub {
+    /// Creates a hub whose clock starts at zero.
+    pub fn new() -> Self {
+        RecorderHub {
+            clock: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Creates the recording handle for one process (one OS thread).
+    pub fn handle<Op, Resp>(&self, process: ProcessId) -> ThreadRecorder<Op, Resp> {
+        ThreadRecorder {
+            process,
+            clock: Arc::clone(&self.clock),
+            records: Vec::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Current value of the global clock.
+    pub fn now(&self) -> Timestamp {
+        Timestamp(self.clock.load(Ordering::SeqCst))
+    }
+
+    /// Merges per-thread buffers into one history.  Records are ordered by
+    /// invocation timestamp so the history reads chronologically.
+    pub fn collect<Op: Clone, Resp: Clone>(
+        &self,
+        buffers: Vec<Vec<OperationRecord<Op, Resp>>>,
+    ) -> ConcurrentHistory<Op, Resp> {
+        let mut records: Vec<OperationRecord<Op, Resp>> = buffers.into_iter().flatten().collect();
+        records.sort_by_key(|r| r.invoked_at);
+        ConcurrentHistory::from_records(records)
+    }
+}
+
+impl Default for RecorderHub {
+    fn default() -> Self {
+        RecorderHub::new()
+    }
+}
+
+/// A per-thread recorder: draws timestamps from the hub's atomic clock and
+/// buffers records locally (no cross-thread contention beyond the clock).
+pub struct ThreadRecorder<Op, Resp> {
+    process: ProcessId,
+    clock: Arc<AtomicU64>,
+    records: Vec<OperationRecord<Op, Resp>>,
+    next_seq: u64,
+}
+
+impl<Op: Clone, Resp: Clone> ThreadRecorder<Op, Resp> {
+    fn tick(&self) -> Timestamp {
+        Timestamp(self.clock.fetch_add(1, Ordering::SeqCst) + 1)
+    }
+
+    /// The process this handle records for.
+    pub fn process(&self) -> ProcessId {
+        self.process
+    }
+
+    /// Records an invocation; returns the local index to pass to
+    /// [`respond`](ThreadRecorder::respond).
+    pub fn invoke(&mut self, op: Op) -> usize {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let invoked_at = self.tick();
+        self.records.push(OperationRecord {
+            id: OpId(u64::from(self.process.0) << 32 | seq),
+            process: self.process,
+            seq,
+            invoked_at,
+            responded_at: None,
+            op,
+            response: None,
+        });
+        self.records.len() - 1
+    }
+
+    /// Records the response of a previously invoked operation.
+    pub fn respond(&mut self, index: usize, response: Resp) {
+        let at = self.tick();
+        let rec = &mut self.records[index];
+        assert!(rec.responded_at.is_none(), "respond() called twice");
+        rec.responded_at = Some(at);
+        rec.response = Some(response);
+    }
+
+    /// Records a complete operation (invocation and response on two
+    /// consecutive draws of the clock).
+    pub fn instantaneous(&mut self, op: Op, response: Resp) {
+        let idx = self.invoke(op);
+        self.respond(idx, response);
+    }
+
+    /// Consumes the handle, returning its buffered records.
+    pub fn into_records(self) -> Vec<OperationRecord<Op, Resp>> {
+        self.records
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn timestamps_are_unique_and_monotone_within_a_thread() {
+        let hub = RecorderHub::new();
+        let mut rec = hub.handle::<&'static str, u32>(ProcessId(0));
+        let a = rec.invoke("a");
+        rec.respond(a, 1);
+        rec.instantaneous("b", 2);
+        let h = hub.collect(vec![rec.into_records()]);
+        assert_eq!(h.len(), 2);
+        let recs = h.records();
+        assert!(recs[0].invoked_at < recs[0].responded_at.unwrap());
+        assert!(recs[0].responded_at.unwrap() < recs[1].invoked_at);
+        assert_eq!(recs[0].seq, 0);
+        assert_eq!(recs[1].seq, 1);
+    }
+
+    #[test]
+    fn op_ids_are_globally_unique_across_threads() {
+        let hub = RecorderHub::new();
+        let mut buffers = Vec::new();
+        thread::scope(|scope| {
+            let handles: Vec<_> = (0..4u32)
+                .map(|p| {
+                    let mut rec = hub.handle::<u32, u32>(ProcessId(p));
+                    scope.spawn(move || {
+                        for i in 0..50 {
+                            rec.instantaneous(i, i * 2);
+                        }
+                        rec.into_records()
+                    })
+                })
+                .collect();
+            for h in handles {
+                buffers.push(h.join().unwrap());
+            }
+        });
+        let history = hub.collect(buffers);
+        assert_eq!(history.len(), 200);
+        let mut ids: Vec<_> = history.records().iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 200, "operation ids must not collide");
+        // Every record carries a distinct timestamp pair drawn from the one
+        // shared clock.
+        let mut stamps: Vec<u64> = history
+            .records()
+            .iter()
+            .flat_map(|r| [r.invoked_at.0, r.responded_at.unwrap().0])
+            .collect();
+        stamps.sort_unstable();
+        stamps.dedup();
+        assert_eq!(stamps.len(), 400, "clock ticks are never reused");
+    }
+
+    #[test]
+    fn real_time_separation_is_reflected_in_the_operation_order() {
+        // Thread A completes an operation, then thread B starts one: the
+        // recorded history must order them by `≺`.
+        let hub = RecorderHub::new();
+        let mut a = hub.handle::<&'static str, u32>(ProcessId(0));
+        let mut b = hub.handle::<&'static str, u32>(ProcessId(1));
+        a.instantaneous("first", 0);
+        b.instantaneous("second", 0);
+        let h = hub.collect(vec![a.into_records(), b.into_records()]);
+        let first = h.records().iter().find(|r| r.op == "first").unwrap();
+        let second = h.records().iter().find(|r| r.op == "second").unwrap();
+        assert!(h.operation_order(first, second));
+        assert!(!h.operation_order(second, first));
+    }
+
+    #[test]
+    #[should_panic(expected = "respond() called twice")]
+    fn double_response_is_a_programming_error() {
+        let hub = RecorderHub::new();
+        let mut rec = hub.handle::<u32, u32>(ProcessId(0));
+        let i = rec.invoke(1);
+        rec.respond(i, 1);
+        rec.respond(i, 2);
+    }
+}

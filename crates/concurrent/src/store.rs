@@ -1,0 +1,304 @@
+//! Wait-free snapshot store backing [`crate::ConcurrentBlockTree`] reads.
+//!
+//! The paper's `read()` returns `{b0}⌢f(bt)` — a chain through the tree.
+//! For a shared-memory replica the read path must be **wait-free**
+//! (Theorems 4.1–4.3 build the append mediation from wait-free objects, and
+//! reads are the easy half: they never contend for tokens).  This store
+//! gives reads that property without locks:
+//!
+//! * Blocks live in an **append-only chunked arena**: fixed-capacity chunks
+//!   allocated on demand, each slot a [`OnceLock`].  Chunks never move and
+//!   slots are written exactly once, so readers never race a reallocation.
+//! * The visible state is a single packed `AtomicU64` holding
+//!   `(committed length, selected tip index)`.  Writers install a fully
+//!   linked block first and publish the new `(len, tip)` pair with one
+//!   release store; readers decode both with one acquire load — a read's
+//!   linearization point — and then walk immutable parent links.
+//!
+//! A reader therefore performs one atomic load plus a pointer walk over
+//! frozen memory: no CAS retries, no lock acquisition, no helping — every
+//! read finishes in a bounded number of its own steps regardless of writer
+//! activity (wait-freedom).  Writers are expected to be serialized
+//! externally (the [`crate::ConcurrentBlockTree`] writer mutex); this is
+//! asserted, not assumed.
+//!
+//! Indices handed out by [`SnapshotStore::push`] are insertion-ordered and
+//! deliberately coincide with the `NodeIdx` arena indices of
+//! [`btadt_types::BlockTree`], so the writer side can maintain the rich
+//! tree (leaf sets, incremental best tips) and mirror each insert here.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+use btadt_types::{Block, Blockchain};
+
+/// Capacity of one arena chunk (blocks).
+const CHUNK_CAP: usize = 1 << 10;
+/// Number of chunk slots in the (fixed) chunk table.
+const NUM_CHUNKS: usize = 1 << 10;
+
+/// One immutable node of the store: the block plus its parent's store index.
+#[derive(Debug)]
+struct StoredNode {
+    block: Block,
+    parent: Option<u32>,
+}
+
+type Chunk = Box<[OnceLock<StoredNode>]>;
+
+/// A consistent `(length, tip)` view of the store, decoded from one atomic
+/// load.  `len` counts committed blocks (genesis included) and `tip` is the
+/// store index of the currently selected chain tip; `tip < len` always.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SnapshotView {
+    /// Number of committed blocks visible to this snapshot.
+    pub len: u32,
+    /// Store index of the selected tip at publication time.
+    pub tip: u32,
+}
+
+/// The chunked append-only block arena with a packed `(len, tip)` head.
+pub struct SnapshotStore {
+    chunks: Box<[OnceLock<Chunk>]>,
+    /// Packed head: high 32 bits = committed length, low 32 bits = tip.
+    head: AtomicU64,
+    /// Writer-side push cursor (also guards against concurrent writers).
+    next: AtomicU32,
+}
+
+impl SnapshotStore {
+    /// Creates a store holding only the genesis block, published as the tip.
+    pub fn new() -> Self {
+        let store = SnapshotStore {
+            chunks: (0..NUM_CHUNKS).map(|_| OnceLock::new()).collect(),
+            head: AtomicU64::new(0),
+            next: AtomicU32::new(0),
+        };
+        let genesis = store.push(Block::genesis(), None);
+        store.publish(1, genesis);
+        store
+    }
+
+    /// Appends a block to the arena, returning its store index.  The block
+    /// is **not** visible to readers until a subsequent [`publish`] covers
+    /// its index.
+    ///
+    /// Callers must serialize pushes (the `ConcurrentBlockTree` writer
+    /// mutex); a racing push is detected and panics rather than corrupting
+    /// the arena.
+    ///
+    /// [`publish`]: SnapshotStore::publish
+    pub fn push(&self, block: Block, parent: Option<u32>) -> u32 {
+        let idx = self.next.fetch_add(1, Ordering::Relaxed) as usize;
+        assert!(
+            idx < CHUNK_CAP * NUM_CHUNKS,
+            "SnapshotStore capacity ({}) exhausted",
+            CHUNK_CAP * NUM_CHUNKS
+        );
+        let chunk = self.chunks[idx / CHUNK_CAP]
+            .get_or_init(|| (0..CHUNK_CAP).map(|_| OnceLock::new()).collect());
+        chunk[idx % CHUNK_CAP]
+            .set(StoredNode { block, parent })
+            .unwrap_or_else(|_| panic!("concurrent writers raced on store slot {idx}"));
+        idx as u32
+    }
+
+    /// Publishes a new `(len, tip)` head with release ordering.  Every slot
+    /// `< len` must already be pushed; `tip` must be `< len`.
+    pub fn publish(&self, len: u32, tip: u32) {
+        debug_assert!(tip < len, "published tip must be committed");
+        self.head
+            .store(u64::from(len) << 32 | u64::from(tip), Ordering::Release);
+    }
+
+    /// The wait-free snapshot: one acquire load decoding the committed
+    /// length and the selected tip together.
+    pub fn snapshot(&self) -> SnapshotView {
+        let packed = self.head.load(Ordering::Acquire);
+        SnapshotView {
+            len: (packed >> 32) as u32,
+            tip: packed as u32,
+        }
+    }
+
+    /// Number of committed (reader-visible) blocks.
+    pub fn len(&self) -> usize {
+        self.snapshot().len as usize
+    }
+
+    /// Returns `true` iff only the genesis block is visible.
+    pub fn is_empty(&self) -> bool {
+        self.len() <= 1
+    }
+
+    fn node(&self, idx: u32) -> &StoredNode {
+        self.chunks[idx as usize / CHUNK_CAP]
+            .get()
+            .and_then(|chunk| chunk[idx as usize % CHUNK_CAP].get())
+            .expect("store index must be committed before it is read")
+    }
+
+    /// The block at a committed store index.
+    pub fn block(&self, idx: u32) -> &Block {
+        &self.node(idx).block
+    }
+
+    /// The parent store index of a committed block (`None` for genesis).
+    pub fn parent(&self, idx: u32) -> Option<u32> {
+        self.node(idx).parent
+    }
+
+    /// Materializes the chain from the genesis block to `tip` by walking
+    /// frozen parent links.  Wait-free: touches only committed, immutable
+    /// slots.
+    pub fn chain_to(&self, tip: u32) -> Blockchain {
+        let height = self.node(tip).block.height as usize;
+        let mut blocks = Vec::with_capacity(height + 1);
+        let mut cursor = Some(tip);
+        while let Some(idx) = cursor {
+            let node = self.node(idx);
+            blocks.push(node.block.clone());
+            cursor = node.parent;
+        }
+        blocks.reverse();
+        // Writers only push blocks whose parent is already committed, so
+        // the walk is a chain by construction.
+        Blockchain::from_blocks_trusted(blocks)
+    }
+
+    /// The wait-free `read()`: `{b0}⌢f(bt)` for the latest published
+    /// selection — one atomic load, then a walk over immutable nodes.
+    pub fn read(&self) -> Blockchain {
+        self.chain_to(self.snapshot().tip)
+    }
+}
+
+impl Default for SnapshotStore {
+    fn default() -> Self {
+        SnapshotStore::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btadt_types::BlockBuilder;
+    use std::sync::Arc;
+    use std::thread;
+
+    fn chain_blocks(n: usize) -> Vec<Block> {
+        let mut parent = Block::genesis();
+        (0..n)
+            .map(|i| {
+                let b = BlockBuilder::new(&parent).nonce(i as u64).build();
+                parent = b.clone();
+                b
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fresh_store_reads_the_genesis_chain() {
+        let store = SnapshotStore::new();
+        assert_eq!(store.len(), 1);
+        assert!(store.is_empty());
+        assert_eq!(store.read(), Blockchain::genesis_only());
+        assert_eq!(store.snapshot(), SnapshotView { len: 1, tip: 0 });
+    }
+
+    #[test]
+    fn pushed_blocks_are_invisible_until_published() {
+        let store = SnapshotStore::new();
+        let blocks = chain_blocks(2);
+        let i1 = store.push(blocks[0].clone(), Some(0));
+        assert_eq!(store.len(), 1, "push alone must not change the view");
+        store.publish(2, i1);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.read().tip().id, blocks[0].id);
+        let i2 = store.push(blocks[1].clone(), Some(i1));
+        store.publish(3, i2);
+        assert_eq!(store.read().height(), 2);
+        assert_eq!(store.parent(i2), Some(i1));
+        assert_eq!(store.block(i2).id, blocks[1].id);
+    }
+
+    #[test]
+    fn chain_to_walks_any_committed_tip() {
+        let store = SnapshotStore::new();
+        let blocks = chain_blocks(5);
+        let mut parent = 0;
+        let mut idxs = Vec::new();
+        for b in &blocks {
+            parent = store.push(b.clone(), Some(parent));
+            idxs.push(parent);
+        }
+        store.publish(6, parent);
+        // Reads of interior tips (earlier snapshots) still work.
+        assert_eq!(store.chain_to(idxs[2]).height(), 3);
+        assert_eq!(store.chain_to(idxs[4]).height(), 5);
+        assert_eq!(store.read().height(), 5);
+    }
+
+    #[test]
+    fn store_spans_multiple_chunks() {
+        let store = SnapshotStore::new();
+        let mut parent_block = Block::genesis();
+        let mut parent = 0u32;
+        let n = CHUNK_CAP + 5;
+        for i in 0..n {
+            let b = BlockBuilder::new(&parent_block).nonce(i as u64).build();
+            parent_block = b.clone();
+            parent = store.push(b, Some(parent));
+        }
+        store.publish(n as u32 + 1, parent);
+        assert_eq!(store.len(), n + 1);
+        assert_eq!(store.read().height(), n as u64);
+    }
+
+    #[test]
+    fn concurrent_readers_always_see_a_consistent_chain() {
+        // One writer extends the chain and publishes; readers hammer the
+        // store and must always materialize a well-formed chain whose tip
+        // height equals the published length - 1.
+        let store = Arc::new(SnapshotStore::new());
+        let writer = {
+            let store = Arc::clone(&store);
+            thread::spawn(move || {
+                let mut parent_block = Block::genesis();
+                let mut parent = 0u32;
+                for i in 0..500u64 {
+                    let b = BlockBuilder::new(&parent_block).nonce(i).build();
+                    parent_block = b.clone();
+                    parent = store.push(b, Some(parent));
+                    store.publish(i as u32 + 2, parent);
+                }
+            })
+        };
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                let store = Arc::clone(&store);
+                thread::spawn(move || {
+                    for _ in 0..300 {
+                        let view = store.snapshot();
+                        let chain = store.chain_to(view.tip);
+                        // On this linear workload the tip is the last
+                        // committed block, so height = len - 1 exactly.
+                        assert_eq!(chain.height(), u64::from(view.len - 1));
+                    }
+                })
+            })
+            .collect();
+        writer.join().unwrap();
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(store.read().height(), 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be committed")]
+    fn reading_an_uncommitted_index_panics() {
+        let store = SnapshotStore::new();
+        store.block(7);
+    }
+}

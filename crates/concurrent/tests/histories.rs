@@ -1,0 +1,255 @@
+//! End-to-end checks of the shared-memory replica's recorded histories.
+//!
+//! These tests drive real OS-thread executions of [`ConcurrentBlockTree`]
+//! through the workload driver and judge the recorded histories with the
+//! paper's consistency criteria:
+//!
+//! * the frugal/CAS path must *always* produce Strongly-Consistent
+//!   histories (Theorems 4.1/4.2) — checked across a grid of seeds, thread
+//!   counts and operation mixes;
+//! * the prodigal/snapshot path must always produce Eventually-Consistent
+//!   histories (Theorem 4.3);
+//! * the deliberately racy unmediated variant must be *caught* by the
+//!   Strong-Consistency checker (a scripted two-client race, so the
+//!   violation is deterministic);
+//! * single-threaded (linearized) runs must be observationally equivalent
+//!   to the sequential specification: their response-time linearization is
+//!   a word of `L(BT-ADT)` and the final chain matches the naive reference
+//!   tree.
+
+use btadt_concurrent::{
+    check_claimed, run_workload, AppendPath, ConcurrentBlockTree, DriverConfig, RecorderHub,
+};
+use btadt_core::ops::BtHistoryExt;
+use btadt_core::{strong_consistency, BlockTreeAdt, BtOperation, BtResponse};
+use btadt_history::{ConsistencyCriterion, ProcessId, SequentialChecker};
+use btadt_types::{AlwaysValid, LengthScore, LongestChain, NaiveBlockTree, TieBreak};
+use std::sync::Arc;
+
+fn sc() -> impl ConsistencyCriterion<BtOperation, BtResponse> {
+    strong_consistency(Arc::new(LengthScore), Arc::new(AlwaysValid))
+}
+
+#[test]
+fn every_frugal_cas_history_is_strongly_consistent() {
+    // The property test of the satellite task: a grid of real
+    // multi-threaded executions, every recorded history must be admitted
+    // by the Strong-Consistency checker.
+    for seed in [1u64, 23, 456] {
+        for threads in [2usize, 4] {
+            for append_percent in [20u8, 80] {
+                let config = DriverConfig {
+                    threads,
+                    ops_per_thread: 60,
+                    append_percent,
+                    path: AppendPath::Strong,
+                    seed,
+                    record: true,
+                };
+                let run = run_workload(&config);
+                let verdict = check_claimed(&run);
+                assert!(
+                    verdict.is_admitted(),
+                    "seed {seed}, {threads} threads, {append_percent}% appends: {verdict}"
+                );
+                assert_eq!(
+                    run.max_fork_degree, 1,
+                    "the k = 1 oracle must keep the tree a single chain"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn every_prodigal_snapshot_history_is_eventually_consistent() {
+    for seed in [2u64, 77] {
+        for threads in [2usize, 4] {
+            let config = DriverConfig {
+                threads,
+                ops_per_thread: 60,
+                append_percent: 50,
+                path: AppendPath::Eventual,
+                seed,
+                record: true,
+            };
+            let run = run_workload(&config);
+            let verdict = check_claimed(&run);
+            assert!(
+                verdict.is_admitted(),
+                "seed {seed}, {threads} threads: {verdict}"
+            );
+            assert_eq!(run.appends_failed, 0, "Θ_P never rejects a token");
+        }
+    }
+}
+
+#[test]
+fn racy_unmediated_appends_are_caught_by_the_strong_consistency_checker() {
+    // Regression test for the deliberately racy variant.  The interleaving
+    // is scripted (two clients, one shared parent) so the violation is
+    // deterministic: both clients observe the genesis tip, append without
+    // mediation, and read — the two reads return diverging one-block
+    // chains, which Strong Prefix must reject.
+    let replica = ConcurrentBlockTree::racy(2);
+    let hub = RecorderHub::new();
+    let mut rec_a = hub.handle::<BtOperation, BtResponse>(ProcessId(0));
+    let mut rec_b = hub.handle::<BtOperation, BtResponse>(ProcessId(1));
+
+    // Both clients read the same tip before either appends — the stale
+    // parent read at the heart of the race.
+    let parent = replica.tip_block();
+    let a = replica.prepare_on(0, parent.clone(), vec![]);
+    let b = replica.prepare_on(1, parent, vec![]);
+
+    let i = rec_a.invoke(BtOperation::Append(a.block.clone()));
+    let out_a = replica.commit(a);
+    rec_a.respond(i, BtResponse::Appended(out_a.appended));
+    let i = rec_a.invoke(BtOperation::Read);
+    rec_a.respond(i, BtResponse::Chain(replica.read()));
+
+    let i = rec_b.invoke(BtOperation::Append(b.block.clone()));
+    let out_b = replica.commit(b);
+    rec_b.respond(i, BtResponse::Appended(out_b.appended));
+    let i = rec_b.invoke(BtOperation::Read);
+    rec_b.respond(i, BtResponse::Chain(replica.read()));
+
+    assert!(
+        out_a.appended && out_b.appended,
+        "no mediation: both succeed"
+    );
+    assert_eq!(replica.max_fork_degree(), 2, "the race forked the tree");
+
+    let history = hub.collect(vec![rec_a.into_records(), rec_b.into_records()]);
+    let verdict = sc().check(&history);
+    assert!(!verdict.is_admitted(), "the unmediated race must be caught");
+    assert!(
+        verdict
+            .violations
+            .iter()
+            .any(|v| v.property == "strong-prefix"),
+        "the diverging reads violate Strong Prefix: {verdict}"
+    );
+}
+
+#[test]
+fn the_same_schedule_through_the_cas_path_is_admitted() {
+    // Counterpart of the racy regression: the *same* two-client schedule
+    // with oracle mediation produces one winner, one rejected append, and
+    // prefix-compatible reads — admitted by the checker.
+    let replica = ConcurrentBlockTree::strong(2, 99);
+    let hub = RecorderHub::new();
+    let mut rec_a = hub.handle::<BtOperation, BtResponse>(ProcessId(0));
+    let mut rec_b = hub.handle::<BtOperation, BtResponse>(ProcessId(1));
+
+    let parent = replica.tip_block();
+    let a = replica.prepare_on(0, parent.clone(), vec![]);
+    let b = replica.prepare_on(1, parent, vec![]);
+
+    let i = rec_a.invoke(BtOperation::Append(a.block.clone()));
+    let out_a = replica.commit(a);
+    rec_a.respond(i, BtResponse::Appended(out_a.appended));
+    let i = rec_a.invoke(BtOperation::Read);
+    rec_a.respond(i, BtResponse::Chain(replica.read()));
+
+    let i = rec_b.invoke(BtOperation::Append(b.block.clone()));
+    let out_b = replica.commit(b);
+    rec_b.respond(i, BtResponse::Appended(out_b.appended));
+    let i = rec_b.invoke(BtOperation::Read);
+    rec_b.respond(i, BtResponse::Chain(replica.read()));
+
+    assert!(out_a.appended, "first CAS on the parent wins");
+    assert!(!out_b.appended, "second CAS on the same parent loses");
+    assert_eq!(replica.max_fork_degree(), 1);
+
+    let history = hub.collect(vec![rec_a.into_records(), rec_b.into_records()]);
+    let verdict = sc().check(&history);
+    assert!(verdict.is_admitted(), "{verdict}");
+}
+
+/// Replays a linearized (single-threaded) run against the sequential
+/// specification and the naive reference tree.
+fn assert_observationally_equivalent(path: AppendPath, seed: u64) {
+    let config = DriverConfig {
+        threads: 1,
+        ops_per_thread: 80,
+        append_percent: 60,
+        path,
+        seed,
+        record: true,
+    };
+    let replica = match path {
+        AppendPath::Strong => ConcurrentBlockTree::strong(1, seed),
+        AppendPath::Eventual => ConcurrentBlockTree::eventual(1),
+        AppendPath::Racy => ConcurrentBlockTree::racy(1),
+    };
+    let run = btadt_concurrent::run_workload_on(&config, &replica);
+    let history = run.history.as_ref().unwrap();
+
+    // 1. The response-time linearization is a word of L(BT-ADT) under the
+    //    same selection function and validity predicate the replica runs.
+    let adt = BlockTreeAdt::new(
+        LongestChain::with_tie_break(TieBreak::LargestId),
+        AlwaysValid,
+    );
+    let word: Vec<(BtOperation, BtResponse)> = history
+        .by_response_time()
+        .into_iter()
+        .map(|r| (r.op.clone(), r.response.clone().unwrap()))
+        .collect();
+    SequentialChecker::new(adt)
+        .check_word(&word)
+        .unwrap_or_else(|e| panic!("{path:?} linearization left L(BT-ADT): {e}"));
+
+    // 2. The final read agrees with the naive reference tree fed the same
+    //    successful appends.
+    let mut reference = NaiveBlockTree::new();
+    for (_, block, ok) in history.appends() {
+        if ok {
+            reference
+                .insert(block.clone())
+                .expect("reference accepts the same blocks");
+        }
+    }
+    let expected = reference.select_longest(TieBreak::LargestId);
+    assert_eq!(
+        replica.read(),
+        expected,
+        "replica and reference select the same chain"
+    );
+    assert_eq!(replica.len(), reference.len());
+    assert_eq!(replica.max_fork_degree(), reference.max_fork_degree());
+}
+
+#[test]
+fn linearized_strong_runs_match_the_sequential_specification() {
+    for seed in [3u64, 31] {
+        assert_observationally_equivalent(AppendPath::Strong, seed);
+    }
+}
+
+#[test]
+fn linearized_eventual_runs_match_the_sequential_specification() {
+    for seed in [4u64, 41] {
+        assert_observationally_equivalent(AppendPath::Eventual, seed);
+    }
+}
+
+#[test]
+fn strong_histories_purged_of_failed_appends_stay_admitted() {
+    // Section 3.4 purges unsuccessful appends before comparing history
+    // families; purging must never flip an admitted strong history.
+    let run = run_workload(&DriverConfig {
+        threads: 4,
+        ops_per_thread: 50,
+        append_percent: 70,
+        path: AppendPath::Strong,
+        seed: 321,
+        record: true,
+    });
+    let history = run.history.as_ref().unwrap();
+    let purged = history.purged_of_failed_appends();
+    let verdict = sc().check(&purged);
+    assert!(verdict.is_admitted(), "{verdict}");
+    assert_eq!(purged.appends().len() as u64, run.appends_ok);
+}

@@ -240,11 +240,17 @@ mod tests {
             .build();
 
         // Expected read after both appends: the tie-break picks the larger id.
-        let expected_tip = if b1.id > b2.id { b1.clone() } else { b2.clone() };
+        let expected_tip = if b1.id > b2.id {
+            b1.clone()
+        } else {
+            b2.clone()
+        };
         let expected_chain = Blockchain::genesis_only()
             .extended_with(expected_tip)
             .unwrap();
-        let first_chain = Blockchain::genesis_only().extended_with(b1.clone()).unwrap();
+        let first_chain = Blockchain::genesis_only()
+            .extended_with(b1.clone())
+            .unwrap();
 
         let checker = SequentialChecker::new(adt);
         let word = vec![
@@ -265,7 +271,9 @@ mod tests {
         let b1 = child(&Block::genesis(), 1);
         let checker = SequentialChecker::new(adt);
         // Claiming the read returns b0⌢b1 *before* b1 is appended is illegal.
-        let chain = Blockchain::genesis_only().extended_with(b1.clone()).unwrap();
+        let chain = Blockchain::genesis_only()
+            .extended_with(b1.clone())
+            .unwrap();
         let word = vec![
             (BtOperation::Read, BtResponse::Chain(chain)),
             (BtOperation::Append(b1), BtResponse::Appended(true)),

@@ -103,8 +103,14 @@ mod tests {
     fn read_of_appended_valid_block_is_admitted() {
         let mut rec = BtRecorder::new();
         let b1 = BlockBuilder::new(&Block::genesis()).nonce(1).build();
-        let chain = Blockchain::genesis_only().extended_with(b1.clone()).unwrap();
-        rec.instantaneous(ProcessId(0), BtOperation::Append(b1), BtResponse::Appended(true));
+        let chain = Blockchain::genesis_only()
+            .extended_with(b1.clone())
+            .unwrap();
+        rec.instantaneous(
+            ProcessId(0),
+            BtOperation::Append(b1),
+            BtResponse::Appended(true),
+        );
         rec.instantaneous(ProcessId(1), BtOperation::Read, BtResponse::Chain(chain));
         assert!(prop().admits(&rec.into_history()));
     }
@@ -124,10 +130,16 @@ mod tests {
     fn read_of_block_appended_later_is_rejected() {
         let mut rec = BtRecorder::new();
         let b1 = BlockBuilder::new(&Block::genesis()).nonce(1).build();
-        let chain = Blockchain::genesis_only().extended_with(b1.clone()).unwrap();
+        let chain = Blockchain::genesis_only()
+            .extended_with(b1.clone())
+            .unwrap();
         // read at p0 happens strictly before the append at p1
         rec.instantaneous(ProcessId(0), BtOperation::Read, BtResponse::Chain(chain));
-        rec.instantaneous(ProcessId(1), BtOperation::Append(b1), BtResponse::Appended(true));
+        rec.instantaneous(
+            ProcessId(1),
+            BtOperation::Append(b1),
+            BtResponse::Appended(true),
+        );
         assert!(!prop().admits(&rec.into_history()));
     }
 
@@ -139,8 +151,14 @@ mod tests {
             .nonce(1)
             .push_tx(Transaction::transfer(1, 1, 2, 3))
             .build();
-        let chain = Blockchain::genesis_only().extended_with(fat.clone()).unwrap();
-        rec.instantaneous(ProcessId(0), BtOperation::Append(fat), BtResponse::Appended(true));
+        let chain = Blockchain::genesis_only()
+            .extended_with(fat.clone())
+            .unwrap();
+        rec.instantaneous(
+            ProcessId(0),
+            BtOperation::Append(fat),
+            BtResponse::Appended(true),
+        );
         rec.instantaneous(ProcessId(0), BtOperation::Read, BtResponse::Chain(chain));
         let verdict = prop.check(&rec.into_history());
         assert!(!verdict.is_admitted());
@@ -163,8 +181,16 @@ mod tests {
         let mut rec = BtRecorder::new();
         let b1 = BlockBuilder::new(&Block::genesis()).nonce(1).build();
         let b2 = BlockBuilder::new(&Block::genesis()).nonce(2).build();
-        rec.instantaneous(ProcessId(0), BtOperation::Append(b1.clone()), BtResponse::Appended(true));
-        rec.instantaneous(ProcessId(0), BtOperation::Append(b2), BtResponse::Appended(false));
+        rec.instantaneous(
+            ProcessId(0),
+            BtOperation::Append(b1.clone()),
+            BtResponse::Appended(true),
+        );
+        rec.instantaneous(
+            ProcessId(0),
+            BtOperation::Append(b2),
+            BtResponse::Appended(false),
+        );
         let ids = appended_block_ids(&rec.into_history());
         assert_eq!(ids, vec![b1.id]);
     }

@@ -168,7 +168,11 @@ pub fn run_contended(kind: OracleKind, config: ContendedRunConfig) -> ContendedR
         let view = tree
             .chain_to(local_tips[p].id)
             .expect("local tips stay inside the shared tree");
-        recorder.instantaneous(ProcessId(p as u32), BtOperation::Read, BtResponse::Chain(view));
+        recorder.instantaneous(
+            ProcessId(p as u32),
+            BtOperation::Read,
+            BtResponse::Chain(view),
+        );
     }
 
     // Quiescent final round: everyone converges on the selected chain.
@@ -254,7 +258,11 @@ pub fn fork_bound_inclusion(
 
 /// Theorem 3.1: every generated history admitted by SC is admitted by EC,
 /// and some history is admitted by EC but not SC.
-pub fn sc_subset_ec(kinds: &[OracleKind], seeds: &[u64], base: ContendedRunConfig) -> InclusionReport {
+pub fn sc_subset_ec(
+    kinds: &[OracleKind],
+    seeds: &[u64],
+    base: ContendedRunConfig,
+) -> InclusionReport {
     let sc = strong_consistency(Arc::new(LengthScore), Arc::new(AlwaysValid));
     let ec = eventual_consistency(Arc::new(LengthScore), Arc::new(AlwaysValid));
     let mut report = InclusionReport::default();
@@ -362,7 +370,10 @@ mod tests {
         assert!(violations_p > 0, "the prodigal oracle must violate Strong Prefix under contention ({violations_p}/{total})");
         let (violations_k3, _) =
             strong_prefix_violations(OracleKind::Frugal(3), &seeds, contended(0));
-        assert!(violations_k3 > 0, "k>1 also violates Strong Prefix under contention");
+        assert!(
+            violations_k3 > 0,
+            "k>1 also violates Strong Prefix under contention"
+        );
     }
 
     #[test]

@@ -5,8 +5,8 @@
 //! `B = BC ∪ {true, false}` (Definition 3.1).  Concurrent histories over
 //! these operations are the objects the consistency criteria judge.
 
-use btadt_types::{Block, Blockchain};
 use btadt_history::{ConcurrentHistory, HistoryRecorder, OperationRecord};
+use btadt_types::{Block, Blockchain};
 
 /// An input symbol of the BT-ADT.
 #[derive(Clone, Debug, PartialEq)]
@@ -154,8 +154,16 @@ mod tests {
         let mut rec = BtRecorder::new();
         let p = ProcessId(0);
         rec.instantaneous(p, BtOperation::Append(block(1)), BtResponse::Appended(true));
-        rec.instantaneous(p, BtOperation::Read, BtResponse::Chain(Blockchain::genesis_only()));
-        rec.instantaneous(p, BtOperation::Append(block(2)), BtResponse::Appended(false));
+        rec.instantaneous(
+            p,
+            BtOperation::Read,
+            BtResponse::Chain(Blockchain::genesis_only()),
+        );
+        rec.instantaneous(
+            p,
+            BtOperation::Append(block(2)),
+            BtResponse::Appended(false),
+        );
         let h = rec.into_history();
 
         assert_eq!(h.reads().len(), 1);
@@ -169,8 +177,16 @@ mod tests {
     #[test]
     fn reads_are_sorted_by_response_time() {
         let mut rec = BtRecorder::new();
-        rec.instantaneous(ProcessId(1), BtOperation::Read, BtResponse::Chain(Blockchain::genesis_only()));
-        rec.instantaneous(ProcessId(0), BtOperation::Read, BtResponse::Chain(Blockchain::genesis_only()));
+        rec.instantaneous(
+            ProcessId(1),
+            BtOperation::Read,
+            BtResponse::Chain(Blockchain::genesis_only()),
+        );
+        rec.instantaneous(
+            ProcessId(0),
+            BtOperation::Read,
+            BtResponse::Chain(Blockchain::genesis_only()),
+        );
         let h = rec.into_history();
         let reads = h.reads();
         assert_eq!(reads.len(), 2);

@@ -23,9 +23,7 @@ use std::sync::Arc;
 
 use btadt_history::ProcessId;
 use btadt_oracle::{OracleLog, TokenOracle};
-use btadt_types::{
-    Block, BlockBuilder, BlockTree, Blockchain, SelectionFunction, Transaction,
-};
+use btadt_types::{Block, BlockBuilder, BlockTree, Blockchain, SelectionFunction, Transaction};
 
 use crate::ops::{BtOperation, BtRecorder, BtResponse};
 
@@ -80,9 +78,10 @@ impl RefinedBlockTree {
             .payload(payload)
             .build();
 
-        let op_id = self
-            .recorder
-            .invoke(ProcessId(requester as u32), BtOperation::Append(candidate.clone()));
+        let op_id = self.recorder.invoke(
+            ProcessId(requester as u32),
+            BtOperation::Append(candidate.clone()),
+        );
 
         // getToken* until granted, then consumeToken.
         let (grant, attempts) =
@@ -147,7 +146,9 @@ impl RefinedBlockTree {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use btadt_oracle::{ForkCoherenceChecker, FrugalOracle, MeritTable, OracleConfig, ProdigalOracle};
+    use btadt_oracle::{
+        ForkCoherenceChecker, FrugalOracle, MeritTable, OracleConfig, ProdigalOracle,
+    };
     use btadt_types::LongestChain;
 
     use crate::ops::BtHistoryExt;
@@ -201,7 +202,9 @@ mod tests {
         // Sequentially, each append chains to the current tip, so even k=1
         // never rejects: each parent is used exactly once.
         let mut rbt = frugal(1, 2);
-        let successes = (0..10).filter(|i| rbt.append(i % 2, vec![]).appended).count();
+        let successes = (0..10)
+            .filter(|i| rbt.append(i % 2, vec![]).appended)
+            .count();
         assert_eq!(successes, 10);
     }
 

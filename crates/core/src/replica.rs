@@ -382,7 +382,10 @@ mod tests {
         let orphan = BlockBuilder::new(&phantom_parent).nonce(78).build();
         assert!(!a.apply_update(&orphan));
         assert!(a.apply_update(&phantom_parent));
-        assert!(a.apply_update(&orphan), "after the parent arrives it applies");
+        assert!(
+            a.apply_update(&orphan),
+            "after the parent arrives it applies"
+        );
         assert!(a.contains(&orphan));
         assert_eq!(a.id(), ProcessId(0));
     }

@@ -400,12 +400,54 @@ mod tests {
         let b = block(1);
         let parent = btadt_types::GENESIS_ID;
         let mut h = MessageHistory::new();
-        h.record(ev(0, 1, ReplicaEventKind::Send { parent, block: b.clone() }));
-        h.record(ev(0, 2, ReplicaEventKind::Update { parent, block: b.clone() }));
-        h.record(ev(0, 3, ReplicaEventKind::Receive { parent, block: b.clone() }));
-        h.record(ev(1, 4, ReplicaEventKind::Receive { parent, block: b.clone() }));
-        h.record(ev(2, 5, ReplicaEventKind::Receive { parent, block: b.clone() }));
-        h.record(ev(1, 6, ReplicaEventKind::Update { parent, block: b.clone() }));
+        h.record(ev(
+            0,
+            1,
+            ReplicaEventKind::Send {
+                parent,
+                block: b.clone(),
+            },
+        ));
+        h.record(ev(
+            0,
+            2,
+            ReplicaEventKind::Update {
+                parent,
+                block: b.clone(),
+            },
+        ));
+        h.record(ev(
+            0,
+            3,
+            ReplicaEventKind::Receive {
+                parent,
+                block: b.clone(),
+            },
+        ));
+        h.record(ev(
+            1,
+            4,
+            ReplicaEventKind::Receive {
+                parent,
+                block: b.clone(),
+            },
+        ));
+        h.record(ev(
+            2,
+            5,
+            ReplicaEventKind::Receive {
+                parent,
+                block: b.clone(),
+            },
+        ));
+        h.record(ev(
+            1,
+            6,
+            ReplicaEventKind::Update {
+                parent,
+                block: b.clone(),
+            },
+        ));
         h.record(ev(2, 7, ReplicaEventKind::Update { parent, block: b }));
         h
     }
@@ -441,10 +483,38 @@ mod tests {
         let b = block(1);
         let parent = btadt_types::GENESIS_ID;
         let mut h = MessageHistory::new();
-        h.record(ev(0, 1, ReplicaEventKind::Send { parent, block: b.clone() }));
-        h.record(ev(0, 2, ReplicaEventKind::Update { parent, block: b.clone() }));
-        h.record(ev(0, 3, ReplicaEventKind::Receive { parent, block: b.clone() }));
-        h.record(ev(1, 4, ReplicaEventKind::Update { parent, block: b.clone() }));
+        h.record(ev(
+            0,
+            1,
+            ReplicaEventKind::Send {
+                parent,
+                block: b.clone(),
+            },
+        ));
+        h.record(ev(
+            0,
+            2,
+            ReplicaEventKind::Update {
+                parent,
+                block: b.clone(),
+            },
+        ));
+        h.record(ev(
+            0,
+            3,
+            ReplicaEventKind::Receive {
+                parent,
+                block: b.clone(),
+            },
+        ));
+        h.record(ev(
+            1,
+            4,
+            ReplicaEventKind::Update {
+                parent,
+                block: b.clone(),
+            },
+        ));
         h.record(ev(1, 5, ReplicaEventKind::Receive { parent, block: b })); // too late
         let ua = UpdateAgreement::all_correct(&h);
         let v = ua.r2_violations(&h);
@@ -458,10 +528,38 @@ mod tests {
         let b = block(1);
         let parent = btadt_types::GENESIS_ID;
         let mut h = MessageHistory::new();
-        h.record(ev(0, 1, ReplicaEventKind::Send { parent, block: b.clone() }));
-        h.record(ev(0, 2, ReplicaEventKind::Update { parent, block: b.clone() }));
-        h.record(ev(0, 3, ReplicaEventKind::Receive { parent, block: b.clone() }));
-        h.record(ev(1, 4, ReplicaEventKind::Receive { parent, block: b.clone() }));
+        h.record(ev(
+            0,
+            1,
+            ReplicaEventKind::Send {
+                parent,
+                block: b.clone(),
+            },
+        ));
+        h.record(ev(
+            0,
+            2,
+            ReplicaEventKind::Update {
+                parent,
+                block: b.clone(),
+            },
+        ));
+        h.record(ev(
+            0,
+            3,
+            ReplicaEventKind::Receive {
+                parent,
+                block: b.clone(),
+            },
+        ));
+        h.record(ev(
+            1,
+            4,
+            ReplicaEventKind::Receive {
+                parent,
+                block: b.clone(),
+            },
+        ));
         h.record(ev(1, 5, ReplicaEventKind::Update { parent, block: b })); // k (p2) never receives
         let ua = UpdateAgreement::new(vec![ProcessId(0), ProcessId(1), ProcessId(2)]);
         let v = ua.r3_violations(&h);
@@ -475,7 +573,14 @@ mod tests {
         let b = block(1);
         let parent = btadt_types::GENESIS_ID;
         let mut h = MessageHistory::new();
-        h.record(ev(0, 1, ReplicaEventKind::Send { parent, block: b.clone() }));
+        h.record(ev(
+            0,
+            1,
+            ReplicaEventKind::Send {
+                parent,
+                block: b.clone(),
+            },
+        ));
         h.record(ev(1, 2, ReplicaEventKind::Receive { parent, block: b }));
         let lrc = LightReliableCommunication::new(vec![ProcessId(0), ProcessId(1)]);
         let v = lrc.validity_violations(&h);
@@ -490,11 +595,24 @@ mod tests {
         let b = block(1);
         let parent = btadt_types::GENESIS_ID;
         let mut h = MessageHistory::new();
-        h.record(ev(0, 1, ReplicaEventKind::Send { parent, block: b.clone() }));
-        h.record(ev(0, 2, ReplicaEventKind::Receive { parent, block: b.clone() }));
+        h.record(ev(
+            0,
+            1,
+            ReplicaEventKind::Send {
+                parent,
+                block: b.clone(),
+            },
+        ));
+        h.record(ev(
+            0,
+            2,
+            ReplicaEventKind::Receive {
+                parent,
+                block: b.clone(),
+            },
+        ));
         h.record(ev(1, 3, ReplicaEventKind::Receive { parent, block: b }));
-        let lrc =
-            LightReliableCommunication::new(vec![ProcessId(0), ProcessId(1), ProcessId(2)]);
+        let lrc = LightReliableCommunication::new(vec![ProcessId(0), ProcessId(1), ProcessId(2)]);
         let v = lrc.agreement_violations(&h);
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].rule, "LRC-agreement");
@@ -508,9 +626,30 @@ mod tests {
         let b = block(1);
         let parent = btadt_types::GENESIS_ID;
         let mut h = MessageHistory::new();
-        h.record(ev(0, 1, ReplicaEventKind::Send { parent, block: b.clone() }));
-        h.record(ev(0, 2, ReplicaEventKind::Update { parent, block: b.clone() }));
-        h.record(ev(0, 3, ReplicaEventKind::Receive { parent, block: b.clone() }));
+        h.record(ev(
+            0,
+            1,
+            ReplicaEventKind::Send {
+                parent,
+                block: b.clone(),
+            },
+        ));
+        h.record(ev(
+            0,
+            2,
+            ReplicaEventKind::Update {
+                parent,
+                block: b.clone(),
+            },
+        ));
+        h.record(ev(
+            0,
+            3,
+            ReplicaEventKind::Receive {
+                parent,
+                block: b.clone(),
+            },
+        ));
         h.record(ev(1, 4, ReplicaEventKind::Update { parent, block: b }));
         let ua = UpdateAgreement::new(vec![ProcessId(0)]);
         assert!(ua.holds(&h));

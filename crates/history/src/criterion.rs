@@ -31,7 +31,11 @@ pub struct Violation {
 
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{}] {} (witnesses: {:?})", self.property, self.detail, self.witnesses)
+        write!(
+            f,
+            "[{}] {} (witnesses: {:?})",
+            self.property, self.detail, self.witnesses
+        )
     }
 }
 
@@ -247,7 +251,9 @@ mod tests {
     #[test]
     fn conjunction_accumulates_violations_from_all_parts() {
         let h = sample_history(&[(0, 5), (0, 0)]); // violates both: zero and decreasing
-        let c = Conjunction::named("both").and(NonZero).and(MonotonePerProcess);
+        let c = Conjunction::named("both")
+            .and(NonZero)
+            .and(MonotonePerProcess);
         assert_eq!(c.len(), 2);
         assert!(!c.is_empty());
         assert_eq!(c.part_names(), vec!["non-zero", "monotone"]);

@@ -128,7 +128,11 @@ impl<Op: Clone, Resp: Clone> ConcurrentHistory<Op, Resp> {
 
     /// Process order `↦` between two operations: same process and `a` comes
     /// earlier in that process's sequence than `b`.
-    pub fn process_order(&self, a: &OperationRecord<Op, Resp>, b: &OperationRecord<Op, Resp>) -> bool {
+    pub fn process_order(
+        &self,
+        a: &OperationRecord<Op, Resp>,
+        b: &OperationRecord<Op, Resp>,
+    ) -> bool {
         a.process == b.process && a.seq < b.seq
     }
 

@@ -202,7 +202,9 @@ impl ChannelModel {
                 inner,
                 drop_probability,
             } => format!("lossy(p={drop_probability}, {})", inner.label()),
-            ChannelModel::Partitioned { inner, heals_at, .. } => {
+            ChannelModel::Partitioned {
+                inner, heals_at, ..
+            } => {
                 format!("partitioned(heal={}, {})", heals_at.0, inner.label())
             }
         }

@@ -195,7 +195,11 @@ impl Scenario {
     /// Schedules a partition splitting `group_a` from the rest during
     /// `[from, until)`.
     pub fn with_partition(mut self, group_a: Vec<usize>, from: u64, until: u64) -> Self {
-        self.partitions.push(PartitionWindow { group_a, from, until });
+        self.partitions.push(PartitionWindow {
+            group_a,
+            from,
+            until,
+        });
         self
     }
 

@@ -147,7 +147,11 @@ impl FailurePlan {
     /// Adds a partition window: `group_a` is split from the rest during
     /// `[from, until)`.
     pub fn with_partition(mut self, group_a: Vec<usize>, from: u64, until: u64) -> Self {
-        self.partitions.push(PartitionWindow { group_a, from, until });
+        self.partitions.push(PartitionWindow {
+            group_a,
+            from,
+            until,
+        });
         self
     }
 
@@ -579,7 +583,11 @@ mod tests {
             FailurePlan::crashing(vec![(3, 1)]), // process 3 crashes immediately
         );
         sim.run();
-        assert_eq!(sim.process(3).received, 0, "crashed process received nothing");
+        assert_eq!(
+            sim.process(3).received,
+            0,
+            "crashed process received nothing"
+        );
         for p in 0..3 {
             assert_eq!(sim.process(p).value, 3);
         }
@@ -751,7 +759,11 @@ mod tests {
                 .with_churn(2, 12, 40);
             let mut sim = Simulator::new(flooders(4, 10), config, plan);
             let report = sim.run();
-            (report.events_processed, report.final_time, sim.trace().len())
+            (
+                report.events_processed,
+                report.final_time,
+                sim.trace().len(),
+            )
         };
         assert_eq!(run(()), run(()));
     }

@@ -89,9 +89,9 @@ impl NetTrace {
 
     /// Whether a particular point-to-point message was delivered.
     pub fn was_delivered(&self, message_id: u64, to: usize) -> bool {
-        self.events
-            .iter()
-            .any(|e| e.message_id == message_id && e.to == to && e.kind == TraceEventKind::Delivered)
+        self.events.iter().any(|e| {
+            e.message_id == message_id && e.to == to && e.kind == TraceEventKind::Delivered
+        })
     }
 
     /// Fraction of sent point-to-point messages that were delivered

@@ -42,8 +42,8 @@ pub mod tape;
 pub use fork_coherence::{ForkCoherenceChecker, OracleLog, OracleLogEntry};
 pub use merit::{Merit, MeritTable};
 pub use oracle::{
-    ConsumeOutcome, FrugalOracle, OracleConfig, ProdigalOracle, SlotArena, SlotIdx, TokenGrant,
-    TokenOracle,
+    ConsumeOutcome, FrugalOracle, OracleConfig, OracleStats, ProdigalOracle, SlotArena, SlotIdx,
+    TokenGrant, TokenOracle,
 };
 pub use pow::SimulatedPow;
 pub use shared::SharedOracle;

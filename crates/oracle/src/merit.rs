@@ -35,14 +35,14 @@ impl MeritTable {
     /// Panics if the table would be empty or the total weight is zero — a
     /// system with no merit cannot produce any block.
     pub fn from_weights(weights: &[f64]) -> Self {
-        assert!(!weights.is_empty(), "merit table needs at least one process");
+        assert!(
+            !weights.is_empty(),
+            "merit table needs at least one process"
+        );
         let total: f64 = weights.iter().map(|w| w.max(0.0)).sum();
         assert!(total > 0.0, "total merit must be positive");
         MeritTable {
-            merits: weights
-                .iter()
-                .map(|w| Merit(w.max(0.0) / total))
-                .collect(),
+            merits: weights.iter().map(|w| Merit(w.max(0.0) / total)).collect(),
         }
     }
 
@@ -59,7 +59,10 @@ impl MeritTable {
     /// Red Belly and Hyperledger Fabric (Sections 5.6/5.7).
     pub fn consortium(n: usize, members: &[usize]) -> Self {
         assert!(n > 0, "merit table needs at least one process");
-        assert!(!members.is_empty(), "a consortium needs at least one member");
+        assert!(
+            !members.is_empty(),
+            "a consortium needs at least one member"
+        );
         let share = 1.0 / members.len() as f64;
         let mut merits = vec![Merit(0.0); n];
         for &m in members {

@@ -160,8 +160,12 @@ pub trait TokenOracle: Send {
     /// `getToken(b_h ← parent, b_ℓ ← candidate)` invoked by process
     /// `requester`.  Pops one cell of the requester's tape; returns a grant
     /// iff the cell contained `tkn`.
-    fn get_token(&mut self, requester: usize, parent: &Block, candidate: Block)
-        -> Option<TokenGrant>;
+    fn get_token(
+        &mut self,
+        requester: usize,
+        parent: &Block,
+        candidate: Block,
+    ) -> Option<TokenGrant>;
 
     /// `consumeToken(b_ℓ^{tkn_h})`.
     fn consume_token(&mut self, grant: &TokenGrant) -> ConsumeOutcome;

@@ -18,7 +18,9 @@ use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
 
 use crate::merit::MeritTable;
-use crate::oracle::{ConsumeOutcome, OracleConfig, OracleStats, SlotArena, TokenGrant, TokenOracle};
+use crate::oracle::{
+    ConsumeOutcome, OracleConfig, OracleStats, SlotArena, TokenGrant, TokenOracle,
+};
 
 /// Proof-of-work flavoured token oracle: `getToken` succeeds iff a freshly
 /// drawn nonce solves a difficulty puzzle calibrated to the requester's
@@ -69,7 +71,13 @@ impl SimulatedPow {
     /// the target.
     fn attempt(&mut self, parent: BlockId, candidate: &Block, merit: f64) -> Option<u64> {
         let nonce: u64 = self.rng.gen();
-        let digest = Block::compute_id(parent, candidate.producer, nonce, candidate.work, &candidate.payload);
+        let digest = Block::compute_id(
+            parent,
+            candidate.producer,
+            nonce,
+            candidate.work,
+            &candidate.payload,
+        );
         if digest.0 <= self.target_for(merit) {
             Some(nonce)
         } else {

@@ -121,7 +121,8 @@ mod tests {
     fn concurrent_threads_respect_the_fork_bound() {
         let k = 1;
         let threads = 8;
-        let oracle = SharedOracle::new(FrugalOracle::new(k, MeritTable::uniform(threads), always()));
+        let oracle =
+            SharedOracle::new(FrugalOracle::new(k, MeritTable::uniform(threads), always()));
         let genesis = Block::genesis();
 
         let handles: Vec<_> = (0..threads)
@@ -129,7 +130,10 @@ mod tests {
                 let oracle = oracle.clone();
                 let genesis = genesis.clone();
                 thread::spawn(move || {
-                    let candidate = BlockBuilder::new(&genesis).nonce(i as u64).producer(i as u32).build();
+                    let candidate = BlockBuilder::new(&genesis)
+                        .nonce(i as u64)
+                        .producer(i as u32)
+                        .build();
                     let (grant, _) = oracle.get_token_until_granted(i, &genesis, candidate);
                     oracle.consume_token(&grant).accepted
                 })

@@ -142,7 +142,8 @@ impl AdversarialMiner {
         let block = crate::gossip::mint_block(self.id, ctx.n(), &mut self.next_tx, &parent);
         let at = ctx.now();
         self.log.record_created(at, block.clone());
-        self.sync.insert_with_orphans(at, block.clone(), &mut self.log);
+        self.sync
+            .insert_with_orphans(at, block.clone(), &mut self.log);
         self.withheld_ids.insert(block.id);
         self.withheld.push(block);
         match self.strategy {
@@ -344,11 +345,9 @@ pub fn build_miners(
     (0..nodes)
         .map(|i| match mix.role_of(i, nodes) {
             AdversaryRole::Honest => Miner::Honest(PowReplica::new(i, config.clone())),
-            AdversaryRole::Selfish => Miner::Adversarial(AdversarialMiner::new(
-                i,
-                config.clone(),
-                Strategy::Selfish,
-            )),
+            AdversaryRole::Selfish => {
+                Miner::Adversarial(AdversarialMiner::new(i, config.clone(), Strategy::Selfish))
+            }
             AdversaryRole::Withholding => Miner::Adversarial(AdversarialMiner::new(
                 i,
                 config.clone(),
@@ -498,7 +497,10 @@ mod tests {
         sim.run();
         let (miners, _) = sim.into_parts();
         let adversary_blocks = miners[4].log().created.len();
-        assert!(adversary_blocks > 3, "the adversary mined ({adversary_blocks})");
+        assert!(
+            adversary_blocks > 3,
+            "the adversary mined ({adversary_blocks})"
+        );
         // Released private blocks must have reached honest trees.
         let honest_tree = miners[0].tree();
         let leaked = miners[4]
@@ -576,7 +578,10 @@ mod tests {
         sim.run();
         let (miners, _) = sim.into_parts();
         let withholder_mined = miners[3].log().created.len();
-        assert!(withholder_mined > 0, "the withholder mined before the window");
+        assert!(
+            withholder_mined > 0,
+            "the withholder mined before the window"
+        );
         let withheld_left: usize = match &miners[3] {
             Miner::Adversarial(a) => a.withheld().len(),
             Miner::Honest(_) => unreachable!(),

@@ -161,7 +161,11 @@ fn run_pow(spec: ProtocolSpec, ghost: bool) -> (Vec<ReplicaLog>, usize) {
     (replicas.into_iter().map(|r| r.log).collect(), max_fork)
 }
 
-fn run_committee(spec: ProtocolSpec, leader_rule: LeaderRule, committee: Vec<usize>) -> (Vec<ReplicaLog>, usize) {
+fn run_committee(
+    spec: ProtocolSpec,
+    leader_rule: LeaderRule,
+    committee: Vec<usize>,
+) -> (Vec<ReplicaLog>, usize) {
     let config = CommitteeConfig {
         committee,
         leader_rule,
@@ -268,7 +272,11 @@ impl TableRow {
             self.observed_eventual,
             self.max_fork_degree,
             self.blocks_created,
-            if self.matches_paper { "✓ matches paper" } else { "✗ MISMATCH" }
+            if self.matches_paper {
+                "✓ matches paper"
+            } else {
+                "✗ MISMATCH"
+            }
         )
     }
 }

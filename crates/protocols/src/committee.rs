@@ -206,8 +206,7 @@ impl CommitteeReplica {
             .build();
         let at = ctx.now();
         self.log.record_created(at, block.clone());
-        self.proposals
-            .insert((self.round, block.id), block.clone());
+        self.proposals.insert((self.round, block.id), block.clone());
         ctx.broadcast(Msg::Propose {
             round: self.round,
             block: block.clone(),
@@ -233,7 +232,9 @@ impl CommitteeReplica {
         if !self.is_member(voter) {
             return; // only committee votes count
         }
-        self.proposals.entry((round, block.id)).or_insert_with(|| block.clone());
+        self.proposals
+            .entry((round, block.id))
+            .or_insert_with(|| block.clone());
         let voters = self.votes.entry((round, block.id)).or_default();
         voters.insert(voter);
         if voters.len() >= self.config.quorum() {
@@ -252,10 +253,7 @@ impl CommitteeReplica {
         // `r` before `r`'s parent block has been applied is deferred until
         // the chain catches up (otherwise a stale local tip would fork the
         // chain, breaking the frugal-k=1 semantics the family models).
-        let parent_known = block
-            .parent
-            .map(|p| self.tree.contains(p))
-            .unwrap_or(false);
+        let parent_known = block.parent.map(|p| self.tree.contains(p)).unwrap_or(false);
         if !parent_known {
             self.pending_commits.insert(round, block_id);
             return;
@@ -273,11 +271,8 @@ impl CommitteeReplica {
             self.propose_if_leader(ctx);
         }
         // The newly applied block may unblock deferred commits.
-        let retry: Vec<(u64, BlockId)> = self
-            .pending_commits
-            .iter()
-            .map(|(r, b)| (*r, *b))
-            .collect();
+        let retry: Vec<(u64, BlockId)> =
+            self.pending_commits.iter().map(|(r, b)| (*r, *b)).collect();
         for (r, b) in retry {
             self.commit(ctx, r, b);
         }
@@ -302,10 +297,7 @@ impl Process<Msg> for CommitteeReplica {
                 // we know.
                 if round >= self.round
                     && from == self.leader_of(round)
-                    && block
-                        .parent
-                        .map(|p| self.tree.contains(p))
-                        .unwrap_or(false)
+                    && block.parent.map(|p| self.tree.contains(p)).unwrap_or(false)
                 {
                     self.proposals.insert((round, block.id), block.clone());
                     self.cast_vote(ctx, round, block);
@@ -381,10 +373,17 @@ mod tests {
     use super::*;
     use btadt_netsim::{FailurePlan, SimConfig, Simulator};
 
-    fn run(n: usize, committee: Vec<usize>, rounds: u64, seed: u64, failures: FailurePlan) -> Vec<CommitteeReplica> {
+    fn run(
+        n: usize,
+        committee: Vec<usize>,
+        rounds: u64,
+        seed: u64,
+        failures: FailurePlan,
+    ) -> Vec<CommitteeReplica> {
         let config = CommitteeConfig::new(committee, rounds);
-        let replicas: Vec<CommitteeReplica> =
-            (0..n).map(|i| CommitteeReplica::new(i, config.clone())).collect();
+        let replicas: Vec<CommitteeReplica> = (0..n)
+            .map(|i| CommitteeReplica::new(i, config.clone()))
+            .collect();
         let sim_config = SimConfig::synchronous(seed, 2, 5_000);
         let mut sim = Simulator::new(replicas, sim_config, failures);
         sim.run();
@@ -411,7 +410,11 @@ mod tests {
         // 6 replicas, committee of 4 (consortium à la Red Belly / Fabric).
         let replicas = run(6, vec![0, 1, 2, 3], 5, 2, FailurePlan::none());
         for r in &replicas {
-            assert_eq!(r.tree().height(), 5, "observers receive committed blocks via votes");
+            assert_eq!(
+                r.tree().height(),
+                5,
+                "observers receive committed blocks via votes"
+            );
         }
         // Only committee members created blocks.
         for r in &replicas[4..] {
@@ -423,9 +426,18 @@ mod tests {
     fn crashed_leader_rounds_are_skipped_and_progress_continues() {
         // Process 0 crashes immediately; its leader rounds time out but the
         // chain still grows thanks to the round timeout.
-        let replicas = run(4, vec![0, 1, 2, 3], 6, 3, FailurePlan::crashing(vec![(0, 1)]));
+        let replicas = run(
+            4,
+            vec![0, 1, 2, 3],
+            6,
+            3,
+            FailurePlan::crashing(vec![(0, 1)]),
+        );
         let heights: Vec<u64> = replicas[1..].iter().map(|r| r.tree().height()).collect();
-        assert!(heights.iter().all(|&h| h >= 3), "progress despite the crashed leader: {heights:?}");
+        assert!(
+            heights.iter().all(|&h| h >= 3),
+            "progress despite the crashed leader: {heights:?}"
+        );
         for r in &replicas[1..] {
             assert_eq!(r.tree().max_fork_degree(), 1);
         }
@@ -441,7 +453,10 @@ mod tests {
         let b: Vec<usize> = (0..50).map(|r| rule.leader(r, 4)).collect();
         assert_eq!(a, b, "sortition is deterministic");
         let heavy = a.iter().filter(|&&l| l == 0).count();
-        assert!(heavy > 20, "the heavy-stake member leads most rounds ({heavy}/50)");
+        assert!(
+            heavy > 20,
+            "the heavy-stake member leads most rounds ({heavy}/50)"
+        );
 
         let rr = LeaderRule::RoundRobin;
         assert_eq!(rr.leader(0, 3), 0);

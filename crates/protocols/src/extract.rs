@@ -11,7 +11,9 @@
 //!   send/receive/update event log judged by the Update-Agreement and LRC
 //!   checkers.
 
-use btadt_core::{BtHistory, BtOperation, BtResponse, MessageHistory, ReplicaEvent, ReplicaEventKind};
+use btadt_core::{
+    BtHistory, BtOperation, BtResponse, MessageHistory, ReplicaEvent, ReplicaEventKind,
+};
 use btadt_history::{HistoryRecorder, ProcessId, Timestamp};
 use btadt_netsim::SimTime;
 use btadt_types::{Block, Blockchain, GENESIS_ID};
@@ -153,7 +155,10 @@ mod tests {
 
     #[test]
     fn build_histories_converts_logs_into_both_views() {
-        let b = BlockBuilder::new(&Block::genesis()).nonce(1).producer(0).build();
+        let b = BlockBuilder::new(&Block::genesis())
+            .nonce(1)
+            .producer(0)
+            .build();
         let chain = Blockchain::genesis_only().extended_with(b.clone()).unwrap();
 
         let mut creator = ReplicaLog::new();

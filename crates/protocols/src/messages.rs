@@ -78,10 +78,17 @@ mod tests {
         let m = Msg::NewBlock(b.clone());
         assert_eq!(m.block().unwrap().id, b.id);
         assert_eq!(m.label(), "new-block");
-        let p = Msg::Propose { round: 3, block: b.clone() };
+        let p = Msg::Propose {
+            round: 3,
+            block: b.clone(),
+        };
         assert_eq!(p.label(), "propose");
         assert_eq!(p.block().unwrap().id, b.id);
-        let v = Msg::Vote { round: 3, block: b.id, payload: b.clone() };
+        let v = Msg::Vote {
+            round: 3,
+            block: b.id,
+            payload: b.clone(),
+        };
         assert_eq!(v.label(), "vote");
         assert_eq!(v.block().unwrap().id, b.id);
         let s = Msg::SyncRequest { above_height: 4 };

@@ -108,7 +108,8 @@ impl PowReplica {
         let block = crate::gossip::mint_block(self.id, ctx.n(), &mut self.next_tx, &parent);
         let at = ctx.now();
         self.log.record_created(at, block.clone());
-        self.sync.insert_with_orphans(at, block.clone(), &mut self.log);
+        self.sync
+            .insert_with_orphans(at, block.clone(), &mut self.log);
         self.maybe_read(at);
         ctx.broadcast(Msg::NewBlock(block));
     }
@@ -161,11 +162,10 @@ impl Process<Msg> for PowReplica {
 
     fn on_timer(&mut self, ctx: &mut Context<Msg>, timer_id: u64) {
         match timer_id {
-            MINE_TIMER
-                if ctx.now().0 <= self.config.mine_until => {
-                    self.mine(ctx);
-                    ctx.set_timer(self.config.mine_interval, MINE_TIMER);
-                }
+            MINE_TIMER if ctx.now().0 <= self.config.mine_until => {
+                self.mine(ctx);
+                ctx.set_timer(self.config.mine_interval, MINE_TIMER);
+            }
             SYNC_TIMER => {
                 self.sync.anti_entropy(ctx);
                 let sync_until =
@@ -197,7 +197,9 @@ mod tests {
     }
 
     fn run(n: usize, seed: u64, p: f64) -> Vec<PowReplica> {
-        let replicas: Vec<PowReplica> = (0..n).map(|i| PowReplica::new(i, config(seed, p))).collect();
+        let replicas: Vec<PowReplica> = (0..n)
+            .map(|i| PowReplica::new(i, config(seed, p)))
+            .collect();
         let sim_config = SimConfig::synchronous(seed, 3, 400);
         let mut sim = Simulator::new(replicas, sim_config, FailurePlan::none());
         sim.run();
@@ -212,10 +214,16 @@ mod tests {
     fn miners_produce_blocks_and_converge_after_quiescence() {
         let replicas = run(4, 3, 0.2);
         let total_created: usize = replicas.iter().map(|r| r.log.created.len()).sum();
-        assert!(total_created > 5, "expected mining activity, got {total_created}");
+        assert!(
+            total_created > 5,
+            "expected mining activity, got {total_created}"
+        );
         // After quiescence every replica holds every block.
         let sizes: Vec<usize> = replicas.iter().map(|r| r.tree().len()).collect();
-        assert!(sizes.iter().all(|&s| s == sizes[0]), "trees converged: {sizes:?}");
+        assert!(
+            sizes.iter().all(|&s| s == sizes[0]),
+            "trees converged: {sizes:?}"
+        );
         // And they select the same chain.
         let tips: Vec<_> = replicas.iter().map(|r| r.selected().tip().id).collect();
         assert!(tips.iter().all(|&t| t == tips[0]), "selections converged");
@@ -257,8 +265,9 @@ mod tests {
         // On rejoin, `on_rejoin` restarts its timers; the next anti-entropy
         // round (and any orphan-triggered catch-up) pulls the missed blocks
         // as a delta, so by quiescence it selects the same chain.
-        let replicas: Vec<PowReplica> =
-            (0..4).map(|i| PowReplica::new(i, config(17, 0.3))).collect();
+        let replicas: Vec<PowReplica> = (0..4)
+            .map(|i| PowReplica::new(i, config(17, 0.3)))
+            .collect();
         let sim_config = SimConfig::synchronous(17, 3, 600);
         let plan = FailurePlan::none().with_churn(3, 10, 60);
         let mut sim = Simulator::new(replicas, sim_config, plan);
@@ -274,7 +283,10 @@ mod tests {
             tips.iter().all(|&t| t == tips[0]),
             "churned replica re-synced: tips {tips:?}, heights {heights:?}"
         );
-        assert_eq!(heights[3], heights[0], "the rejoined tree caught up in height");
+        assert_eq!(
+            heights[3], heights[0],
+            "the rejoined tree caught up in height"
+        );
     }
 
     #[test]
@@ -285,8 +297,9 @@ mod tests {
         // replicas converge despite the loss.
         use btadt_netsim::ChannelModel;
         let run_lossy = |drop_probability: f64| {
-            let replicas: Vec<PowReplica> =
-                (0..4).map(|i| PowReplica::new(i, config(13, 0.3))).collect();
+            let replicas: Vec<PowReplica> = (0..4)
+                .map(|i| PowReplica::new(i, config(13, 0.3)))
+                .collect();
             let sim_config = SimConfig {
                 seed: 13,
                 channel: ChannelModel::lossy(ChannelModel::synchronous(3), drop_probability),
@@ -300,7 +313,10 @@ mod tests {
         };
 
         let (replicas, trace) = run_lossy(0.25);
-        assert!(trace.dropped() > 0, "the channel must actually lose messages");
+        assert!(
+            trace.dropped() > 0,
+            "the channel must actually lose messages"
+        );
         let total_mined: usize = replicas.iter().map(|r| r.log.created.len()).sum();
         assert!(total_mined > 5, "expected mining activity");
         // Side branches a replica never heard of are irrelevant; the

@@ -242,7 +242,13 @@ impl BlockBuilder {
 
     /// Finalises the block, computing its structural identifier.
     pub fn build(self) -> Block {
-        let id = Block::compute_id(self.parent, self.producer, self.nonce, self.work, &self.payload);
+        let id = Block::compute_id(
+            self.parent,
+            self.producer,
+            self.nonce,
+            self.work,
+            &self.payload,
+        );
         Block {
             id,
             parent: Some(self.parent),

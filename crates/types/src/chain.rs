@@ -66,7 +66,16 @@ impl Blockchain {
     }
 
     /// Builds a chain from a vector already known to satisfy the chain
-    /// invariants (the arena tree's path walks).  Checked in debug builds.
+    /// invariants — genesis first, parent/height links consistent — as the
+    /// arena tree's path walks and the concurrent store's parent walks
+    /// produce.  The invariants are checked in debug builds only; callers
+    /// who cannot guarantee them must use
+    /// [`from_blocks`](Blockchain::from_blocks).
+    pub fn from_blocks_trusted(blocks: Vec<Block>) -> Self {
+        Self::from_vec_trusted(blocks)
+    }
+
+    /// Crate-internal alias predating [`from_blocks_trusted`].
     pub(crate) fn from_vec_trusted(blocks: Vec<Block>) -> Self {
         debug_assert!(!blocks.is_empty() && blocks[0].is_genesis());
         debug_assert!(blocks

@@ -48,9 +48,9 @@ pub mod workload;
 
 pub use block::{Block, BlockBuilder, BlockId, GENESIS_ID};
 pub use chain::Blockchain;
+pub use reference::NaiveBlockTree;
 pub use score::{ChainScore, LengthScore, Score, WorkScore};
 pub use selection::{GhostSelection, HeaviestChain, LongestChain, SelectionFunction, TieBreak};
-pub use reference::NaiveBlockTree;
 pub use transaction::{Transaction, TxId};
 pub use tree::{BlockTree, NodeIdx};
 pub use validity::{

@@ -68,7 +68,9 @@ impl NaiveBlockTree {
 
     /// The genesis block.
     pub fn genesis(&self) -> &Block {
-        self.blocks.get(&GENESIS_ID).expect("genesis always present")
+        self.blocks
+            .get(&GENESIS_ID)
+            .expect("genesis always present")
     }
 
     /// Inserts a block under its parent, with the same error cases as the
@@ -283,7 +285,8 @@ impl NaiveBlockTree {
             }
             cursor = best.expect("children is non-empty").1;
         }
-        self.chain_to(cursor).unwrap_or_else(Blockchain::genesis_only)
+        self.chain_to(cursor)
+            .unwrap_or_else(Blockchain::genesis_only)
     }
 }
 

@@ -127,7 +127,10 @@ mod tests {
             let mut chain = Blockchain::genesis_only();
             let mut prev = s.score(&chain);
             for i in 0..10 {
-                let b = BlockBuilder::new(chain.tip()).nonce(i).work(1 + i % 3).build();
+                let b = BlockBuilder::new(chain.tip())
+                    .nonce(i)
+                    .work(1 + i % 3)
+                    .build();
                 chain = chain.extended_with(b).unwrap();
                 let cur = s.score(&chain);
                 assert!(cur > prev, "{} must be strictly monotonic", s.name());

@@ -22,8 +22,7 @@ use crate::tree::BlockTree;
 
 /// Deterministic tie-breaking rule applied when several chains have the same
 /// score under a selection function.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum TieBreak {
     /// Prefer the chain whose tip has the numerically smallest id.
     SmallestId,
@@ -47,7 +46,6 @@ impl TieBreak {
         matches!(self, TieBreak::LargestId)
     }
 }
-
 
 /// A selection function `f : BT → BC`.
 ///

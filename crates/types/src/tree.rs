@@ -290,8 +290,7 @@ impl BlockTree {
         // true heaviest leaf ambiguous: rescan.  (Unreachable for work ≥ 1.)
         let stale_work_incumbent = parent_was_leaf
             && cumulative_work == parent_work
-            && (self.best_work_largest.1 == parent_id
-                || self.best_work_smallest.1 == parent_id);
+            && (self.best_work_largest.1 == parent_id || self.best_work_smallest.1 == parent_id);
 
         self.index.insert(block.id, idx);
         self.nodes.push(BlockNode {
@@ -443,7 +442,9 @@ impl BlockTree {
     pub fn subtree_work_table(&self) -> Vec<u64> {
         let mut weights: Vec<u64> = self.nodes.iter().map(|n| n.block.work).collect();
         for i in (1..self.nodes.len()).rev() {
-            let parent = self.nodes[i].parent.expect("non-genesis nodes have parents");
+            let parent = self.nodes[i]
+                .parent
+                .expect("non-genesis nodes have parents");
             weights[parent.at()] += weights[i];
         }
         weights
@@ -783,7 +784,9 @@ mod tests {
         let (tree, _a, _b, _c) = forked_tree();
         let delta = tree.delta_above(1);
         assert_eq!(delta.len(), 2, "only the height-2 fork blocks");
-        assert!(delta.windows(2).all(|w| (w[0].height, w[0].id) <= (w[1].height, w[1].id)));
+        assert!(delta
+            .windows(2)
+            .all(|w| (w[0].height, w[0].id) <= (w[1].height, w[1].id)));
 
         let everything = tree.delta_above(0);
         assert_eq!(everything.len(), 3);

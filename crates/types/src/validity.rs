@@ -223,7 +223,9 @@ mod tests {
         let tx = Transaction::transfer(7, 1, 2, 5);
         let genesis = Block::genesis();
         let first = BlockBuilder::new(&genesis).push_tx(tx).build();
-        let context = Blockchain::genesis_only().extended_with(first.clone()).unwrap();
+        let context = Blockchain::genesis_only()
+            .extended_with(first.clone())
+            .unwrap();
 
         let replay = BlockBuilder::new(&first).push_tx(tx).build();
         assert!(!NoDoubleSpend.is_valid(&replay, &context));

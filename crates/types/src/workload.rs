@@ -104,12 +104,7 @@ impl Workload {
     /// Generates a tree with exactly `forks` branches of length `branch_len`
     /// all rooted at the same fork point placed after a common prefix of
     /// `prefix_len` blocks.  Useful for exercising Strong/Eventual Prefix.
-    pub fn forked_tree(
-        &mut self,
-        prefix_len: usize,
-        forks: usize,
-        branch_len: usize,
-    ) -> BlockTree {
+    pub fn forked_tree(&mut self, prefix_len: usize, forks: usize, branch_len: usize) -> BlockTree {
         let mut tree = BlockTree::new();
         let mut tip = tree.genesis().clone();
         for _ in 0..prefix_len {

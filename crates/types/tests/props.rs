@@ -113,7 +113,10 @@ fn assert_equivalent(case: u64, arena: &BlockTree, naive: &NaiveBlockTree) {
         let mut naive_children = naive.children(id);
         arena_children.sort_unstable();
         naive_children.sort_unstable();
-        assert_eq!(arena_children, naive_children, "case {case}: children of {id}");
+        assert_eq!(
+            arena_children, naive_children,
+            "case {case}: children of {id}"
+        );
         assert_eq!(
             arena.cumulative_work(id),
             naive.cumulative_work(id),
@@ -184,7 +187,9 @@ fn arena_and_naive_agree_under_random_merges() {
         let mirror = |tree: &BlockTree| {
             let mut naive = NaiveBlockTree::new();
             for block in tree.blocks().skip(1) {
-                naive.insert(block.clone()).expect("arena order is insertable");
+                naive
+                    .insert(block.clone())
+                    .expect("arena order is insertable");
             }
             naive
         };
@@ -298,8 +303,11 @@ fn selection_returns_existing_maximal_chain_deterministically() {
     for case in 0..CASES {
         let (seed, size, bias) = tree_params(case);
         let tree = build_tree(seed, size, bias);
-        let fns: [&dyn SelectionFunction; 3] =
-            [&LongestChain::new(), &HeaviestChain::new(), &GhostSelection::new()];
+        let fns: [&dyn SelectionFunction; 3] = [
+            &LongestChain::new(),
+            &HeaviestChain::new(),
+            &GhostSelection::new(),
+        ];
         for f in fns {
             let a = f.select(&tree);
             let b = f.select(&tree);
@@ -388,7 +396,9 @@ fn extension_and_tree_walk_agree() {
     let mut chain = Blockchain::genesis_only();
     let mut tree = BlockTree::new();
     for _ in 0..32 {
-        let block = BlockBuilder::new(chain.tip()).nonce(w.next_transaction().id.0).build();
+        let block = BlockBuilder::new(chain.tip())
+            .nonce(w.next_transaction().id.0)
+            .build();
         chain = chain.extended_with(block.clone()).unwrap();
         tree.insert(block).unwrap();
     }

@@ -30,7 +30,11 @@ fn main() {
             row.observed_eventual,
             row.max_fork_degree,
             row.blocks_created,
-            if row.matches_paper { "matches paper" } else { "MISMATCH" }
+            if row.matches_paper {
+                "matches paper"
+            } else {
+                "MISMATCH"
+            }
         );
     }
 

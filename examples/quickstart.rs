@@ -22,7 +22,10 @@ fn main() {
 
     for round in 0..8 {
         let producer = round % 4;
-        let outcome = refined.append(producer, vec![Transaction::transfer(round as u64, 0, 1, 10)]);
+        let outcome = refined.append(
+            producer,
+            vec![Transaction::transfer(round as u64, 0, 1, 10)],
+        );
         println!(
             "append by p{producer}: appended={} after {} getToken calls",
             outcome.appended, outcome.get_token_attempts
@@ -30,7 +33,11 @@ fn main() {
     }
     let chain = refined.read(0);
     println!("\nselected chain: {chain:?}");
-    println!("height = {}, forks = {}", chain.height(), refined.tree().max_fork_degree());
+    println!(
+        "height = {}, forks = {}",
+        chain.height(),
+        refined.tree().max_fork_degree()
+    );
 
     // --- 2. k-Fork Coherence (Theorem 3.2) ------------------------------
     let log: &OracleLog = refined.oracle_log();

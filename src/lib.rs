@@ -60,18 +60,18 @@ pub use btadt_types as types;
 /// Commonly used items, re-exported for examples and quick experiments.
 pub mod prelude {
     pub use btadt_concurrent::{CasConsensus, Consensus, OracleCas, OracleConsensus};
-    pub use btadt_core::{
-        eventual_consistency, strong_consistency, BlockTreeAdt, BtHistory, BtOperation,
-        BtRecorder, BtResponse, LightReliableCommunication, MessageHistory, RefinedBlockTree,
-        ReplicatedRun, UpdateAgreement,
-    };
     pub use btadt_core::hierarchy::{run_contended, ContendedRunConfig, OracleKind};
     pub use btadt_core::ops::BtHistoryExt;
+    pub use btadt_core::{
+        eventual_consistency, strong_consistency, BlockTreeAdt, BtHistory, BtOperation, BtRecorder,
+        BtResponse, LightReliableCommunication, MessageHistory, RefinedBlockTree, ReplicatedRun,
+        UpdateAgreement,
+    };
     pub use btadt_history::{ConsistencyCriterion, HistoryRecorder, ProcessId, Timestamp};
     pub use btadt_netsim::{ChannelModel, FailurePlan, SimConfig, Simulator};
     pub use btadt_oracle::{
-        ForkCoherenceChecker, FrugalOracle, MeritTable, OracleConfig, ProdigalOracle,
-        SharedOracle, TokenOracle,
+        ForkCoherenceChecker, FrugalOracle, MeritTable, OracleConfig, ProdigalOracle, SharedOracle,
+        TokenOracle,
     };
     pub use btadt_protocols::{classify, table1, ProtocolSpec, SystemModel};
     pub use btadt_types::{

@@ -47,13 +47,7 @@ fn figure_1_btadt_transition_path() {
     assert!(checker.check_word(&word).is_ok());
 }
 
-fn read_at(
-    rec: &mut BtRecorder,
-    p: u32,
-    inv: u64,
-    rsp: u64,
-    chain: Blockchain,
-) {
+fn read_at(rec: &mut BtRecorder, p: u32, inv: u64, rsp: u64, chain: Blockchain) {
     rec.scripted(
         ProcessId(p),
         Timestamp(inv),
@@ -214,10 +208,17 @@ fn figures_5_and_6_oracle_state_and_transitions() {
     let candidate = BlockBuilder::new(&genesis).nonce(1).build();
     assert!(oracle.slot(genesis.id).is_empty(), "K[1] starts empty (ξ0)");
     let grant = oracle.get_token(0, &genesis, candidate.clone()).unwrap();
-    assert!(oracle.slot(genesis.id).is_empty(), "getToken does not touch K (ξ1)");
+    assert!(
+        oracle.slot(genesis.id).is_empty(),
+        "getToken does not touch K (ξ1)"
+    );
     let outcome = oracle.consume_token(&grant);
     assert!(outcome.accepted);
-    assert_eq!(outcome.slot, vec![candidate], "consumeToken fills K[1] (ξ2)");
+    assert_eq!(
+        outcome.slot,
+        vec![candidate],
+        "consumeToken fills K[1] (ξ2)"
+    );
 }
 
 /// Figure 7: the refined append — getToken* then consumeToken then the
@@ -237,7 +238,10 @@ fn figure_7_refined_append() {
     let mut refined = RefinedBlockTree::new(Arc::new(LongestChain::new()), Box::new(oracle));
     let outcome = refined.append(0, vec![]);
     assert!(outcome.appended);
-    assert!(outcome.get_token_attempts >= 1, "getToken is repeated until granted");
+    assert!(
+        outcome.get_token_attempts >= 1,
+        "getToken is repeated until granted"
+    );
     let chain = refined.read(0);
     assert_eq!(chain.tip().id, outcome.block.id);
     assert_eq!(chain.height(), 1);

@@ -13,12 +13,20 @@ fn table_1_is_reproduced_for_several_seeds() {
         }
         // PoW systems: eventual but not strong (forks must have occurred).
         for row in rows.iter().take(2) {
-            assert!(row.observed_eventual && !row.observed_strong, "{}", row.format());
+            assert!(
+                row.observed_eventual && !row.observed_strong,
+                "{}",
+                row.format()
+            );
             assert!(row.max_fork_degree > 1, "{}", row.format());
         }
         // Committee systems: strong (and therefore eventual), fork-free.
         for row in rows.iter().skip(2) {
-            assert!(row.observed_strong && row.observed_eventual, "{}", row.format());
+            assert!(
+                row.observed_strong && row.observed_eventual,
+                "{}",
+                row.format()
+            );
             assert_eq!(row.max_fork_degree, 1, "{}", row.format());
         }
     }

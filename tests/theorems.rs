@@ -24,7 +24,11 @@ fn contended(seed: u64) -> ContendedRunConfig {
 fn theorem_3_1_sc_strictly_included_in_ec() {
     let seeds: Vec<u64> = (0..8).collect();
     let report = sc_subset_ec(
-        &[OracleKind::Frugal(1), OracleKind::Frugal(3), OracleKind::Prodigal],
+        &[
+            OracleKind::Frugal(1),
+            OracleKind::Frugal(3),
+            OracleKind::Prodigal,
+        ],
         &seeds,
         contended(0),
     );
@@ -116,7 +120,10 @@ fn theorem_4_3_prodigal_oracle_decides_nothing() {
             let oracle = oracle.clone();
             let genesis = genesis.clone();
             thread::spawn(move || {
-                let block = BlockBuilder::new(&genesis).producer(i as u32).nonce(i as u64).build();
+                let block = BlockBuilder::new(&genesis)
+                    .producer(i as u32)
+                    .nonce(i as u64)
+                    .build();
                 let grant = oracle.get_token_until_granted(i, &genesis, block).0;
                 oracle.consume_token(&grant).accepted
             })
@@ -127,7 +134,10 @@ fn theorem_4_3_prodigal_oracle_decides_nothing() {
         .map(|h| h.join().unwrap())
         .filter(|&accepted| accepted)
         .count();
-    assert_eq!(accepted, n, "every proposal is accepted — no unique decision");
+    assert_eq!(
+        accepted, n,
+        "every proposal is accepted — no unique decision"
+    );
     assert_eq!(oracle.slot(genesis.id).len(), n);
 }
 
