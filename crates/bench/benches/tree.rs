@@ -134,6 +134,7 @@ fn main() {
             mine_until: sim_rounds,
             sync_interval: 8,
             seed: 3,
+            recovery: btadt_protocols::RecoveryMode::default(),
         };
         let replicas: Vec<PowReplica> =
             (0..5).map(|i| PowReplica::new(i, config.clone())).collect();

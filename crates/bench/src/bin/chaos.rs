@@ -1,0 +1,69 @@
+//! `cargo run --release -p btadt-bench --bin chaos [-- --smoke]
+//! [--workers N] [--out PATH]` — the shared-memory chaos grid as a plain
+//! binary.
+//!
+//! Without flags, runs the full robustness suite (chaos grid + recovery
+//! comparison + sync drills) and writes `BENCH_robustness.json` at the
+//! workspace root.  `--smoke` runs the single-seed suite and skips the
+//! full report — the fast CI job.  `--workers N` pins the chaos-grid
+//! worker count (each cell spawns its own client threads; verdicts are
+//! scheduler-independent by construction).  `--out PATH` additionally
+//! writes the *deterministic outcome summary* (cell labels + verdicts
+//! only) to PATH — the CI determinism gate runs the smoke grid at
+//! `--workers 1` and `--workers 4` and diffs the two summaries.
+//!
+//! Exits nonzero when any cell is dirty (criterion not admitted, or an
+//! invariant violation observed), any recovery run fails to converge or
+//! drops journaled blocks, or any sync drill fails to converge.
+
+use btadt_bench::harness::workspace_root;
+use btadt_bench::robustness::{print_summary, run_all, write_json, write_outcomes_json};
+
+fn main() {
+    let mut smoke = false;
+    let mut workers: usize = 2;
+    let mut out: Option<std::path::PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--workers" => {
+                workers = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--workers expects a positive integer");
+                        std::process::exit(2);
+                    });
+            }
+            "--out" => {
+                out = args.next().map(std::path::PathBuf::from).or_else(|| {
+                    eprintln!("--out expects a path");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!(
+                    "unknown argument: {other} (expected --smoke, --workers N or --out PATH)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let report = run_all(smoke, workers);
+    print_summary(&report);
+    if let Some(path) = &out {
+        write_outcomes_json(&report, path);
+    }
+    if !report.all_clean() {
+        eprintln!("chaos: suite is NOT clean");
+        std::process::exit(1);
+    }
+    if smoke {
+        println!("chaos: smoke run complete");
+    } else {
+        write_json(&report, &workspace_root().join("BENCH_robustness.json"));
+    }
+}

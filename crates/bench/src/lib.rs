@@ -20,6 +20,7 @@ pub mod concurrent;
 pub mod guard;
 pub mod harness;
 pub mod json;
+pub mod robustness;
 pub mod scenarios;
 
 use std::sync::Arc;

@@ -37,18 +37,23 @@
 //! checker is expected to *catch* (see `tests/histories.rs`).
 
 use std::collections::HashMap;
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::sync::{Mutex as StdMutex, MutexGuard};
 
+use btadt_core::invariant::{check_block_tree, InvariantViolation};
 use btadt_oracle::{FrugalOracle, MeritTable, OracleConfig, OracleStats, SharedOracle};
+use btadt_types::tree::InsertError;
 use btadt_types::{
     Block, BlockBuilder, BlockTree, Blockchain, LengthScore, Score, Transaction, WorkScore,
 };
 use parking_lot::Mutex;
 
 use crate::cas_from_oracle::OracleCas;
+use crate::fault::{FaultAction, FaultSession, Seam};
 use crate::prodigal_from_snapshot::SnapshotConsumeToken;
-use crate::store::{SnapshotStore, SnapshotView};
+use crate::store::{SnapshotStore, SnapshotView, StoreExhausted};
 
 /// Which oracle reduction mediates appends (plus the deliberately broken
 /// unmediated variant).
@@ -134,6 +139,30 @@ pub struct PreparedAppend {
     pub block: Block,
 }
 
+/// Why an ingest (install) could not complete.
+///
+/// Ingest failures are *structured*, not panics: a fault-injected or
+/// byzantine block must not tear down the replica mid-install.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IngestError {
+    /// The block does not chain onto the writer tree (unknown or missing
+    /// parent, inconsistent height, …).
+    Tree(InsertError),
+    /// The wait-free block arena is out of capacity.
+    StoreExhausted(StoreExhausted),
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::Tree(e) => write!(f, "block rejected by the writer tree: {e}"),
+            IngestError::StoreExhausted(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
 /// Outcome of one committed append.
 #[derive(Clone, Debug)]
 pub struct AppendOutcome {
@@ -150,7 +179,7 @@ pub struct AppendOutcome {
 
 /// The shared-memory BlockTree replica.
 pub struct ConcurrentBlockTree {
-    writer: Mutex<BlockTree>,
+    writer: StdMutex<BlockTree>,
     store: SnapshotStore,
     mediator: Mediator,
     tip_rule: TipRule,
@@ -213,7 +242,7 @@ impl ConcurrentBlockTree {
 
     fn with_mediator(mediator: Mediator, clients: usize) -> Self {
         ConcurrentBlockTree {
-            writer: Mutex::new(BlockTree::new()),
+            writer: StdMutex::new(BlockTree::new()),
             store: SnapshotStore::new(),
             mediator,
             tip_rule: TipRule::default(),
@@ -291,7 +320,84 @@ impl ConcurrentBlockTree {
     /// Maximum fork degree of the writer-side tree (takes the writer lock;
     /// diagnostic, not part of the hot path).
     pub fn max_fork_degree(&self) -> usize {
-        self.writer.lock().max_fork_degree()
+        self.lock_writer().max_fork_degree()
+    }
+
+    /// Acquires the writer mutex, **recovering from poison** instead of
+    /// propagating the panic: a writer that died at a seam may have
+    /// installed a block without publishing it, so the healer republishes
+    /// the best tip over the committed prefix and clears the poison flag.
+    /// Installs happen store-first, so the writer tree never runs ahead of
+    /// the arena and the heal is always a (re-)publish, never a rebuild.
+    fn lock_writer(&self) -> MutexGuard<'_, BlockTree> {
+        match self.writer.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                self.writer.clear_poison();
+                let guard = poisoned.into_inner();
+                self.heal_after_poison(&guard);
+                guard
+            }
+        }
+    }
+
+    /// Re-establishes the published view after a writer died holding the
+    /// lock: re-runs tip selection over the writer tree and publishes it
+    /// together with the tree's full length.  Idempotent; called with the
+    /// (recovered) writer lock held.
+    pub fn heal_after_poison(&self, tree: &BlockTree) {
+        let committed = tree.len().min(self.store.pushed() as usize);
+        let best = match self.tip_rule {
+            TipRule::Height { prefer_largest_id } => tree.best_leaf_by_height(prefer_largest_id),
+            TipRule::Work { prefer_largest_id } => tree.best_leaf_by_work(prefer_largest_id),
+        };
+        let tip = tree.idx_of(best).expect("best leaf is in the tree").0;
+        if (tip as usize) < committed {
+            self.store.publish(committed as u32, tip);
+        }
+    }
+
+    /// Recomputes every structural invariant of the replica from scratch:
+    /// the writer tree's link/leaf/work invariants (via
+    /// [`btadt_core::invariant`]) plus the published view's agreement with
+    /// the tree (published length never exceeds the tree, the published tip
+    /// is a block the tree knows).  Takes the writer lock; intended for
+    /// debug monitors and chaos harnesses, not the hot path.
+    pub fn check_invariants(&self) -> Vec<InvariantViolation> {
+        let tree = self.lock_writer();
+        let mut violations = check_block_tree(&tree);
+        let view = self.store.snapshot();
+        if view.len as usize > tree.len() {
+            violations.push(InvariantViolation {
+                invariant: "published-view",
+                block: None,
+                detail: format!(
+                    "published length {} exceeds writer tree length {}",
+                    view.len,
+                    tree.len()
+                ),
+            });
+        }
+        if view.tip >= view.len {
+            violations.push(InvariantViolation {
+                invariant: "published-view",
+                block: None,
+                detail: format!(
+                    "published tip {} is not committed (len {})",
+                    view.tip, view.len
+                ),
+            });
+        } else {
+            let tip_block = self.store.block(view.tip);
+            if !tree.contains(tip_block.id) {
+                violations.push(InvariantViolation {
+                    invariant: "published-view",
+                    block: Some(tip_block.id),
+                    detail: "published tip is unknown to the writer tree".to_string(),
+                });
+            }
+        }
+        violations
     }
 
     /// Oracle usage statistics, when an oracle mediates this replica.
@@ -334,6 +440,29 @@ impl ConcurrentBlockTree {
     /// Runs the mediated `consumeToken` and installation for a prepared
     /// candidate — the linearization of `append(b)`.
     pub fn commit(&self, prepared: PreparedAppend) -> AppendOutcome {
+        self.commit_with_faults(prepared, &mut FaultSession::passthrough())
+    }
+
+    /// [`commit`](ConcurrentBlockTree::commit) with a fault session armed
+    /// at the seams.  Panics only on arena exhaustion (as `commit` does);
+    /// injected pauses/duplicates/drops are absorbed by the protocol.
+    pub fn commit_with_faults(
+        &self,
+        prepared: PreparedAppend,
+        session: &mut FaultSession<'_>,
+    ) -> AppendOutcome {
+        self.try_commit(prepared, session)
+            .expect("prepared candidates chain onto the tree")
+    }
+
+    /// The fallible commit: structured [`IngestError`]s instead of panics.
+    /// `session` decides what happens at each [`Seam`] the execution
+    /// crosses (pass [`FaultSession::passthrough`] for none).
+    pub fn try_commit(
+        &self,
+        prepared: PreparedAppend,
+        session: &mut FaultSession<'_>,
+    ) -> Result<AppendOutcome, IngestError> {
         match &self.mediator {
             Mediator::Frugal(oracle) => {
                 let cas = OracleCas::new(oracle.clone(), prepared.parent.id);
@@ -342,28 +471,32 @@ impl ConcurrentBlockTree {
                     &prepared.parent,
                     prepared.block.clone(),
                 );
+                session.apply(Seam::CasPreConsume);
                 match cas.compare_and_swap(&grant) {
                     None => {
                         // We won the register K[h]: ours is the unique child
-                        // of this parent; install and publish it.
-                        self.install(&grant.block);
-                        AppendOutcome {
+                        // of this parent; install and publish it.  A stall
+                        // here is exactly the window helping covers.
+                        session.apply(Seam::CasWinPreInstall);
+                        self.install(&grant.block, session)?;
+                        Ok(AppendOutcome {
                             appended: true,
                             block: grant.block,
                             observed: None,
                             get_token_attempts: attempts,
-                        }
+                        })
                     }
                     Some(winner) => {
                         // Helping: make sure the winner is installed even if
                         // the winning thread has not gotten there yet.
-                        self.install(&winner);
-                        AppendOutcome {
+                        session.apply(Seam::CasLossPreHelp);
+                        self.install(&winner, session)?;
+                        Ok(AppendOutcome {
                             appended: false,
                             block: prepared.block,
                             observed: Some(winner),
                             get_token_attempts: attempts,
-                        }
+                        })
                     }
                 }
             }
@@ -375,27 +508,46 @@ impl ConcurrentBlockTree {
                             .or_insert_with(|| Arc::new(SnapshotConsumeToken::new(*capacity))),
                     )
                 };
-                let set = slot.consume_token(prepared.client, prepared.block.clone());
-                debug_assert!(
-                    set.iter().any(|b| b.id == prepared.block.id),
-                    "a prodigal consume always retains the caller's token"
-                );
-                self.install(&prepared.block);
-                AppendOutcome {
+                match session.apply(Seam::SnapshotPreConsume) {
+                    FaultAction::DuplicateConsume => {
+                        // A duplicated consume is an update/scan replay; the
+                        // register overwrite is idempotent.
+                        let _ = slot.consume_token(prepared.client, prepared.block.clone());
+                        let set = slot.consume_token(prepared.client, prepared.block.clone());
+                        debug_assert!(
+                            set.iter().any(|b| b.id == prepared.block.id),
+                            "a prodigal consume always retains the caller's token"
+                        );
+                    }
+                    FaultAction::DropConsumeResult => {
+                        // Installation must not depend on the returned set.
+                        let _ = slot.consume_token(prepared.client, prepared.block.clone());
+                    }
+                    _ => {
+                        let set = slot.consume_token(prepared.client, prepared.block.clone());
+                        debug_assert!(
+                            set.iter().any(|b| b.id == prepared.block.id),
+                            "a prodigal consume always retains the caller's token"
+                        );
+                    }
+                }
+                session.apply(Seam::SnapshotPreInstall);
+                self.install(&prepared.block, session)?;
+                Ok(AppendOutcome {
                     appended: true,
                     block: prepared.block,
                     observed: None,
                     get_token_attempts: 1,
-                }
+                })
             }
             Mediator::Racy => {
-                self.install_racy(&prepared.block);
-                AppendOutcome {
+                self.install_racy(&prepared.block, session)?;
+                Ok(AppendOutcome {
                     appended: true,
                     block: prepared.block,
                     observed: None,
                     get_token_attempts: 0,
-                }
+                })
             }
         }
     }
@@ -410,25 +562,59 @@ impl ConcurrentBlockTree {
     /// store, and publishes the tip `choose_tip` picks from the updated
     /// tree (given the new block's store index).  Idempotent: helping may
     /// install the same winner twice.
-    fn install_with_tip(&self, block: &Block, choose_tip: impl FnOnce(&BlockTree, u32) -> u32) {
-        let mut tree = self.writer.lock();
+    ///
+    /// Chaining is validated *before* any mutation, and the arena mirror is
+    /// pushed before the tree insert; together these guarantee that an
+    /// error — or an injected panic at a writer seam — never leaves the
+    /// writer tree ahead of the store, which is what makes
+    /// [`heal_after_poison`](ConcurrentBlockTree::heal_after_poison) a pure
+    /// republish.
+    fn install_with_tip(
+        &self,
+        block: &Block,
+        session: &mut FaultSession<'_>,
+        choose_tip: impl FnOnce(&BlockTree, u32) -> u32,
+    ) -> Result<(), IngestError> {
+        let mut tree = self.lock_writer();
         if tree.contains(block.id) {
-            return;
+            return Ok(());
         }
+        let parent_id = block
+            .parent
+            .ok_or(IngestError::Tree(InsertError::MissingParent(block.id)))?;
+        let parent_idx = tree
+            .idx_of(parent_id)
+            .ok_or(IngestError::Tree(InsertError::UnknownParent(parent_id)))?;
+        let expected = tree.block_at(parent_idx).height + 1;
+        if block.height != expected {
+            return Err(IngestError::Tree(InsertError::HeightMismatch {
+                block: block.id,
+                recorded: block.height,
+                expected,
+            }));
+        }
+        session.apply(Seam::WriterPreInsert);
+        let store_idx = self
+            .store
+            .try_push(block.clone(), Some(parent_idx.0))
+            .map_err(IngestError::StoreExhausted)?;
         tree.insert(block.clone())
-            .expect("published parents are always present in the writer tree");
-        let idx = tree.idx_of(block.id).expect("inserted above");
-        let parent_idx = tree.parent_idx(idx).map(|p| p.0);
-        let store_idx = self.store.push(block.clone(), parent_idx);
-        debug_assert_eq!(store_idx, idx.0, "store indices mirror arena indices");
+            .expect("chaining was validated above");
+        debug_assert_eq!(
+            Some(store_idx),
+            tree.idx_of(block.id).map(|i| i.0),
+            "store indices mirror arena indices"
+        );
+        session.apply(Seam::WriterPrePublish);
         let tip = choose_tip(&tree, store_idx);
         self.store.publish(tree.len() as u32, tip);
+        Ok(())
     }
 
     /// The mediated install: publishes the freshly re-selected best tip.
-    fn install(&self, block: &Block) {
+    fn install(&self, block: &Block, session: &mut FaultSession<'_>) -> Result<(), IngestError> {
         let rule = self.tip_rule;
-        self.install_with_tip(block, |tree, _| {
+        self.install_with_tip(block, session, |tree, _| {
             let best = match rule {
                 TipRule::Height { prefer_largest_id } => {
                     tree.best_leaf_by_height(prefer_largest_id)
@@ -436,15 +622,19 @@ impl ConcurrentBlockTree {
                 TipRule::Work { prefer_largest_id } => tree.best_leaf_by_work(prefer_largest_id),
             };
             tree.idx_of(best).expect("best leaf is in the tree").0
-        });
+        })
     }
 
     /// The racy install: inserts the block but publishes *it* as the tip
     /// without re-running the selection — last-writer-wins.  Publishing
     /// under the writer lock keeps the store itself coherent (the bug is
     /// the tip choice, not memory corruption).
-    fn install_racy(&self, block: &Block) {
-        self.install_with_tip(block, |_, store_idx| store_idx);
+    fn install_racy(
+        &self,
+        block: &Block,
+        session: &mut FaultSession<'_>,
+    ) -> Result<(), IngestError> {
+        self.install_with_tip(block, session, |_, store_idx| store_idx)
     }
 }
 
@@ -473,6 +663,14 @@ impl BtReader<'_> {
         let chain = self.replica.store.chain_to(view.tip);
         self.cached = Some((view.tip, chain.clone()));
         chain
+    }
+
+    /// [`read`](BtReader::read) crossing the [`Seam::ReaderPreWalk`] seam:
+    /// an armed session can deschedule the reader between the snapshot load
+    /// and the walk, which must never surface a torn chain.
+    pub fn read_with_faults(&mut self, session: &mut FaultSession<'_>) -> Blockchain {
+        session.apply(Seam::ReaderPreWalk);
+        self.read()
     }
 
     /// The replica this handle reads from.
@@ -635,6 +833,79 @@ mod tests {
         t.append(0, vec![]);
         assert_eq!(t.height(), 2);
         assert!(matches!(t.tip_rule(), TipRule::Work { .. }));
+    }
+
+    #[test]
+    fn try_commit_rejects_unchained_blocks_with_structured_errors() {
+        let t = ConcurrentBlockTree::strong(2, 17);
+        t.append(0, vec![]);
+        // A candidate whose parent the replica never saw.
+        let foreign_parent = BlockBuilder::new(&Block::genesis()).nonce(999).build();
+        let prepared = t.prepare_on(1, foreign_parent, vec![]);
+        let err = t
+            .try_commit(prepared, &mut crate::fault::FaultSession::passthrough())
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            IngestError::Tree(InsertError::UnknownParent(_))
+        ));
+        assert!(err.to_string().contains("rejected"));
+        // The failed ingest mutated nothing.
+        assert_eq!(t.len(), 2);
+        assert!(t.check_invariants().is_empty());
+    }
+
+    #[test]
+    fn a_poisoned_writer_heals_and_the_replica_keeps_working() {
+        use crate::fault::{FaultAction, FaultPlan, Seam};
+        let t = ConcurrentBlockTree::strong(2, 19);
+        t.append(0, vec![]);
+        // A writer dies at the worst seam: block inserted and mirrored,
+        // tip not yet published — while holding the writer mutex.
+        let plan = FaultPlan::quiet(1).arm(Seam::WriterPrePublish, FaultAction::Panic, 100);
+        let prepared = t.prepare(0, vec![]);
+        let doomed_id = prepared.block.id;
+        let doomed_height = prepared.block.height;
+        let crashed = std::thread::scope(|scope| {
+            scope
+                .spawn(|| {
+                    let mut session = crate::fault::FaultSession::new(&plan, 0);
+                    t.commit_with_faults(prepared, &mut session)
+                })
+                .join()
+        });
+        assert!(crashed.is_err(), "the injected panic propagates to join");
+        assert_eq!(t.height(), 1, "the unpublished block stays invisible");
+        // The next writer loses the CAS to the dead writer's block, recovers
+        // the poisoned mutex on the helping install, and the heal publishes
+        // the orphaned-but-mirrored block.
+        let out = t.append(1, vec![]);
+        assert!(!out.appended, "the dead writer still holds K[h]");
+        assert_eq!(out.observed.as_ref().unwrap().id, doomed_id);
+        assert_eq!(t.height(), doomed_height, "healing published the block");
+        // The replica is fully operational again: appends chain on the
+        // healed tip.
+        let out2 = t.append(1, vec![]);
+        assert!(out2.appended);
+        assert_eq!(t.height(), doomed_height + 1);
+        assert!(t.check_invariants().is_empty());
+        assert_eq!(t.max_fork_degree(), 1, "healing kept the chain a chain");
+    }
+
+    #[test]
+    fn check_invariants_accepts_a_contended_replica() {
+        let t = ConcurrentBlockTree::eventual(3);
+        thread::scope(|scope| {
+            for c in 0..3 {
+                let t = &t;
+                scope.spawn(move || {
+                    for _ in 0..15 {
+                        t.append(c, vec![]);
+                    }
+                });
+            }
+        });
+        assert!(t.check_invariants().is_empty());
     }
 
     #[test]

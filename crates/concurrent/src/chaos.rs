@@ -1,0 +1,269 @@
+//! The chaos driver: consistency verdicts under injected schedules.
+//!
+//! Theorems 4.1–4.3 are scheduler-independent claims: the CAS-mediated
+//! replica admits **BT Strong Consistency** and the snapshot-mediated one
+//! **BT Eventual Consistency** under *every* interleaving, including the
+//! adversarial ones a fair OS scheduler rarely produces.  This module
+//! grinds that claim: a **chaos cell** pins `(seed, fault plan, thread
+//! count, append path)`, re-runs the workload driver with the plan's seams
+//! armed, keeps a **background invariant monitor** recomputing the tree's
+//! structural invariants while the clients hammer it, and judges the
+//! recorded history with the criterion the path claims.
+//!
+//! A cell is *clean* when the claimed criterion admits the history and the
+//! monitor saw zero invariant violations.  [`chaos_grid`] runs many cells
+//! across worker threads (atomic-cursor work stealing, mirroring the
+//! scenario matrix in `btadt-bench`); every cell must come back clean for
+//! the grid to pass — that is the CI gate in `tests/chaos.rs` and
+//! `bench/src/bin/chaos.rs`.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+use crate::blocktree::AppendPath;
+use crate::driver::{build_replica, check_claimed, run_workload_with_on, DriverConfig};
+use crate::fault::FaultPlan;
+
+/// One cell of the chaos grid: a workload pinned to a seed, a fault plan,
+/// a thread count and an append path.
+#[derive(Clone, Debug)]
+pub struct ChaosCell {
+    /// Seed for the operation mix and the oracle tape.
+    pub seed: u64,
+    /// The fault plan armed for every client thread.
+    pub plan: FaultPlan,
+    /// Number of OS-thread clients.
+    pub threads: usize,
+    /// The mediation under test.
+    pub path: AppendPath,
+    /// Operations per client (excluding the quiescent read).
+    pub ops_per_thread: usize,
+    /// Percentage (0–100) of operations that are appends.
+    pub append_percent: u8,
+}
+
+impl ChaosCell {
+    /// A cell with the default workload shape (30 ops/thread, 60% appends).
+    pub fn new(seed: u64, plan: FaultPlan, threads: usize, path: AppendPath) -> Self {
+        ChaosCell {
+            seed,
+            plan,
+            threads,
+            path,
+            ops_per_thread: 30,
+            append_percent: 60,
+        }
+    }
+
+    /// Stable cell label, e.g. `strong-cas/stalled-winners/s7/t4`.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}/s{}/t{}",
+            self.path.label(),
+            self.plan.name,
+            self.seed,
+            self.threads
+        )
+    }
+}
+
+/// The judged result of one chaos cell.
+#[derive(Clone, Debug)]
+pub struct ChaosOutcome {
+    /// The cell's stable label.
+    pub label: String,
+    /// Append-path label of the cell.
+    pub path: &'static str,
+    /// Fault-plan name of the cell.
+    pub plan: &'static str,
+    /// Workload seed of the cell.
+    pub seed: u64,
+    /// Client thread count of the cell.
+    pub threads: usize,
+    /// `true` iff the path's claimed criterion admitted the history.
+    pub admitted: bool,
+    /// The full verdict, rendered.
+    pub verdict: String,
+    /// Appends that succeeded / lost their CAS.
+    pub appends_ok: u64,
+    /// Appends that were rejected by the mediator (CAS losses).
+    pub appends_failed: u64,
+    /// Blocks published at the end (genesis included).
+    pub blocks: usize,
+    /// Final selected-chain height.
+    pub height: u64,
+    /// Maximum fork degree of the final tree.
+    pub max_fork_degree: usize,
+    /// Invariant violations seen by the monitor or the final sweep.
+    pub violations: Vec<String>,
+    /// How many times the background monitor completed a full recheck.
+    pub monitor_checks: u64,
+}
+
+impl ChaosOutcome {
+    /// `true` iff the criterion admitted the run and no invariant broke.
+    pub fn is_clean(&self) -> bool {
+        self.admitted && self.violations.is_empty()
+    }
+}
+
+/// The three default plans of the grid, all driven by `seed`.
+pub fn default_plans(seed: u64) -> Vec<FaultPlan> {
+    vec![
+        FaultPlan::stalled_winners(seed),
+        FaultPlan::contention_storm(seed),
+        FaultPlan::token_chaos(seed),
+    ]
+}
+
+/// Runs one chaos cell: workload under the armed plan, background
+/// invariant monitor, criterion judgement.
+pub fn run_chaos_cell(cell: &ChaosCell) -> ChaosOutcome {
+    let config = DriverConfig {
+        threads: cell.threads,
+        ops_per_thread: cell.ops_per_thread,
+        append_percent: cell.append_percent,
+        path: cell.path,
+        seed: cell.seed,
+        record: true,
+    };
+    let replica = build_replica(&config);
+    let stop = AtomicBool::new(false);
+    let monitor_log: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let checks = AtomicUsize::new(0);
+
+    let run = thread::scope(|scope| {
+        let monitor = scope.spawn(|| {
+            // The debug-mode invariant monitor: recompute the full
+            // invariant set while writers are mid-install.  Taking the
+            // writer lock serializes each check against installs, so every
+            // observation is of a committed state — what must *always*
+            // hold, faults or not.
+            while !stop.load(Ordering::Relaxed) {
+                let violations = replica.check_invariants();
+                if !violations.is_empty() {
+                    let mut log = monitor_log.lock().expect("monitor log lock");
+                    log.extend(violations.iter().map(|v| v.to_string()));
+                }
+                checks.fetch_add(1, Ordering::Relaxed);
+                thread::yield_now();
+            }
+        });
+        let run = run_workload_with_on(&config, Some(&cell.plan), &replica);
+        stop.store(true, Ordering::Relaxed);
+        monitor
+            .join()
+            .expect("the invariant monitor does not panic");
+        run
+    });
+
+    let mut violations = monitor_log.into_inner().expect("monitor log lock");
+    // Final quiescent sweep, so a cell cannot pass on monitor timing luck.
+    violations.extend(
+        replica
+            .check_invariants()
+            .iter()
+            .map(|v| format!("final: {v}")),
+    );
+    violations.dedup();
+
+    let verdict = check_claimed(&run);
+    ChaosOutcome {
+        label: cell.label(),
+        path: cell.path.label(),
+        plan: cell.plan.name,
+        seed: cell.seed,
+        threads: cell.threads,
+        admitted: verdict.is_admitted(),
+        verdict: verdict.to_string(),
+        appends_ok: run.appends_ok,
+        appends_failed: run.appends_failed,
+        blocks: run.blocks,
+        height: run.height,
+        max_fork_degree: run.max_fork_degree,
+        violations,
+        monitor_checks: checks.load(Ordering::Relaxed) as u64,
+    }
+}
+
+/// Runs a grid of cells across `workers` OS threads (each cell itself
+/// spawns its client threads, so keep `workers` modest).  Results come
+/// back in cell order.
+pub fn chaos_grid(cells: &[ChaosCell], workers: usize) -> Vec<ChaosOutcome> {
+    let workers = workers.clamp(1, cells.len().max(1));
+    let cursor = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<ChaosOutcome>>> =
+        cells.iter().map(|_| Mutex::new(None)).collect();
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(cell) = cells.get(i) else { break };
+                let outcome = run_chaos_cell(cell);
+                *results[i].lock().expect("result slot lock") = Some(outcome);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot lock")
+                .expect("every claimed cell completes")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_strong_cell_under_stalls_stays_admitted() {
+        let cell = ChaosCell::new(7, FaultPlan::stalled_winners(7), 2, AppendPath::Strong);
+        let outcome = run_chaos_cell(&cell);
+        assert!(outcome.is_clean(), "{}: {}", outcome.label, outcome.verdict);
+        assert_eq!(outcome.max_fork_degree, 1, "CAS mediation forbids forks");
+        assert!(outcome.monitor_checks > 0, "the monitor actually ran");
+    }
+
+    #[test]
+    fn an_eventual_cell_under_token_chaos_stays_admitted() {
+        let cell = ChaosCell::new(11, FaultPlan::token_chaos(11), 3, AppendPath::Eventual);
+        let outcome = run_chaos_cell(&cell);
+        assert!(outcome.is_clean(), "{}: {}", outcome.label, outcome.verdict);
+        assert_eq!(
+            outcome.appends_failed, 0,
+            "the prodigal oracle never rejects"
+        );
+    }
+
+    #[test]
+    fn verdicts_are_schedule_independent_across_reruns() {
+        let cell = ChaosCell::new(3, FaultPlan::contention_storm(3), 4, AppendPath::Strong);
+        let a = run_chaos_cell(&cell);
+        let b = run_chaos_cell(&cell);
+        assert!(a.is_clean() && b.is_clean());
+        assert_eq!(a.admitted, b.admitted);
+        assert_eq!(a.label, b.label);
+    }
+
+    #[test]
+    fn grid_preserves_cell_order_under_parallel_workers() {
+        let cells: Vec<ChaosCell> = [1u64, 2]
+            .iter()
+            .flat_map(|&s| {
+                [AppendPath::Strong, AppendPath::Eventual]
+                    .into_iter()
+                    .map(move |p| ChaosCell::new(s, FaultPlan::stalled_winners(s), 2, p))
+            })
+            .collect();
+        let outcomes = chaos_grid(&cells, 2);
+        assert_eq!(outcomes.len(), cells.len());
+        for (cell, outcome) in cells.iter().zip(&outcomes) {
+            assert_eq!(cell.label(), outcome.label);
+            assert!(outcome.is_clean(), "{}: {}", outcome.label, outcome.verdict);
+        }
+    }
+}

@@ -25,6 +25,7 @@ use btadt_history::{ConsistencyCriterion, ProcessId, Verdict};
 use btadt_types::AlwaysValid;
 
 use crate::blocktree::{AppendPath, ConcurrentBlockTree, TipRule};
+use crate::fault::{FaultPlan, FaultSession};
 use crate::recorder::RecorderHub;
 
 /// Configuration of one driver run.
@@ -127,9 +128,27 @@ pub fn run_workload(config: &DriverConfig) -> DriverRun {
     run_workload_on(config, &replica)
 }
 
+/// Runs the workload against a fresh replica with an optional fault plan
+/// armed: every client thread drives its own deterministic
+/// [`FaultSession`], so injected stalls/duplicates fire at the same
+/// `(client, seam, occurrence)` coordinates regardless of scheduling.
+pub fn run_workload_with(config: &DriverConfig, plan: Option<&FaultPlan>) -> DriverRun {
+    let replica = build_replica(config);
+    run_workload_with_on(config, plan, &replica)
+}
+
 /// Runs the workload against a caller-provided replica (benches reuse a
 /// pre-populated one).
 pub fn run_workload_on(config: &DriverConfig, replica: &ConcurrentBlockTree) -> DriverRun {
+    run_workload_with_on(config, None, replica)
+}
+
+/// The general form: caller-provided replica *and* optional fault plan.
+pub fn run_workload_with_on(
+    config: &DriverConfig,
+    plan: Option<&FaultPlan>,
+    replica: &ConcurrentBlockTree,
+) -> DriverRun {
     assert!(config.threads >= 1, "at least one client thread");
     let hub = RecorderHub::new();
     let barrier = Barrier::new(config.threads);
@@ -152,6 +171,9 @@ pub fn run_workload_on(config: &DriverConfig, replica: &ConcurrentBlockTree) -> 
                 let barrier = &barrier;
                 scope.spawn(move || {
                     let mut mix = Mix::new(config.seed, t);
+                    let mut session = plan
+                        .map(|p| FaultSession::new(p, t))
+                        .unwrap_or_else(FaultSession::passthrough);
                     let mut reader = replica.reader();
                     let mut stats = (0u64, 0u64, 0u64);
                     for _ in 0..config.ops_per_thread {
@@ -160,7 +182,7 @@ pub fn run_workload_on(config: &DriverConfig, replica: &ConcurrentBlockTree) -> 
                             let idx = recorder
                                 .as_mut()
                                 .map(|r| r.invoke(BtOperation::Append(prepared.block.clone())));
-                            let out = replica.commit(prepared);
+                            let out = replica.commit_with_faults(prepared, &mut session);
                             if let (Some(r), Some(idx)) = (recorder.as_mut(), idx) {
                                 r.respond(idx, BtResponse::Appended(out.appended));
                             }
@@ -171,7 +193,7 @@ pub fn run_workload_on(config: &DriverConfig, replica: &ConcurrentBlockTree) -> 
                             }
                         } else {
                             let idx = recorder.as_mut().map(|r| r.invoke(BtOperation::Read));
-                            let chain = reader.read();
+                            let chain = reader.read_with_faults(&mut session);
                             if let (Some(r), Some(idx)) = (recorder.as_mut(), idx) {
                                 r.respond(idx, BtResponse::Chain(chain));
                             }
@@ -179,7 +201,8 @@ pub fn run_workload_on(config: &DriverConfig, replica: &ConcurrentBlockTree) -> 
                         }
                     }
                     // Quiescent round: every client reads once after all
-                    // appends have completed.
+                    // appends have completed (no faults fire on this tail —
+                    // the finite-trace criteria are judged against it).
                     barrier.wait();
                     let idx = recorder.as_mut().map(|r| r.invoke(BtOperation::Read));
                     let chain = reader.read();

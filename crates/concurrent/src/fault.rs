@@ -1,0 +1,369 @@
+//! Deterministic seam-point fault injection for the shared-memory replica.
+//!
+//! The oracle reductions of Section 4.1 are *wait-free object* arguments:
+//! their correctness must survive a scheduler that stalls a thread at the
+//! worst possible instruction.  The OS scheduler rarely produces those
+//! schedules on its own, so this module names the dangerous program points
+//! (**seams**) inside [`crate::blocktree::ConcurrentBlockTree`] and lets a
+//! [`FaultPlan`] force adversarial behaviour at them — pausing a CAS winner
+//! between its win and its install, duplicating or discarding a prodigal
+//! `consumeToken`, panicking while the writer mutex is held.
+//!
+//! Injection is **deterministic in its decisions**: whether a fault fires
+//! at a given seam is a pure function of `(plan seed, client, seam,
+//! occurrence index)` via SplitMix64, so a chaos cell injects the same
+//! fault *set* regardless of thread count or scheduling.  (The resulting
+//! interleaving still varies — that is the point; the consistency verdicts
+//! must not.)
+
+use std::thread;
+
+/// A named dangerous program point inside the replica's append/read paths.
+///
+/// The variants are ordered by where they sit in the refinement
+/// `getToken* ; consumeToken ; install` (Definition 3.7).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Seam {
+    /// Strong path: after the token grant, before `compare_and_swap`.
+    CasPreConsume,
+    /// Strong path: after *winning* the CAS, before installing the block —
+    /// the window the losers' helping protocol exists to cover.
+    CasWinPreInstall,
+    /// Strong path: after *losing* the CAS, before helping install the
+    /// observed winner.
+    CasLossPreHelp,
+    /// Eventual path: before the snapshot `consumeToken` (`update; scan`).
+    SnapshotPreConsume,
+    /// Eventual path: after the consume, before installing the block.
+    SnapshotPreInstall,
+    /// Installer: writer mutex held, before the arena insert.
+    WriterPreInsert,
+    /// Installer: block inserted and mirrored, before the tip publish.
+    WriterPrePublish,
+    /// Reader: before walking the published chain.
+    ReaderPreWalk,
+}
+
+/// Number of distinct seams (sizes per-seam occurrence counters).
+pub const SEAM_COUNT: usize = 8;
+
+impl Seam {
+    /// Dense index used for counters and rate tables.
+    pub fn index(self) -> usize {
+        match self {
+            Seam::CasPreConsume => 0,
+            Seam::CasWinPreInstall => 1,
+            Seam::CasLossPreHelp => 2,
+            Seam::SnapshotPreConsume => 3,
+            Seam::SnapshotPreInstall => 4,
+            Seam::WriterPreInsert => 5,
+            Seam::WriterPrePublish => 6,
+            Seam::ReaderPreWalk => 7,
+        }
+    }
+
+    /// All seams, in [`Seam::index`] order.
+    pub fn all() -> [Seam; SEAM_COUNT] {
+        [
+            Seam::CasPreConsume,
+            Seam::CasWinPreInstall,
+            Seam::CasLossPreHelp,
+            Seam::SnapshotPreConsume,
+            Seam::SnapshotPreInstall,
+            Seam::WriterPreInsert,
+            Seam::WriterPrePublish,
+            Seam::ReaderPreWalk,
+        ]
+    }
+
+    /// Stable label for reports and JSON output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Seam::CasPreConsume => "cas-pre-consume",
+            Seam::CasWinPreInstall => "cas-win-pre-install",
+            Seam::CasLossPreHelp => "cas-loss-pre-help",
+            Seam::SnapshotPreConsume => "snapshot-pre-consume",
+            Seam::SnapshotPreInstall => "snapshot-pre-install",
+            Seam::WriterPreInsert => "writer-pre-insert",
+            Seam::WriterPrePublish => "writer-pre-publish",
+            Seam::ReaderPreWalk => "reader-pre-walk",
+        }
+    }
+}
+
+/// What an armed seam does when its trigger fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// No fault: fall through.
+    Proceed,
+    /// Yield the thread this many times — a forced descheduling window.
+    Pause(u32),
+    /// Run the prodigal `consumeToken` **twice** for the same block
+    /// (only meaningful at [`Seam::SnapshotPreConsume`]; the snapshot
+    /// reduction must stay idempotent under the duplicate).
+    DuplicateConsume,
+    /// Discard the set returned by `consumeToken` without inspecting it
+    /// (only meaningful at [`Seam::SnapshotPreConsume`]; installation must
+    /// not depend on the returned set).
+    DropConsumeResult,
+    /// Panic at the seam.  At the writer seams this poisons the writer
+    /// mutex, exercising [`heal_after_poison`].
+    ///
+    /// [`heal_after_poison`]: crate::blocktree::ConcurrentBlockTree::heal_after_poison
+    Panic,
+}
+
+/// One seam's arming: the action and how often it fires (percent, 0–100).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SeamArm {
+    /// The action taken when the trigger fires.
+    pub action: FaultAction,
+    /// Trigger probability in percent over the deterministic hash.
+    pub rate_percent: u8,
+}
+
+impl SeamArm {
+    const OFF: SeamArm = SeamArm {
+        action: FaultAction::Proceed,
+        rate_percent: 0,
+    };
+}
+
+/// A deterministic fault plan: per-seam arming plus the seed that drives
+/// the trigger hash.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Stable name for grids, reports and JSON output.
+    pub name: &'static str,
+    /// Seed mixed into every trigger decision.
+    pub seed: u64,
+    arms: [SeamArm; SEAM_COUNT],
+}
+
+impl FaultPlan {
+    /// A plan with every seam disarmed (equivalent to no plan at all).
+    pub fn quiet(seed: u64) -> Self {
+        FaultPlan {
+            name: "quiet",
+            seed,
+            arms: [SeamArm::OFF; SEAM_COUNT],
+        }
+    }
+
+    /// Arms one seam (builder style).
+    pub fn arm(mut self, seam: Seam, action: FaultAction, rate_percent: u8) -> Self {
+        self.arms[seam.index()] = SeamArm {
+            action,
+            rate_percent: rate_percent.min(100),
+        };
+        self
+    }
+
+    /// **Stalled winners**: CAS winners and losers pause between consume
+    /// and install, and the installer pauses between mirror and publish —
+    /// the windows the helping protocol and the single release store
+    /// exist to close.
+    pub fn stalled_winners(seed: u64) -> Self {
+        let mut plan = FaultPlan::quiet(seed)
+            .arm(Seam::CasWinPreInstall, FaultAction::Pause(24), 40)
+            .arm(Seam::CasLossPreHelp, FaultAction::Pause(12), 40)
+            .arm(Seam::WriterPrePublish, FaultAction::Pause(8), 25)
+            .arm(Seam::SnapshotPreInstall, FaultAction::Pause(24), 40);
+        plan.name = "stalled-winners";
+        plan
+    }
+
+    /// **Contention storm**: every append pauses just before its
+    /// `consumeToken`, herding candidates onto the same parent so CAS
+    /// losses (strong) and forks (eventual) spike.
+    pub fn contention_storm(seed: u64) -> Self {
+        let mut plan = FaultPlan::quiet(seed)
+            .arm(Seam::CasPreConsume, FaultAction::Pause(16), 70)
+            .arm(Seam::SnapshotPreConsume, FaultAction::Pause(16), 35)
+            .arm(Seam::WriterPreInsert, FaultAction::Pause(4), 20);
+        plan.name = "contention-storm";
+        plan
+    }
+
+    /// **Token chaos**: prodigal consumes are duplicated or their results
+    /// discarded, and readers pause mid-walk — the snapshot reduction must
+    /// stay idempotent and reads wait-free regardless.
+    pub fn token_chaos(seed: u64) -> Self {
+        let mut plan = FaultPlan::quiet(seed)
+            .arm(Seam::SnapshotPreConsume, FaultAction::DuplicateConsume, 30)
+            .arm(Seam::CasLossPreHelp, FaultAction::Pause(32), 50)
+            .arm(Seam::ReaderPreWalk, FaultAction::Pause(6), 30);
+        plan.name = "token-chaos";
+        plan
+    }
+
+    /// The arming of one seam.
+    pub fn arm_of(&self, seam: Seam) -> SeamArm {
+        self.arms[seam.index()]
+    }
+
+    /// `true` iff at least one seam is armed.
+    pub fn is_armed(&self) -> bool {
+        self.arms.iter().any(|a| a.rate_percent > 0)
+    }
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Per-thread fault session: holds the per-seam occurrence counters that
+/// make trigger decisions reproducible.  One session per client thread;
+/// sessions are cheap and `Send`.
+#[derive(Clone, Debug)]
+pub struct FaultSession<'a> {
+    plan: Option<&'a FaultPlan>,
+    client: usize,
+    hits: [u32; SEAM_COUNT],
+    injected: u64,
+}
+
+impl<'a> FaultSession<'a> {
+    /// A session that injects nothing (the plain, un-instrumented paths).
+    pub fn passthrough() -> Self {
+        FaultSession {
+            plan: None,
+            client: 0,
+            hits: [0; SEAM_COUNT],
+            injected: 0,
+        }
+    }
+
+    /// A session driving `plan` for one client thread.
+    pub fn new(plan: &'a FaultPlan, client: usize) -> Self {
+        FaultSession {
+            plan: Some(plan),
+            client,
+            hits: [0; SEAM_COUNT],
+            injected: 0,
+        }
+    }
+
+    /// Decides what happens at `seam` this time.  Deterministic in
+    /// `(plan seed, client, seam, occurrence)`; each call advances the
+    /// seam's occurrence counter.
+    pub fn decide(&mut self, seam: Seam) -> FaultAction {
+        let Some(plan) = self.plan else {
+            return FaultAction::Proceed;
+        };
+        let arm = plan.arm_of(seam);
+        let occurrence = self.hits[seam.index()];
+        self.hits[seam.index()] = occurrence.wrapping_add(1);
+        if arm.rate_percent == 0 {
+            return FaultAction::Proceed;
+        }
+        let mixed = splitmix64(
+            plan.seed
+                ^ (self.client as u64).wrapping_mul(0xA076_1D64_78BD_642F)
+                ^ ((seam.index() as u64) << 32)
+                ^ u64::from(occurrence),
+        );
+        if mixed % 100 < u64::from(arm.rate_percent) {
+            self.injected += 1;
+            arm.action
+        } else {
+            FaultAction::Proceed
+        }
+    }
+
+    /// Decides and *executes* the scheduling-only actions: pauses yield in
+    /// place, panics fire here.  Returns the action so call sites that
+    /// special-case [`FaultAction::DuplicateConsume`] /
+    /// [`FaultAction::DropConsumeResult`] can branch on it.
+    pub fn apply(&mut self, seam: Seam) -> FaultAction {
+        let action = self.decide(seam);
+        match action {
+            FaultAction::Pause(yields) => {
+                for _ in 0..yields {
+                    thread::yield_now();
+                }
+            }
+            FaultAction::Panic => {
+                panic!("injected fault: panic at seam {}", seam.label());
+            }
+            _ => {}
+        }
+        action
+    }
+
+    /// Number of faults injected so far by this session.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passthrough_never_injects() {
+        let mut s = FaultSession::passthrough();
+        for _ in 0..100 {
+            for seam in Seam::all() {
+                assert_eq!(s.decide(seam), FaultAction::Proceed);
+            }
+        }
+        assert_eq!(s.injected(), 0);
+    }
+
+    #[test]
+    fn decisions_are_deterministic_per_client_and_occurrence() {
+        let plan = FaultPlan::stalled_winners(9);
+        let trace = |client: usize| -> Vec<FaultAction> {
+            let mut s = FaultSession::new(&plan, client);
+            (0..64).map(|_| s.decide(Seam::CasWinPreInstall)).collect()
+        };
+        assert_eq!(trace(0), trace(0), "same client replays identically");
+        assert_ne!(trace(0), trace(1), "clients draw independent streams");
+        let injected: usize = trace(0)
+            .iter()
+            .filter(|a| **a != FaultAction::Proceed)
+            .count();
+        assert!(injected > 0, "a 40% arm fires within 64 occurrences");
+        assert!(injected < 64, "a 40% arm does not always fire");
+    }
+
+    #[test]
+    fn named_plans_are_armed_and_quiet_is_not() {
+        for plan in [
+            FaultPlan::stalled_winners(1),
+            FaultPlan::contention_storm(1),
+            FaultPlan::token_chaos(1),
+        ] {
+            assert!(plan.is_armed(), "{} must arm at least one seam", plan.name);
+        }
+        assert!(!FaultPlan::quiet(1).is_armed());
+    }
+
+    #[test]
+    fn apply_executes_pauses_and_reports_special_actions() {
+        let plan = FaultPlan::quiet(3)
+            .arm(Seam::SnapshotPreConsume, FaultAction::DuplicateConsume, 100)
+            .arm(Seam::ReaderPreWalk, FaultAction::Pause(2), 100);
+        let mut s = FaultSession::new(&plan, 0);
+        assert_eq!(
+            s.apply(Seam::SnapshotPreConsume),
+            FaultAction::DuplicateConsume
+        );
+        assert_eq!(s.apply(Seam::ReaderPreWalk), FaultAction::Pause(2));
+        assert_eq!(s.apply(Seam::CasPreConsume), FaultAction::Proceed);
+        assert_eq!(s.injected(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "injected fault")]
+    fn apply_fires_injected_panics() {
+        let plan = FaultPlan::quiet(3).arm(Seam::WriterPreInsert, FaultAction::Panic, 100);
+        let mut s = FaultSession::new(&plan, 0);
+        s.apply(Seam::WriterPreInsert);
+    }
+}

@@ -41,7 +41,14 @@
 //! * [`recorder`] — an atomic-clock history recorder whose per-thread
 //!   buffers merge into one `ConcurrentHistory` after the run;
 //! * [`driver`] — the multi-threaded workload driver feeding real
-//!   interleavings to the SC/EC criterion checkers of `btadt-core`.
+//!   interleavings to the SC/EC criterion checkers of `btadt-core`;
+//! * [`fault`] — deterministic seam-point fault injection (seeded plans
+//!   forcing CAS losses, stalled installs, duplicated/dropped consumes,
+//!   poisoned writer locks);
+//! * [`chaos`] — the chaos driver: a grid of `(seed, plan, threads, path)`
+//!   cells, each re-running the workload under injected faults with a
+//!   background invariant monitor, asserting the Theorem 4.1–4.3 verdicts
+//!   survive every injected schedule.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -49,8 +56,10 @@
 pub mod blocktree;
 pub mod cas;
 pub mod cas_from_oracle;
+pub mod chaos;
 pub mod consensus;
 pub mod driver;
+pub mod fault;
 pub mod prodigal_from_snapshot;
 pub mod recorder;
 pub mod register;
@@ -58,16 +67,19 @@ pub mod snapshot;
 pub mod store;
 
 pub use blocktree::{
-    AppendOutcome, AppendPath, BtReader, ConcurrentBlockTree, PreparedAppend, TipRule,
+    AppendOutcome, AppendPath, BtReader, ConcurrentBlockTree, IngestError, PreparedAppend, TipRule,
 };
 pub use cas::CasRegister;
 pub use cas_from_oracle::OracleCas;
+pub use chaos::{chaos_grid, default_plans, run_chaos_cell, ChaosCell, ChaosOutcome};
 pub use consensus::{CasConsensus, Consensus, OracleConsensus};
 pub use driver::{
-    check_claimed, claimed_criterion, run_workload, run_workload_on, DriverConfig, DriverRun,
+    build_replica, check_claimed, claimed_criterion, run_workload, run_workload_on,
+    run_workload_with, run_workload_with_on, DriverConfig, DriverRun,
 };
+pub use fault::{FaultAction, FaultPlan, FaultSession, Seam, SEAM_COUNT};
 pub use prodigal_from_snapshot::SnapshotConsumeToken;
 pub use recorder::{RecorderHub, ThreadRecorder};
 pub use register::AtomicRegister;
 pub use snapshot::AtomicSnapshot;
-pub use store::{SnapshotStore, SnapshotView};
+pub use store::{SnapshotStore, SnapshotView, StoreExhausted};

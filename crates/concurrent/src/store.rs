@@ -46,6 +46,21 @@ struct StoredNode {
 
 type Chunk = Box<[OnceLock<StoredNode>]>;
 
+/// The arena's fixed capacity was exhausted by a push.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StoreExhausted {
+    /// The capacity that was exceeded.
+    pub capacity: usize,
+}
+
+impl std::fmt::Display for StoreExhausted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SnapshotStore capacity ({}) exhausted", self.capacity)
+    }
+}
+
+impl std::error::Error for StoreExhausted {}
+
 /// A consistent `(length, tip)` view of the store, decoded from one atomic
 /// load.  `len` counts committed blocks (genesis included) and `tip` is the
 /// store index of the currently selected chain tip; `tip < len` always.
@@ -89,18 +104,38 @@ impl SnapshotStore {
     ///
     /// [`publish`]: SnapshotStore::publish
     pub fn push(&self, block: Block, parent: Option<u32>) -> u32 {
+        self.try_push(block, parent)
+            .expect("SnapshotStore capacity exhausted")
+    }
+
+    /// [`push`](SnapshotStore::push) with a structured error instead of a
+    /// panic when the fixed arena capacity is exhausted — the ingest paths
+    /// surface this as [`crate::blocktree::IngestError::StoreExhausted`]
+    /// rather than tearing the process down mid-install.
+    pub fn try_push(&self, block: Block, parent: Option<u32>) -> Result<u32, StoreExhausted> {
         let idx = self.next.fetch_add(1, Ordering::Relaxed) as usize;
-        assert!(
-            idx < CHUNK_CAP * NUM_CHUNKS,
-            "SnapshotStore capacity ({}) exhausted",
-            CHUNK_CAP * NUM_CHUNKS
-        );
+        if idx >= CHUNK_CAP * NUM_CHUNKS {
+            // Back the cursor out so repeated attempts fail cleanly instead
+            // of wrapping; callers hold the writer mutex, so no other push
+            // can have advanced the cursor in between.
+            self.next.fetch_sub(1, Ordering::Relaxed);
+            return Err(StoreExhausted {
+                capacity: CHUNK_CAP * NUM_CHUNKS,
+            });
+        }
         let chunk = self.chunks[idx / CHUNK_CAP]
             .get_or_init(|| (0..CHUNK_CAP).map(|_| OnceLock::new()).collect());
         chunk[idx % CHUNK_CAP]
             .set(StoredNode { block, parent })
             .unwrap_or_else(|_| panic!("concurrent writers raced on store slot {idx}"));
-        idx as u32
+        Ok(idx as u32)
+    }
+
+    /// Number of blocks *pushed* so far (published or not).  The healing
+    /// path compares this against the writer tree's length to find blocks
+    /// whose mirror step was lost to a poisoned lock.
+    pub fn pushed(&self) -> u32 {
+        self.next.load(Ordering::Relaxed)
     }
 
     /// Publishes a new `(len, tip)` head with release ordering.  Every slot
@@ -293,6 +328,22 @@ mod tests {
             r.join().unwrap();
         }
         assert_eq!(store.read().height(), 500);
+    }
+
+    #[test]
+    fn pushed_counts_uncommitted_blocks() {
+        let store = SnapshotStore::new();
+        assert_eq!(store.pushed(), 1, "genesis is pushed at construction");
+        let blocks = chain_blocks(2);
+        let i1 = store
+            .try_push(blocks[0].clone(), Some(0))
+            .expect("capacity is ample");
+        assert_eq!(store.pushed(), 2);
+        assert_eq!(store.len(), 1, "pushed but unpublished stays invisible");
+        store.publish(2, i1);
+        assert_eq!(store.len(), 2);
+        let err = StoreExhausted { capacity: 4 };
+        assert!(err.to_string().contains("exhausted"));
     }
 
     #[test]

@@ -1,0 +1,156 @@
+//! The chaos grid: Theorem 4.1–4.3 verdicts under injected fault schedules.
+//!
+//! ISSUE 6's acceptance gate for the shared-memory layer: a grid of at
+//! least 3 seeds × 3 fault plans × {1, 2, 4} client threads, each cell
+//! re-running the workload driver with seam-point faults armed (stalled
+//! CAS winners, pre-consume contention storms, duplicated/dropped prodigal
+//! consumes, paused readers) while a background monitor recomputes the
+//! tree's structural invariants.  Every frugal/CAS cell must still admit
+//! **BT Strong Consistency** and every prodigal/snapshot cell **BT
+//! Eventual Consistency** — the reductions' guarantees are
+//! schedule-independent, and the injected schedules are exactly the ones a
+//! fair scheduler almost never produces.
+
+use btadt_concurrent::{
+    chaos_grid, default_plans, run_chaos_cell, AppendPath, ChaosCell, FaultAction, FaultPlan,
+    FaultSession, Seam,
+};
+
+const SEEDS: [u64; 3] = [5, 23, 71];
+const THREADS: [usize; 3] = [1, 2, 4];
+
+fn full_grid() -> Vec<ChaosCell> {
+    let mut cells = Vec::new();
+    for &seed in &SEEDS {
+        for plan in default_plans(seed) {
+            for &threads in &THREADS {
+                for path in [AppendPath::Strong, AppendPath::Eventual] {
+                    cells.push(ChaosCell::new(seed, plan.clone(), threads, path));
+                }
+            }
+        }
+    }
+    cells
+}
+
+#[test]
+fn the_full_chaos_grid_is_clean() {
+    let cells = full_grid();
+    assert_eq!(
+        cells.len(),
+        3 * 3 * 3 * 2,
+        "3 seeds x 3 plans x 3 thread counts x 2 paths"
+    );
+    let outcomes = chaos_grid(&cells, 2);
+    let dirty: Vec<String> = outcomes
+        .iter()
+        .filter(|o| !o.is_clean())
+        .map(|o| {
+            format!(
+                "{}: admitted={} violations={:?} ({})",
+                o.label, o.admitted, o.violations, o.verdict
+            )
+        })
+        .collect();
+    assert!(dirty.is_empty(), "dirty chaos cells:\n{}", dirty.join("\n"));
+    // Sanity: the grid exercised both paths and actually injected load.
+    assert!(
+        outcomes
+            .iter()
+            .any(|o| o.path == "strong-cas" && o.appends_failed > 0 && o.threads > 1),
+        "contention plans should force at least one CAS loss somewhere"
+    );
+    assert!(
+        outcomes
+            .iter()
+            .filter(|o| o.path == "eventual-snapshot" && o.threads > 1)
+            .any(|o| o.max_fork_degree > 1),
+        "the prodigal path under chaos should fork somewhere"
+    );
+}
+
+#[test]
+fn single_threaded_cells_are_fully_deterministic() {
+    // With one client thread the interleaving itself is fixed, so the
+    // *entire outcome* — counts included — must replay exactly.  This is
+    // the 1-thread half of the CI smoke diff (the 4-thread half may differ
+    // in counts but never in verdicts).
+    for path in [AppendPath::Strong, AppendPath::Eventual] {
+        let cell = ChaosCell::new(13, FaultPlan::stalled_winners(13), 1, path);
+        let a = run_chaos_cell(&cell);
+        let b = run_chaos_cell(&cell);
+        assert!(a.is_clean(), "{}: {}", a.label, a.verdict);
+        assert_eq!(a.appends_ok, b.appends_ok);
+        assert_eq!(a.appends_failed, b.appends_failed);
+        assert_eq!(a.blocks, b.blocks);
+        assert_eq!(a.height, b.height);
+        assert_eq!(a.max_fork_degree, b.max_fork_degree);
+    }
+}
+
+#[test]
+fn fault_decisions_replay_identically_across_thread_counts() {
+    // The decision stream for a given client is independent of how many
+    // other clients exist — the property that makes grid cells comparable
+    // across the 1/2/4-thread axis.
+    let plan = FaultPlan::token_chaos(41);
+    let stream = |client: usize| -> Vec<FaultAction> {
+        let mut s = FaultSession::new(&plan, client);
+        Seam::all()
+            .iter()
+            .flat_map(|&seam| (0..16).map(move |_| seam))
+            .map(|seam| s.decide(seam))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(stream(0), stream(0));
+    assert_eq!(stream(3), stream(3));
+}
+
+#[test]
+fn injected_panics_poison_then_heal_under_load() {
+    // A plan that kills one in five writers at the publish seam: every
+    // surviving writer must recover the poisoned mutex, heal the published
+    // view and keep the replica admitting its claimed criterion.
+    use btadt_concurrent::{build_replica, DriverConfig};
+    let plan = FaultPlan::quiet(61).arm(Seam::WriterPrePublish, FaultAction::Panic, 20);
+    let config = DriverConfig {
+        threads: 4,
+        ops_per_thread: 12,
+        append_percent: 100,
+        path: AppendPath::Eventual,
+        seed: 61,
+        record: false,
+    };
+    let replica = build_replica(&config);
+    let mut died = 0;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.threads)
+            .map(|t| {
+                let plan = &plan;
+                let replica = &replica;
+                scope.spawn(move || {
+                    let mut session = FaultSession::new(plan, t);
+                    for _ in 0..config.ops_per_thread {
+                        let prepared = replica.prepare(t, vec![]);
+                        replica.commit_with_faults(prepared, &mut session);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            if h.join().is_err() {
+                died += 1;
+            }
+        }
+    });
+    assert!(died > 0, "a 20% panic arm kills at least one writer");
+    let violations = replica.check_invariants();
+    assert!(
+        violations.is_empty(),
+        "healed replica is sound: {violations:?}"
+    );
+    // The replica still makes progress after all that poison.
+    let before = replica.height();
+    assert!(replica.append(0, vec![]).appended);
+    assert!(replica.height() >= before);
+}

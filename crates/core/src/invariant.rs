@@ -1,0 +1,264 @@
+//! Structural invariant checking for [`BlockTree`] instances.
+//!
+//! The arena-indexed tree maintains several aggregates incrementally
+//! (leaf set, best tips, cumulative work).  Under fault injection — stalled
+//! writers, poisoned locks healed mid-install — the cheap way to trust the
+//! incremental state is to recompute it from first principles and compare.
+//! [`check_block_tree`] does exactly that through the tree's *public* API,
+//! so it can run against any replica (simulated, shared-memory, recovered
+//! from a journal) without privileged access:
+//!
+//! 1. **Link consistency** — every non-genesis block's parent is present,
+//!    sits exactly one height below, and lists the block among its
+//!    children; child links point back at their parent.
+//! 2. **Leaf-set agreement** — the incrementally maintained `leaves()`
+//!    equals the set of blocks with no children, recomputed from scratch.
+//! 3. **Cumulative-work monotonicity** — cumulative work strictly increases
+//!    along every parent→child edge (block work is positive), and equals
+//!    `parent's cumulative work + own work`.
+//! 4. **Aggregate agreement** — `height()` and `max_fork_degree()` match
+//!    recomputed values.
+//!
+//! Violations are reported, not panicked, so background monitor threads can
+//! collect them and fail a run at the end with context.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use btadt_types::{BlockId, BlockTree};
+
+/// One detected violation of a BlockTree structural invariant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InvariantViolation {
+    /// Which invariant family failed (stable, machine-matchable label).
+    pub invariant: &'static str,
+    /// The offending block, when the violation is attributable to one.
+    pub block: Option<BlockId>,
+    /// Human-readable description with the observed/expected values.
+    pub detail: String,
+}
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.block {
+            Some(id) => write!(f, "[{}] block {}: {}", self.invariant, id, self.detail),
+            None => write!(f, "[{}] {}", self.invariant, self.detail),
+        }
+    }
+}
+
+impl std::error::Error for InvariantViolation {}
+
+fn violation(
+    invariant: &'static str,
+    block: Option<BlockId>,
+    detail: String,
+) -> InvariantViolation {
+    InvariantViolation {
+        invariant,
+        block,
+        detail,
+    }
+}
+
+/// Checks every structural invariant, returning all violations found (empty
+/// means the tree is sound).  Runs in `O(n)` over the tree's public API.
+pub fn check_block_tree(tree: &BlockTree) -> Vec<InvariantViolation> {
+    let mut out = Vec::new();
+    let mut recomputed_height = 0u64;
+    let mut recomputed_max_fork = 0usize;
+    let mut childless: HashSet<BlockId> = HashSet::new();
+
+    for block in tree.blocks() {
+        let id = block.id;
+        if block.height > recomputed_height {
+            recomputed_height = block.height;
+        }
+        let children = tree.children(id);
+        recomputed_max_fork = recomputed_max_fork.max(children.len());
+        if children.is_empty() {
+            childless.insert(id);
+        }
+        for child in &children {
+            match tree.get(*child) {
+                None => out.push(violation(
+                    "links",
+                    Some(id),
+                    format!("child {child} is not in the tree"),
+                )),
+                Some(c) if c.parent != Some(id) => out.push(violation(
+                    "links",
+                    Some(id),
+                    format!("child {child} does not point back at this parent"),
+                )),
+                Some(_) => {}
+            }
+        }
+
+        let Some(parent_id) = block.parent else {
+            // Exactly one parentless block is allowed: the genesis.
+            if id != tree.genesis().id {
+                out.push(violation(
+                    "links",
+                    Some(id),
+                    "non-genesis block has no parent pointer".to_string(),
+                ));
+            }
+            continue;
+        };
+        let Some(parent) = tree.get(parent_id) else {
+            out.push(violation(
+                "links",
+                Some(id),
+                format!("parent {parent_id} is not in the tree"),
+            ));
+            continue;
+        };
+        if block.height != parent.height + 1 {
+            out.push(violation(
+                "links",
+                Some(id),
+                format!(
+                    "height {} is not parent height {} + 1",
+                    block.height, parent.height
+                ),
+            ));
+        }
+        if !tree.children(parent_id).contains(&id) {
+            out.push(violation(
+                "links",
+                Some(id),
+                format!("parent {parent_id} does not list this block as a child"),
+            ));
+        }
+
+        match (tree.cumulative_work(id), tree.cumulative_work(parent_id)) {
+            (Some(own), Some(parents)) => {
+                if own <= parents {
+                    out.push(violation(
+                        "work-monotone",
+                        Some(id),
+                        format!("cumulative work {own} does not exceed parent's {parents}"),
+                    ));
+                } else if own != parents + block.work {
+                    out.push(violation(
+                        "work-monotone",
+                        Some(id),
+                        format!(
+                            "cumulative work {own} != parent {parents} + own work {}",
+                            block.work
+                        ),
+                    ));
+                }
+            }
+            _ => out.push(violation(
+                "work-monotone",
+                Some(id),
+                "cumulative work is untracked for a present block".to_string(),
+            )),
+        }
+    }
+
+    let maintained: HashSet<BlockId> = tree.leaves().into_iter().collect();
+    for id in maintained.difference(&childless) {
+        out.push(violation(
+            "leaf-set",
+            Some(*id),
+            "listed as a leaf but has children".to_string(),
+        ));
+    }
+    for id in childless.difference(&maintained) {
+        out.push(violation(
+            "leaf-set",
+            Some(*id),
+            "childless but missing from the maintained leaf set".to_string(),
+        ));
+    }
+
+    if tree.height() != recomputed_height {
+        out.push(violation(
+            "aggregates",
+            None,
+            format!(
+                "maintained height {} != recomputed {}",
+                tree.height(),
+                recomputed_height
+            ),
+        ));
+    }
+    if tree.max_fork_degree() != recomputed_max_fork {
+        out.push(violation(
+            "aggregates",
+            None,
+            format!(
+                "maintained max fork degree {} != recomputed {}",
+                tree.max_fork_degree(),
+                recomputed_max_fork
+            ),
+        ));
+    }
+
+    out
+}
+
+/// [`check_block_tree`] as a `Result`, surfacing the first violation.
+pub fn assert_block_tree(tree: &BlockTree) -> Result<(), InvariantViolation> {
+    match check_block_tree(tree).into_iter().next() {
+        None => Ok(()),
+        Some(v) => Err(v),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btadt_types::workload::Workload;
+    use btadt_types::{Block, BlockBuilder};
+
+    #[test]
+    fn a_fresh_tree_is_sound() {
+        assert!(check_block_tree(&BlockTree::new()).is_empty());
+        assert_eq!(assert_block_tree(&BlockTree::new()), Ok(()));
+    }
+
+    #[test]
+    fn random_trees_are_sound() {
+        for seed in [1u64, 7, 23] {
+            let tree = Workload::new(seed).random_tree(200, 0.6, 0);
+            let violations = check_block_tree(&tree);
+            assert!(violations.is_empty(), "seed {seed}: {violations:?}");
+        }
+    }
+
+    #[test]
+    fn a_forged_height_is_reported() {
+        let mut tree = BlockTree::new();
+        let a = BlockBuilder::new(tree.genesis()).nonce(1).build();
+        tree.insert(a.clone()).unwrap();
+        // Forge a block whose height skips a level but whose parent is the
+        // genesis; the arena accepts only consistent heights, so build the
+        // inconsistency by hand via a forged parent pointer instead.
+        let mut b = BlockBuilder::new(&a).nonce(2).build();
+        b.parent = Some(tree.genesis().id);
+        // `insert` itself rejects the mismatch — that rejection is the
+        // first line of defence the checker backstops.
+        assert!(tree.insert(b).is_err());
+        assert!(check_block_tree(&tree).is_empty());
+    }
+
+    #[test]
+    fn violations_render_with_invariant_labels() {
+        let v = InvariantViolation {
+            invariant: "leaf-set",
+            block: Some(Block::genesis().id),
+            detail: "demo".to_string(),
+        };
+        assert!(v.to_string().contains("[leaf-set]"));
+        let anon = InvariantViolation {
+            invariant: "aggregates",
+            block: None,
+            detail: "demo".to_string(),
+        };
+        assert!(anon.to_string().starts_with("[aggregates]"));
+    }
+}

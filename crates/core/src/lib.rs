@@ -23,6 +23,9 @@
 //!   (Definition 4.3, Figure 13) and the Light Reliable Communication
 //!   abstraction (Definition 4.4), as executable checks over
 //!   message-passing histories.
+//! * [`invariant`] — recompute-and-compare structural checking of
+//!   [`btadt_types::BlockTree`] instances (link consistency, leaf-set
+//!   agreement, cumulative-work monotonicity) for fault-injection monitors.
 //! * [`hierarchy`] — executable versions of the hierarchy results
 //!   (Theorems 3.1, 3.3, 3.4, Corollary 3.4.1, Theorem 4.8 / Figure 14):
 //!   history-family generation and inclusion experiments.
@@ -33,6 +36,7 @@
 pub mod blocktree_adt;
 pub mod criteria;
 pub mod hierarchy;
+pub mod invariant;
 pub mod ops;
 pub mod refinement;
 pub mod replica;
@@ -43,6 +47,7 @@ pub use criteria::{
     eventual_consistency, strong_consistency, BlockValidity, EventualPrefix, EverGrowingTree,
     LocalMonotonicRead, StrongPrefix,
 };
+pub use invariant::{assert_block_tree, check_block_tree, InvariantViolation};
 pub use ops::{BtHistory, BtOperation, BtRecorder, BtResponse};
 pub use refinement::{RefinedBlockTree, RefinementOutcome};
 pub use replica::{BtReplica, ReplicatedRun};

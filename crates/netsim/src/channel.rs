@@ -29,6 +29,21 @@ pub enum Delivery {
     Drop,
 }
 
+/// One delivery attempt produced by [`ChannelModel::fates`].  A faulty
+/// channel can map a single send onto *several* attempts (duplication) or
+/// onto a corrupted one (the payload fails its integrity check at the
+/// receiver and is discarded there).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fate {
+    /// Deliver the message intact at the given time.
+    Deliver(SimTime),
+    /// Deliver a corrupted copy at the given time: the receiver learns only
+    /// the sender (checksum rejection discards the payload).
+    DeliverCorrupted(SimTime),
+    /// Drop the message.
+    Drop,
+}
+
 /// A channel model: decides, per message, when (and whether) it is
 /// delivered.
 #[derive(Clone, Debug)]
@@ -77,6 +92,26 @@ pub enum ChannelModel {
         /// When the partition heals.
         heals_at: SimTime,
     },
+    /// Like the inner model, but messages can additionally be duplicated,
+    /// reordered (an extra delay past the inner model's bound) or corrupted
+    /// in flight.  Each fault is drawn independently per message; a fault
+    /// with probability `0` consumes no randomness, so disabling a knob
+    /// leaves the delay stream of the remaining faults untouched.
+    Faulty {
+        /// The underlying timing model.
+        inner: Box<ChannelModel>,
+        /// Probability that a second, independently delayed copy is also
+        /// delivered.
+        duplicate_probability: f64,
+        /// Probability that the delivery is pushed `1..=reorder_extra`
+        /// ticks past the inner model's delay (overtaking later sends).
+        reorder_probability: f64,
+        /// Largest extra delay a reordered message can pick up.
+        reorder_extra: u64,
+        /// Probability that the payload is corrupted in flight (delivered,
+        /// but the receiver's integrity check rejects it).
+        corrupt_probability: f64,
+    },
 }
 
 impl ChannelModel {
@@ -120,6 +155,23 @@ impl ChannelModel {
             inner: Box::new(inner),
             group_a,
             heals_at: SimTime(heals_at),
+        }
+    }
+
+    /// Wraps a model with duplication / reordering / corruption faults.
+    pub fn faulty(
+        inner: ChannelModel,
+        duplicate_probability: f64,
+        reorder_probability: f64,
+        reorder_extra: u64,
+        corrupt_probability: f64,
+    ) -> Self {
+        ChannelModel::Faulty {
+            inner: Box::new(inner),
+            duplicate_probability: duplicate_probability.clamp(0.0, 1.0),
+            reorder_probability: reorder_probability.clamp(0.0, 1.0),
+            reorder_extra: reorder_extra.max(1),
+            corrupt_probability: corrupt_probability.clamp(0.0, 1.0),
         }
     }
 
@@ -170,6 +222,55 @@ impl ChannelModel {
                     inner.delivery(now, from, to, rng)
                 }
             }
+            // A faulty channel collapses to its first fate when the caller
+            // cannot represent duplicates; the simulator uses `fates`.
+            ChannelModel::Faulty { .. } => match self.fates(now, from, to, rng).first() {
+                Some(Fate::Deliver(at)) | Some(Fate::DeliverCorrupted(at)) => Delivery::At(*at),
+                _ => Delivery::Drop,
+            },
+        }
+    }
+
+    /// Decides every delivery attempt for a message sent at `now` — the
+    /// general form of [`ChannelModel::delivery`] that the simulator uses.
+    /// Non-faulty models produce exactly one fate; a [`ChannelModel::Faulty`]
+    /// wrapper may corrupt, delay or duplicate it.
+    pub fn fates(&self, now: SimTime, from: usize, to: usize, rng: &mut impl Rng) -> Vec<Fate> {
+        match self {
+            ChannelModel::Faulty {
+                inner,
+                duplicate_probability,
+                reorder_probability,
+                reorder_extra,
+                corrupt_probability,
+            } => {
+                let mut fates = Vec::with_capacity(1);
+                match inner.delivery(now, from, to, rng) {
+                    Delivery::Drop => fates.push(Fate::Drop),
+                    Delivery::At(mut at) => {
+                        if *reorder_probability > 0.0 && rng.gen_bool(*reorder_probability) {
+                            at = at + rng.gen_range(1..=*reorder_extra);
+                        }
+                        if *corrupt_probability > 0.0 && rng.gen_bool(*corrupt_probability) {
+                            fates.push(Fate::DeliverCorrupted(at));
+                        } else {
+                            fates.push(Fate::Deliver(at));
+                        }
+                    }
+                }
+                if *duplicate_probability > 0.0 && rng.gen_bool(*duplicate_probability) {
+                    // The duplicate takes an independent trip through the
+                    // inner model (it is never corrupted or re-duplicated).
+                    if let Delivery::At(at) = inner.delivery(now, from, to, rng) {
+                        fates.push(Fate::Deliver(at));
+                    }
+                }
+                fates
+            }
+            _ => match self.delivery(now, from, to, rng) {
+                Delivery::At(at) => vec![Fate::Deliver(at)],
+                Delivery::Drop => vec![Fate::Drop],
+            },
         }
     }
 
@@ -187,6 +288,11 @@ impl ChannelModel {
             ChannelModel::Asynchronous { max_delay } => Some(*max_delay),
             ChannelModel::Lossy { inner, .. } => inner.delay_bound(),
             ChannelModel::Partitioned { inner, .. } => inner.delay_bound(),
+            ChannelModel::Faulty {
+                inner,
+                reorder_extra,
+                ..
+            } => inner.delay_bound().map(|d| d + reorder_extra),
         }
     }
 
@@ -207,6 +313,17 @@ impl ChannelModel {
             } => {
                 format!("partitioned(heal={}, {})", heals_at.0, inner.label())
             }
+            ChannelModel::Faulty {
+                inner,
+                duplicate_probability,
+                reorder_probability,
+                corrupt_probability,
+                ..
+            } => format!(
+                "faulty(dup={duplicate_probability}, reorder={reorder_probability}, \
+                 corrupt={corrupt_probability}, {})",
+                inner.label()
+            ),
         }
     }
 }
@@ -305,6 +422,75 @@ mod tests {
     }
 
     #[test]
+    fn faulty_channel_duplicates_and_corrupts_at_the_configured_rates() {
+        let ch = ChannelModel::faulty(ChannelModel::synchronous(3), 0.3, 0.0, 1, 0.2);
+        let mut rng = rng();
+        let n = 5_000;
+        let mut copies = 0usize;
+        let mut corrupted = 0usize;
+        for _ in 0..n {
+            let fates = ch.fates(SimTime(0), 0, 1, &mut rng);
+            copies += fates.len();
+            corrupted += fates
+                .iter()
+                .filter(|f| matches!(f, Fate::DeliverCorrupted(_)))
+                .count();
+        }
+        let dup_rate = copies as f64 / n as f64 - 1.0;
+        let corrupt_rate = corrupted as f64 / n as f64;
+        assert!((dup_rate - 0.3).abs() < 0.03, "duplicate rate {dup_rate}");
+        assert!(
+            (corrupt_rate - 0.2).abs() < 0.03,
+            "corrupt rate {corrupt_rate}"
+        );
+    }
+
+    #[test]
+    fn faulty_reordering_extends_the_delay_past_the_inner_bound() {
+        let ch = ChannelModel::faulty(ChannelModel::synchronous(2), 0.0, 1.0, 10, 0.0);
+        let mut rng = rng();
+        let mut max_seen = 0;
+        for _ in 0..500 {
+            for fate in ch.fates(SimTime(0), 0, 1, &mut rng) {
+                if let Fate::Deliver(t) = fate {
+                    assert!(t.0 <= 12, "delay bound {t:?}");
+                    max_seen = max_seen.max(t.0);
+                }
+            }
+        }
+        assert!(max_seen > 2, "reordering must exceed the inner δ");
+        assert_eq!(ch.delay_bound(), Some(12));
+    }
+
+    #[test]
+    fn disabled_faults_leave_the_inner_model_untouched() {
+        let faulty = ChannelModel::faulty(ChannelModel::synchronous(4), 0.0, 0.0, 1, 0.0);
+        let plain = ChannelModel::synchronous(4);
+        let mut a = rng();
+        let mut b = rng();
+        for _ in 0..200 {
+            let fates = faulty.fates(SimTime(5), 0, 1, &mut a);
+            let base = plain.delivery(SimTime(5), 0, 1, &mut b);
+            assert_eq!(fates.len(), 1);
+            match (fates[0], base) {
+                (Fate::Deliver(x), Delivery::At(y)) => assert_eq!(x, y),
+                other => panic!("divergent fates: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn non_faulty_models_produce_exactly_one_fate() {
+        let ch = ChannelModel::lossy(ChannelModel::synchronous(3), 0.5);
+        let mut rng = rng();
+        for _ in 0..200 {
+            let fates = ch.fates(SimTime(0), 0, 1, &mut rng);
+            assert_eq!(fates.len(), 1);
+            assert!(matches!(fates[0], Fate::Deliver(_) | Fate::Drop));
+        }
+    }
+
+    #[test]
     fn labels_are_informative() {
         assert!(ChannelModel::synchronous(3).label().contains("sync"));
         assert!(ChannelModel::asynchronous(9).label().contains("async"));
@@ -319,5 +505,10 @@ mod tests {
         assert!(ChannelModel::partially_synchronous(10, 20, 3)
             .label()
             .contains("partial-sync"));
+        assert!(
+            ChannelModel::faulty(ChannelModel::synchronous(3), 0.1, 0.1, 5, 0.1)
+                .label()
+                .contains("faulty")
+        );
     }
 }

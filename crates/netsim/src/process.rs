@@ -115,6 +115,14 @@ pub trait Process<M>: Send {
     /// Called when a previously armed timer fires.
     fn on_timer(&mut self, ctx: &mut Context<M>, timer_id: u64);
 
+    /// Called when a message from `from` arrives corrupted: the integrity
+    /// check failed, so the payload was discarded and only the sender is
+    /// known.  The default does nothing; protocols with retry machinery can
+    /// treat the arrival as evidence the peer is alive.
+    fn on_corrupted(&mut self, ctx: &mut Context<M>, from: usize) {
+        let _ = (ctx, from);
+    }
+
     /// Called when the process comes back from a churn window (see
     /// [`ChurnWindow`](crate::simulator::ChurnWindow)).  Timers armed before
     /// the window were discarded while the process was down, so the default

@@ -142,6 +142,15 @@ pub struct Scenario {
     pub latency: Latency,
     /// Independent per-message loss probability in `[0, 1]`.
     pub loss: f64,
+    /// Probability that a message is delivered twice (second copy with an
+    /// independent delay).
+    pub duplication: f64,
+    /// Probability that a message picks up extra delay past the latency
+    /// regime's bound, overtaking later sends.
+    pub reordering: f64,
+    /// Probability that a message arrives corrupted and is rejected by the
+    /// receiver's integrity check.
+    pub corruption: f64,
     /// Timed partitions (each heals on schedule).
     pub partitions: Vec<PartitionWindow>,
     /// Node churn windows (each node rejoins and re-syncs).
@@ -170,6 +179,9 @@ impl Scenario {
             nodes,
             latency: Latency::Sync { delta: 3 },
             loss: 0.0,
+            duplication: 0.0,
+            reordering: 0.0,
+            corruption: 0.0,
             partitions: Vec::new(),
             churn: Vec::new(),
             crashes: Vec::new(),
@@ -189,6 +201,24 @@ impl Scenario {
     /// Sets the per-message loss probability.
     pub fn with_loss(mut self, loss: f64) -> Self {
         self.loss = loss.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the per-message duplication probability.
+    pub fn with_duplication(mut self, duplication: f64) -> Self {
+        self.duplication = duplication.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the per-message reordering probability.
+    pub fn with_reordering(mut self, reordering: f64) -> Self {
+        self.reordering = reordering.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the per-message corruption probability.
+    pub fn with_corruption(mut self, corruption: f64) -> Self {
+        self.corruption = corruption.clamp(0.0, 1.0);
         self
     }
 
@@ -252,11 +282,24 @@ impl Scenario {
     }
 
     /// The channel model the scenario induces: the latency regime, wrapped
-    /// with loss when `loss > 0`.
+    /// with loss when `loss > 0` and with duplication / reordering /
+    /// corruption when any of those knobs is non-zero.
     pub fn channel(&self) -> ChannelModel {
         let base = self.latency.base_channel();
-        if self.loss > 0.0 {
+        let base = if self.loss > 0.0 {
             ChannelModel::lossy(base, self.loss)
+        } else {
+            base
+        };
+        if self.duplication > 0.0 || self.reordering > 0.0 || self.corruption > 0.0 {
+            let reorder_extra = base.delay_bound().unwrap_or(1).max(1);
+            ChannelModel::faulty(
+                base,
+                self.duplication,
+                self.reordering,
+                reorder_extra,
+                self.corruption,
+            )
         } else {
             base
         }
@@ -402,6 +445,23 @@ mod tests {
         assert_eq!(plan.byzantine, vec![3]);
         assert!(s.channel().label().contains("lossy"));
         assert!(Scenario::new("dry", 3).channel().label().contains("sync"));
+    }
+
+    #[test]
+    fn fault_knobs_wrap_the_channel_in_a_faulty_model() {
+        let s = Scenario::new("faulty", 4)
+            .with_duplication(0.1)
+            .with_reordering(0.2)
+            .with_corruption(0.05);
+        let label = s.channel().label();
+        assert!(label.contains("faulty"), "{label}");
+        assert!(
+            !Scenario::new("clean", 4)
+                .channel()
+                .label()
+                .contains("faulty"),
+            "zero knobs leave the channel unwrapped"
+        );
     }
 
     #[test]

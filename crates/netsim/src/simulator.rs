@@ -21,7 +21,7 @@ use std::sync::Arc;
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
 
-use crate::channel::{ChannelModel, Delivery};
+use crate::channel::{ChannelModel, Fate};
 use crate::process::{Context, Destination, Process};
 use crate::time::SimTime;
 use crate::trace::{NetTrace, TraceEvent, TraceEventKind};
@@ -198,6 +198,19 @@ enum QueuedEvent<M> {
         /// the payload is only deep-cloned at delivery time, and not at all
         /// for the last (or only) receiver.
         msg: Arc<M>,
+        /// The *recipient's* incarnation when the message was sent.  A
+        /// rejoin bumps the incarnation, so a message addressed to a process
+        /// that has since churned and come back is stale — it was "pending
+        /// while the process was down" and must be discarded, even if its
+        /// delivery time lands after the rejoin.
+        incarnation: u64,
+    },
+    DeliverCorrupted {
+        to: usize,
+        from: usize,
+        message_id: u64,
+        /// Same staleness stamp as [`QueuedEvent::Deliver`].
+        incarnation: u64,
     },
     Timer {
         process: usize,
@@ -355,30 +368,46 @@ impl<M: Clone, P: Process<M>> Simulator<M, P> {
                     });
                     continue;
                 }
-                match self
+                // `fates` generalizes `delivery`: a faulty channel can
+                // duplicate, reorder or corrupt the message in flight.
+                let fates = self
                     .config
                     .channel
-                    .delivery(self.clock, from, to, &mut self.rng)
-                {
-                    Delivery::Drop => {
-                        self.trace.record(TraceEvent {
-                            at: self.clock,
-                            from,
-                            to,
-                            message_id,
-                            kind: TraceEventKind::Dropped,
-                        });
-                    }
-                    Delivery::At(at) => {
-                        self.push(
-                            at,
-                            QueuedEvent::Deliver {
-                                to,
+                    .fates(self.clock, from, to, &mut self.rng);
+                for fate in fates {
+                    match fate {
+                        Fate::Drop => {
+                            self.trace.record(TraceEvent {
+                                at: self.clock,
                                 from,
+                                to,
                                 message_id,
-                                msg: Arc::clone(&payload),
-                            },
-                        );
+                                kind: TraceEventKind::Dropped,
+                            });
+                        }
+                        Fate::Deliver(at) => {
+                            self.push(
+                                at,
+                                QueuedEvent::Deliver {
+                                    to,
+                                    from,
+                                    message_id,
+                                    msg: Arc::clone(&payload),
+                                    incarnation: self.incarnation[to],
+                                },
+                            );
+                        }
+                        Fate::DeliverCorrupted(at) => {
+                            self.push(
+                                at,
+                                QueuedEvent::DeliverCorrupted {
+                                    to,
+                                    from,
+                                    message_id,
+                                    incarnation: self.incarnation[to],
+                                },
+                            );
+                        }
                     }
                 }
             }
@@ -435,8 +464,21 @@ impl<M: Clone, P: Process<M>> Simulator<M, P> {
                     from,
                     message_id,
                     msg,
+                    incarnation,
                 } => {
-                    if self.is_down(to, at) {
+                    if self.is_down(to, at) || incarnation != self.incarnation[to] {
+                        // Down, or sent to an incarnation that has since
+                        // churned out: the delivery was pending while the
+                        // process was down and is discarded with it.
+                        if incarnation != self.incarnation[to] {
+                            self.trace.record(TraceEvent {
+                                at,
+                                from,
+                                to,
+                                message_id,
+                                kind: TraceEventKind::Dropped,
+                            });
+                        }
                         continue;
                     }
                     self.trace.record(TraceEvent {
@@ -449,6 +491,24 @@ impl<M: Clone, P: Process<M>> Simulator<M, P> {
                     // The last receiver takes ownership without copying.
                     let msg = Arc::try_unwrap(msg).unwrap_or_else(|shared| (*shared).clone());
                     self.activate(to, |proc, ctx| proc.on_message(ctx, from, msg));
+                }
+                QueuedEvent::DeliverCorrupted {
+                    to,
+                    from,
+                    message_id,
+                    incarnation,
+                } => {
+                    if self.is_down(to, at) || incarnation != self.incarnation[to] {
+                        continue;
+                    }
+                    self.trace.record(TraceEvent {
+                        at,
+                        from,
+                        to,
+                        message_id,
+                        kind: TraceEventKind::Corrupted,
+                    });
+                    self.activate(to, |proc, ctx| proc.on_corrupted(ctx, from));
                 }
                 QueuedEvent::Timer {
                     process,
@@ -748,6 +808,147 @@ mod tests {
         // ticks until 100 → 1 + ⌊(100 − 15) / 8⌋ = 11 fires.  A surviving
         // stale chain would roughly double that.
         assert_eq!(sim.process(0).fires, 11);
+    }
+
+    #[test]
+    fn deliveries_pending_across_a_churn_window_are_discarded() {
+        /// Process 0 sends `1` to process 1 at t=5 and `2` at t=55; every
+        /// process records what it receives.
+        struct OneShotSender {
+            sent: Vec<u64>,
+            received: Vec<u64>,
+        }
+        impl Process<u64> for OneShotSender {
+            fn on_start(&mut self, ctx: &mut Context<u64>) {
+                if ctx.id() == 0 {
+                    ctx.set_timer(5, 1);
+                    ctx.set_timer(55, 2);
+                }
+            }
+            fn on_message(&mut self, _: &mut Context<u64>, _: usize, msg: u64) {
+                self.received.push(msg);
+            }
+            fn on_timer(&mut self, ctx: &mut Context<u64>, timer_id: u64) {
+                self.sent.push(timer_id);
+                ctx.send(1, timer_id);
+            }
+        }
+        // Fixed 60-tick delay: the t=5 message lands at t=65, *after*
+        // process 1's churn window [10, 50) — it was pending while the
+        // process was down and must die with the old incarnation.  The
+        // t=55 message lands at t=115 within the new incarnation.
+        let config = SimConfig {
+            seed: 3,
+            channel: ChannelModel::Synchronous {
+                min_delay: 60,
+                delta: 60,
+            },
+            max_time: 1_000,
+            max_events: 10_000,
+        };
+        let plan = FailurePlan::none().with_churn(1, 10, 50);
+        let procs = vec![
+            OneShotSender {
+                sent: vec![],
+                received: vec![],
+            },
+            OneShotSender {
+                sent: vec![],
+                received: vec![],
+            },
+        ];
+        let mut sim = Simulator::new(procs, config, plan);
+        sim.run();
+        assert_eq!(
+            sim.trace().dropped(),
+            1,
+            "the stale delivery is traced as a drop"
+        );
+        assert_eq!(
+            sim.process(1).received,
+            vec![2],
+            "only the post-rejoin message reaches the new incarnation"
+        );
+    }
+
+    #[test]
+    fn crash_during_a_partition_window_discards_pre_crash_deliveries_on_rejoin() {
+        // Regression for the crash-during-partition double-delivery: a
+        // message sent to process 1 *before* it churns down (and before a
+        // partition isolates the sender) has a delivery time after the
+        // rejoin.  Without the incarnation stamp on deliveries it reached
+        // the rejoined process — contradicting crash semantics (the message
+        // was pending while the process was down).
+        let config = SimConfig {
+            seed: 7,
+            channel: ChannelModel::Synchronous {
+                min_delay: 60,
+                delta: 60,
+            },
+            max_time: 2_000,
+            max_events: 10_000,
+        };
+        // Partition isolates {0} during [20, 40); process 1 is down during
+        // [10, 50), i.e. the crash window sits inside an active partition.
+        let plan = FailurePlan::none()
+            .with_partition(vec![0], 20, 40)
+            .with_churn(1, 10, 50);
+        let mut sim = Simulator::new(flooders(2, 1), config, plan);
+        sim.run();
+        // Flooder 0 broadcasts its bump at t=5 (armed on start); the copy
+        // to process 1 lands at t=65 > up_at and must be discarded, so the
+        // rejoined process 1 never adopts the value first-hand from it.
+        assert!(
+            sim.trace().dropped() > 0,
+            "pre-crash deliveries must be discarded at the rejoin boundary"
+        );
+    }
+
+    #[test]
+    fn corrupted_messages_are_traced_and_do_not_reach_on_message() {
+        let config = SimConfig {
+            seed: 11,
+            channel: ChannelModel::faulty(ChannelModel::synchronous(2), 0.0, 0.0, 1, 1.0),
+            max_time: 10_000,
+            max_events: 100_000,
+        };
+        let mut sim = Simulator::new(flooders(3, 2), config, FailurePlan::none());
+        sim.run();
+        assert!(sim.trace().corrupted() > 0, "corruption must be traced");
+        assert_eq!(sim.trace().delivered(), 0, "every payload was corrupted");
+        for p in 1..3 {
+            assert_eq!(
+                sim.process(p).received,
+                0,
+                "corrupted payloads never reach on_message"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicating_channel_delivers_extra_copies_deterministically() {
+        let run = |_: ()| {
+            let config = SimConfig {
+                seed: 13,
+                channel: ChannelModel::faulty(ChannelModel::synchronous(2), 0.5, 0.0, 1, 0.0),
+                max_time: 10_000,
+                max_events: 100_000,
+            };
+            let mut sim = Simulator::new(flooders(3, 3), config, FailurePlan::none());
+            sim.run();
+            (
+                sim.trace().sent(),
+                sim.trace().delivered(),
+                sim.process(1).received,
+            )
+        };
+        let (sent, delivered, received) = run(());
+        assert!(
+            delivered > sent,
+            "duplicates mean more deliveries ({delivered}) than sends ({sent})"
+        );
+        assert!(received > 0);
+        assert_eq!(run(()), (sent, delivered, received), "deterministic");
     }
 
     #[test]

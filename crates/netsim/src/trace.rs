@@ -19,6 +19,9 @@ pub enum TraceEventKind {
     Delivered,
     /// The channel dropped the message.
     Dropped,
+    /// The message arrived but its payload failed the receiver's integrity
+    /// check (in-flight corruption); the payload was discarded.
+    Corrupted,
 }
 
 /// One record of the network trace.
@@ -83,6 +86,12 @@ impl NetTrace {
         self.count(TraceEventKind::Dropped)
     }
 
+    /// Number of messages that arrived corrupted (payload rejected by the
+    /// receiver's integrity check).
+    pub fn corrupted(&self) -> usize {
+        self.count(TraceEventKind::Corrupted)
+    }
+
     fn count(&self, kind: TraceEventKind) -> usize {
         self.events.iter().filter(|e| e.kind == kind).count()
     }
@@ -136,5 +145,8 @@ mod tests {
         assert!((t.delivery_ratio() - 0.5).abs() < 1e-12);
         assert!(t.was_delivered(1, 1));
         assert!(!t.was_delivered(2, 2));
+        t.record(ev(TraceEventKind::Corrupted, 3, 1));
+        assert_eq!(t.corrupted(), 1);
+        assert!(!t.was_delivered(3, 1), "corrupted arrivals do not count");
     }
 }

@@ -33,7 +33,8 @@ use btadt_oracle::{Cell, Tape};
 use btadt_types::{Block, BlockId, BlockTree, Blockchain};
 
 use crate::extract::ReplicaLog;
-use crate::gossip::{GossipSync, SYNC_TAIL_ROUNDS};
+use crate::gossip::{self, GossipSync, ResponseClass, RETRY_TIMER, SYNC_TAIL_ROUNDS};
+use crate::journal::RecoveryMode;
 use crate::messages::Msg;
 use crate::pow::{PowConfig, PowReplica};
 
@@ -168,6 +169,7 @@ impl Process<Msg> for AdversarialMiner {
 
     fn on_message(&mut self, ctx: &mut Context<Msg>, from: usize, msg: Msg) {
         let at = ctx.now();
+        self.sync.note_alive(from, ctx.n());
         match msg {
             Msg::NewBlock(block) => {
                 if !self.sync.contains(block.id) {
@@ -181,7 +183,12 @@ impl Process<Msg> for AdversarialMiner {
                     }
                 }
             }
-            Msg::Blocks(blocks) => {
+            Msg::Blocks { request_id, blocks } => {
+                if self.sync.classify_response(request_id, blocks.len()) == ResponseClass::Stale {
+                    return;
+                }
+                let batch_len = blocks.len();
+                let batch_max = blocks.iter().map(|b| b.height).max().unwrap_or(0);
                 for block in blocks {
                     if self.sync.contains(block.id) {
                         continue;
@@ -193,24 +200,38 @@ impl Process<Msg> for AdversarialMiner {
                 if self.strategy == Strategy::Selfish {
                     self.maybe_release_selfish(ctx);
                 }
-                self.sync.after_blocks(ctx, from);
+                self.sync.after_blocks(ctx, from, batch_len, batch_max);
             }
-            Msg::SyncRequest { above_height } => {
+            Msg::SyncRequest {
+                request_id,
+                above_height,
+            } => {
                 // Never leak the private branch: a sync response is a
-                // publication.
-                let delta: Vec<Block> = self
+                // publication.  The reply is still always sent (possibly
+                // empty) so the requester can clear its pending request —
+                // staying silent would out the adversary as unresponsive.
+                let mut delta: Vec<Block> = self
                     .sync
                     .tree()
                     .delta_above(above_height)
                     .into_iter()
                     .filter(|b| !self.withheld_ids.contains(&b.id))
                     .collect();
-                if !delta.is_empty() {
-                    ctx.send(from, Msg::Blocks(delta));
-                }
+                gossip::truncate_batch(&mut delta);
+                ctx.send(
+                    from,
+                    Msg::Blocks {
+                        request_id,
+                        blocks: delta,
+                    },
+                );
             }
             Msg::Propose { .. } | Msg::Vote { .. } => {}
         }
+    }
+
+    fn on_corrupted(&mut self, ctx: &mut Context<Msg>, from: usize) {
+        self.sync.note_corrupted(from, ctx.n());
     }
 
     fn on_timer(&mut self, ctx: &mut Context<Msg>, timer_id: u64) {
@@ -230,6 +251,7 @@ impl Process<Msg> for AdversarialMiner {
                     ctx.set_timer(self.config.sync_interval, SYNC_TIMER);
                 }
             }
+            RETRY_TIMER => self.sync.on_retry_timer(ctx),
             RELEASE_TIMER if !self.withheld.is_empty() => {
                 let block = self.withheld.remove(0);
                 self.withheld_ids.remove(&block.id);
@@ -241,6 +263,10 @@ impl Process<Msg> for AdversarialMiner {
     }
 
     fn on_rejoin(&mut self, ctx: &mut Context<Msg>) {
+        // An adversary models a paused process, never a crash-recovery: it
+        // keeps its private branch across churn windows, but still bumps
+        // its incarnation so stale sync responses are recognised.
+        self.sync.note_rejoin(RecoveryMode::Retain);
         self.on_start(ctx);
         // RELEASE_TIMERs armed before a churn window died with the old
         // incarnation; without re-arming, a withholding miner's pending
@@ -369,6 +395,7 @@ pub fn scenario_pow_config(seed: u64, mine_until: u64) -> PowConfig {
         mine_until,
         sync_interval: 8,
         seed,
+        recovery: RecoveryMode::default(),
     }
 }
 
@@ -386,6 +413,7 @@ mod tests {
             mine_until: 100,
             sync_interval: 0,
             seed,
+            recovery: RecoveryMode::default(),
         }
     }
 
@@ -414,12 +442,26 @@ mod tests {
         assert_eq!(miner.withheld().len(), 2);
 
         let mut ctx = Context::new(0, 4, SimTime(2));
-        miner.on_message(&mut ctx, 1, Msg::SyncRequest { above_height: 0 });
-        let actions = ctx.into_actions();
-        assert!(
-            actions.outgoing.is_empty(),
-            "the only blocks above genesis are withheld, so no response is sent"
+        miner.on_message(
+            &mut ctx,
+            1,
+            Msg::SyncRequest {
+                request_id: 7,
+                above_height: 0,
+            },
         );
+        let actions = ctx.into_actions();
+        assert_eq!(actions.outgoing.len(), 1, "responders always reply");
+        match &actions.outgoing[0].1 {
+            Msg::Blocks { request_id, blocks } => {
+                assert_eq!(*request_id, 7, "the reply echoes the request id");
+                assert!(
+                    blocks.is_empty(),
+                    "the only blocks above genesis are withheld, so the batch is empty"
+                );
+            }
+            other => panic!("expected a Blocks reply, got {other:?}"),
+        }
     }
 
     #[test]

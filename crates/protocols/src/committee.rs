@@ -325,7 +325,7 @@ impl Process<Msg> for CommitteeReplica {
                     self.log.record_read(at, self.selected());
                 }
             }
-            Msg::Blocks(blocks) => {
+            Msg::Blocks { blocks, .. } => {
                 // Delta-sync response: committed blocks, parents-first.
                 // Committee replicas never *send* SyncRequest today, so this
                 // arm only fires in mixed fleets; it applies each block with
@@ -341,11 +341,22 @@ impl Process<Msg> for CommitteeReplica {
                     }
                 }
             }
-            Msg::SyncRequest { above_height } => {
-                let delta = self.tree.delta_above(above_height);
-                if !delta.is_empty() {
-                    ctx.send(from, Msg::Blocks(delta));
-                }
+            Msg::SyncRequest {
+                request_id,
+                above_height,
+            } => {
+                // Always reply (even with an empty, possibly truncated
+                // batch) so the requester's pending-request machinery can
+                // settle; the echoed id correlates the response.
+                let mut delta = self.tree.delta_above(above_height);
+                crate::gossip::truncate_batch(&mut delta);
+                ctx.send(
+                    from,
+                    Msg::Blocks {
+                        request_id,
+                        blocks: delta,
+                    },
+                );
             }
         }
     }

@@ -7,11 +7,42 @@
 //! above a floor, and fruitless responses halve the floor until the fork
 //! point is reached.  This module holds that state machine once so the two
 //! replica types cannot drift.
+//!
+//! # Hardened sync
+//!
+//! On top of the orphan-repair loop, [`GossipSync`] implements the
+//! robustness layer:
+//!
+//! * **Request ids** — every [`Msg::SyncRequest`] carries
+//!   `(incarnation << 32) | seq`.  A churn rejoin bumps the incarnation, so
+//!   responses addressed to a previous life of the process are recognised
+//!   and dropped ([`ResponseClass::Stale`]) instead of corrupting the
+//!   rebuilt state.
+//! * **Timeout / retry / backoff** — at most one sync request is in flight
+//!   ([`PendingRequest`]).  A retry timer fires after an exponential
+//!   backoff (base [`BASE_TIMEOUT`], doubled per attempt, plus a
+//!   deterministic per-request jitter); expiry penalises the peer's health
+//!   score and re-sends to the next healthy peer, up to [`MAX_ATTEMPTS`]
+//!   attempts.
+//! * **Peer health** — peers score +1 (clamped) on any evidence of life
+//!   (message or corrupted frame received) and −1 on a request timeout.
+//!   Anti-entropy skips peers below the suspicion threshold, so a crashed
+//!   or partitioned peer stops absorbing sync rounds until it speaks again.
+//! * **Bounded batches** — delta responses are truncated to
+//!   [`MAX_SYNC_BATCH`] blocks (parents-first order is preserved by the
+//!   `(height, id)` sort).  A full batch signals "more above": the
+//!   requester issues a continuation strictly above the highest block it
+//!   just received, so progress is guaranteed and re-sync of a long chain
+//!   costs `ceil(missing / MAX_SYNC_BATCH)` rounds.
+//! * **Write-ahead journal** — every applied block is appended to a
+//!   [`Journal`]; [`GossipSync::crash_restart`] replays it so a recovering
+//!   process only delta-syncs the gap (see [`RecoveryMode`]).
 
 use btadt_netsim::{Context, SimTime};
 use btadt_types::{Block, BlockBuilder, BlockId, BlockTree, Transaction};
 
 use crate::extract::ReplicaLog;
+use crate::journal::{Journal, JournalKind, RecoveryMode};
 use crate::messages::Msg;
 
 /// How many anti-entropy rounds keep running after mining stops, so that
@@ -21,6 +52,48 @@ pub(crate) const SYNC_TAIL_ROUNDS: u64 = 12;
 /// competing same-height tips (ties the selection must see to be
 /// deterministic across replicas) still propagate.
 pub(crate) const SYNC_LOOKBACK: u64 = 3;
+
+/// Maximum number of blocks in one [`Msg::Blocks`] delta batch.  Responders
+/// truncate with [`truncate_batch`]; requesters detect a full batch and
+/// issue a continuation request above it.
+pub const MAX_SYNC_BATCH: usize = 16;
+
+/// Timer id used by the sync retry/timeout machinery.  Must stay distinct
+/// from the replica-local timers (`MINE_TIMER = 1`, `SYNC_TIMER = 2`,
+/// adversary `RELEASE_TIMER = 3`, committee round timer).
+pub const RETRY_TIMER: u64 = 9;
+
+/// Base request timeout in simulated ticks (first attempt).  Doubled per
+/// retry attempt; chosen above the round trip of the slowest shipped
+/// channel model so healthy peers practically never time out.
+pub const BASE_TIMEOUT: u64 = 24;
+
+/// Maximum send attempts (initial send + retries) for one logical sync
+/// request before giving up and leaving repair to periodic anti-entropy.
+pub const MAX_ATTEMPTS: u32 = 3;
+
+/// Health score ceiling (evidence of life saturates here).
+const HEALTH_MAX: i32 = 3;
+/// Health score floor (repeated timeouts saturate here).
+const HEALTH_MIN: i32 = -6;
+/// Peers scoring below this are skipped by anti-entropy peer selection.
+const HEALTH_SUSPECT: i32 = -2;
+
+/// SplitMix64 — used only for deterministic timeout jitter.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Truncates a `(height, id)`-sorted delta batch to [`MAX_SYNC_BATCH`]
+/// blocks.  Ascending height order means every kept block's parent is
+/// either below the requested floor (the requester has it) or earlier in
+/// the kept prefix, so truncation never manufactures orphans.
+pub fn truncate_batch(blocks: &mut Vec<Block>) {
+    blocks.truncate(MAX_SYNC_BATCH);
+}
 
 /// Builds the block a miner chains onto `parent`: a single transfer whose
 /// id/nonce are derived from the miner id and a per-miner counter (which
@@ -41,8 +114,73 @@ pub(crate) fn mint_block(id: usize, n: usize, next_tx: &mut u64, parent: &Block)
         .build()
 }
 
+/// The sync request currently in flight (at most one per replica).
+#[derive(Clone, Copy, Debug)]
+pub struct PendingRequest {
+    /// `(incarnation << 32) | seq` — echoed by the responder.
+    pub request_id: u64,
+    /// Peer the request was sent to.
+    pub peer: usize,
+    /// Simulated time of the (re)send.
+    pub sent_at: SimTime,
+    /// Zero-based attempt counter (0 = initial send).
+    pub attempt: u32,
+    /// The floor the request asked the delta above.
+    pub above_height: u64,
+}
+
+/// Counters describing the sync machinery's behaviour over a run.
+#[derive(Clone, Debug, Default)]
+pub struct SyncStats {
+    /// Sync requests sent (initial sends and retries).
+    pub requests_sent: u64,
+    /// Requests re-sent after a timeout.
+    pub retries: u64,
+    /// Retry-timer expiries that found the pending request unanswered.
+    pub timeouts: u64,
+    /// Responses that matched the pending request.
+    pub responses: u64,
+    /// Matched responses whose batch was empty (anti-entropy no-ops).
+    pub empty_responses: u64,
+    /// Same-incarnation responses that no longer matched the pending
+    /// request (late or duplicated); their blocks are still applied.
+    pub late_responses: u64,
+    /// Responses addressed to a previous incarnation; dropped entirely.
+    pub stale_responses: u64,
+    /// Corrupted frames rejected by the checksum model.
+    pub corrupt_rejected: u64,
+    /// Churn rejoins observed.
+    pub rejoins: u64,
+    /// Blocks restored from the journal across all recoveries.
+    pub replayed_blocks: u64,
+    /// Value of `requests_sent` at the most recent rejoin; the difference
+    /// from the current value is the post-recovery sync cost.
+    pub requests_at_last_rejoin: u64,
+}
+
+impl SyncStats {
+    /// Sync requests sent since the most recent rejoin (all requests if the
+    /// process never rejoined) — the "gossip rounds to recover" metric.
+    pub fn requests_since_rejoin(&self) -> u64 {
+        self.requests_sent - self.requests_at_last_rejoin
+    }
+}
+
+/// Classification of an incoming [`Msg::Blocks`] response.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ResponseClass {
+    /// Matched the pending request (which is now cleared).
+    Fresh,
+    /// Same incarnation but not the pending request: a late, duplicated or
+    /// unsolicited batch.  Blocks are applied (insertion is idempotent).
+    Late,
+    /// Addressed to a previous incarnation of this process; the payload
+    /// must be ignored wholesale.
+    Stale,
+}
+
 /// A replica's local tree plus the orphan-repair / delta-sync state.
-pub(crate) struct GossipSync {
+pub struct GossipSync {
     id: usize,
     tree: BlockTree,
     orphans: Vec<Block>,
@@ -52,42 +190,160 @@ pub(crate) struct GossipSync {
     /// requested floor, so the floor must be pushed below the unknown fork
     /// point explicitly); it resets once the orphan buffer drains.
     sync_floor: Option<u64>,
+    incarnation: u32,
+    next_seq: u32,
+    pending: Option<PendingRequest>,
+    health: Vec<i32>,
+    stats: SyncStats,
+    journal: Journal,
 }
 
 impl GossipSync {
-    pub(crate) fn new(id: usize) -> Self {
+    /// Fresh sync state for replica `id`.
+    pub fn new(id: usize) -> Self {
         GossipSync {
             id,
             tree: BlockTree::new(),
             orphans: Vec::new(),
             sync_round: 0,
             sync_floor: None,
+            incarnation: 0,
+            next_seq: 1,
+            pending: None,
+            health: Vec::new(),
+            stats: SyncStats::default(),
+            journal: Journal::new(),
         }
     }
 
-    pub(crate) fn tree(&self) -> &BlockTree {
+    /// The replica's local block tree.
+    pub fn tree(&self) -> &BlockTree {
         &self.tree
     }
 
-    pub(crate) fn contains(&self, id: BlockId) -> bool {
+    /// Whether the tree already contains `id`.
+    pub fn contains(&self, id: BlockId) -> bool {
         self.tree.contains(id)
     }
 
-    /// Inserts a block, draining any orphans it unblocks and recording each
-    /// application in `log`.  Returns `true` iff the block is in the tree
-    /// after the call (attached now, or already present); `false` iff it
-    /// was buffered as an orphan.
-    pub(crate) fn insert_with_orphans(
+    /// Sync behaviour counters.
+    pub fn stats(&self) -> &SyncStats {
+        &self.stats
+    }
+
+    /// The write-ahead journal.
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+
+    /// Current incarnation (bumped on every churn rejoin).
+    pub fn incarnation(&self) -> u32 {
+        self.incarnation
+    }
+
+    /// Health score of `peer` (0 when unknown).
+    pub fn health(&self, peer: usize) -> i32 {
+        self.health.get(peer).copied().unwrap_or(0)
+    }
+
+    fn ensure_health(&mut self, n: usize) {
+        if self.health.len() < n {
+            self.health.resize(n, 0);
+        }
+    }
+
+    /// Records evidence of life from `peer` (any received frame, including
+    /// a corrupted one — a garbled message still proves the sender is up).
+    pub fn note_alive(&mut self, peer: usize, n: usize) {
+        self.ensure_health(n);
+        if peer < self.health.len() {
+            self.health[peer] = (self.health[peer] + 1).min(HEALTH_MAX);
+        }
+    }
+
+    /// Records a corrupted frame from `peer`: rejected by checksum, but
+    /// still evidence the peer is alive.
+    pub fn note_corrupted(&mut self, peer: usize, n: usize) {
+        self.stats.corrupt_rejected += 1;
+        self.note_alive(peer, n);
+    }
+
+    fn note_timeout(&mut self, peer: usize, n: usize) {
+        self.ensure_health(n);
+        if peer < self.health.len() {
+            self.health[peer] = (self.health[peer] - 1).max(HEALTH_MIN);
+        }
+    }
+
+    fn is_suspect(&self, peer: usize) -> bool {
+        self.health(peer) < HEALTH_SUSPECT
+    }
+
+    /// Deterministic timeout for `attempt` of `request_id`: exponential
+    /// backoff plus a per-request jitter so the fleet's retries do not
+    /// synchronise.
+    fn timeout_for(&self, request_id: u64, attempt: u32) -> u64 {
+        let backoff = BASE_TIMEOUT << attempt.min(4);
+        let jitter = splitmix64((self.id as u64).rotate_left(32) ^ request_id) % (BASE_TIMEOUT / 4);
+        backoff + jitter
+    }
+
+    /// First non-suspect peer at or after `start` (excluding self); falls
+    /// back to `start` when every peer looks down, so probing never fully
+    /// stops and recovered peers are rediscovered.
+    fn pick_healthy(&self, start: usize, n: usize) -> usize {
+        for k in 0..n {
+            let candidate = (start + k) % n;
+            if candidate == self.id {
+                continue;
+            }
+            if !self.is_suspect(candidate) {
+                return candidate;
+            }
+        }
+        start
+    }
+
+    /// Sends a sync request for the delta above `above_height` to `peer`,
+    /// replacing any pending request, and arms the retry timer.
+    fn send_request(
         &mut self,
-        at: SimTime,
-        block: Block,
-        log: &mut ReplicaLog,
-    ) -> bool {
+        ctx: &mut Context<Msg>,
+        peer: usize,
+        above_height: u64,
+        attempt: u32,
+    ) {
+        let request_id = u64::from(self.incarnation) << 32 | u64::from(self.next_seq);
+        self.next_seq += 1;
+        self.pending = Some(PendingRequest {
+            request_id,
+            peer,
+            sent_at: ctx.now(),
+            attempt,
+            above_height,
+        });
+        self.stats.requests_sent += 1;
+        ctx.send(
+            peer,
+            Msg::SyncRequest {
+                request_id,
+                above_height,
+            },
+        );
+        ctx.set_timer(self.timeout_for(request_id, attempt), RETRY_TIMER);
+    }
+
+    /// Inserts a block, draining any orphans it unblocks, recording each
+    /// application in `log` and journaling it.  Returns `true` iff the
+    /// block is in the tree after the call (attached now, or already
+    /// present); `false` iff it was buffered as an orphan.
+    pub fn insert_with_orphans(&mut self, at: SimTime, block: Block, log: &mut ReplicaLog) -> bool {
         if self.tree.contains(block.id) {
             return true;
         }
         if self.tree.insert(block.clone()).is_ok() {
-            log.record_applied(at, block);
+            log.record_applied(at, block.clone());
+            self.journal_applied(block);
             // Drain any orphans that can now attach.
             loop {
                 let mut progressed = false;
@@ -97,7 +353,8 @@ impl GossipSync {
                         continue;
                     }
                     if self.tree.insert(orphan.clone()).is_ok() {
-                        log.record_applied(at, orphan);
+                        log.record_applied(at, orphan.clone());
+                        self.journal_applied(orphan);
                         progressed = true;
                     } else {
                         remaining.push(orphan);
@@ -118,13 +375,22 @@ impl GossipSync {
         }
     }
 
+    fn journal_applied(&mut self, block: Block) {
+        let kind = if block.producer == self.id as u32 {
+            JournalKind::Mined
+        } else {
+            JournalKind::Accepted
+        };
+        self.journal.append(kind, block);
+    }
+
     /// Asks `peer` for the delta that can re-attach our orphans.  An orphan
     /// at height `h` is missing at least its parent at `h - 1`, and
     /// `delta_above` is strictly-above, so the floor must sit at `h - 2` for
     /// the parent to be included.  If a response surfaces still-deeper gaps,
     /// the floor-halving fallback in [`GossipSync::after_blocks`] pushes it
     /// down — bottoming out at genesis, so sync always terminates.
-    pub(crate) fn request_delta_sync(&mut self, ctx: &mut Context<Msg>, peer: usize) {
+    pub fn request_delta_sync(&mut self, ctx: &mut Context<Msg>, peer: usize) {
         let base = self
             .orphans
             .iter()
@@ -137,18 +403,76 @@ impl GossipSync {
             None => base,
         };
         self.sync_floor = Some(above_height);
-        ctx.send(peer, Msg::SyncRequest { above_height });
+        self.send_request(ctx, peer, above_height, 0);
     }
 
-    /// One periodic anti-entropy round: ask a rotating peer for the delta
-    /// above our height (or above our orphan floor when gaps are known).
-    pub(crate) fn anti_entropy(&mut self, ctx: &mut Context<Msg>) {
+    /// One periodic anti-entropy round: ask a rotating, non-suspect peer
+    /// for the delta above our height (or above our orphan floor when gaps
+    /// are known).  A request still pending from an earlier round is
+    /// superseded (its response, if it ever arrives, classifies as
+    /// [`ResponseClass::Late`] and is applied idempotently) — the periodic
+    /// cadence must never be starved by a lost round trip.
+    pub fn anti_entropy(&mut self, ctx: &mut Context<Msg>) {
         if ctx.n() < 2 {
             return;
         }
-        let peer = (self.id + 1 + (self.sync_round as usize % (ctx.n() - 1))) % ctx.n();
+        self.ensure_health(ctx.n());
+        let start = (self.id + 1 + (self.sync_round as usize % (ctx.n() - 1))) % ctx.n();
         self.sync_round += 1;
+        let peer = self.pick_healthy(start, ctx.n());
         self.request_delta_sync(ctx, peer);
+    }
+
+    /// Handles a [`RETRY_TIMER`] expiry.  Timers from superseded requests
+    /// are recognised (the pending request is newer than the deadline they
+    /// guard) and ignored.
+    pub fn on_retry_timer(&mut self, ctx: &mut Context<Msg>) {
+        let Some(p) = self.pending else {
+            return;
+        };
+        let deadline = p.sent_at.0 + self.timeout_for(p.request_id, p.attempt);
+        if ctx.now().0 < deadline {
+            // A stale timer armed for an earlier, already-replaced request.
+            return;
+        }
+        self.stats.timeouts += 1;
+        self.note_timeout(p.peer, ctx.n());
+        if p.attempt + 1 >= MAX_ATTEMPTS {
+            // Give up; the next periodic anti-entropy round starts over.
+            self.pending = None;
+            return;
+        }
+        self.stats.retries += 1;
+        let peer = self.pick_healthy((p.peer + 1) % ctx.n(), ctx.n());
+        self.send_request(ctx, peer, p.above_height, p.attempt + 1);
+    }
+
+    /// Classifies an incoming response by its echoed `request_id`, updating
+    /// pending state and counters.  `batch_len` is the response's batch
+    /// size (for the empty-response counter).
+    pub fn classify_response(&mut self, request_id: u64, batch_len: usize) -> ResponseClass {
+        if request_id == 0 {
+            // Unsolicited batch (e.g. flood assistance); nothing to clear.
+            return ResponseClass::Late;
+        }
+        if request_id >> 32 != u64::from(self.incarnation) {
+            self.stats.stale_responses += 1;
+            return ResponseClass::Stale;
+        }
+        match self.pending {
+            Some(p) if p.request_id == request_id => {
+                self.pending = None;
+                self.stats.responses += 1;
+                if batch_len == 0 {
+                    self.stats.empty_responses += 1;
+                }
+                ResponseClass::Fresh
+            }
+            _ => {
+                self.stats.late_responses += 1;
+                ResponseClass::Late
+            }
+        }
     }
 
     /// Follow-up after handling a [`Msg::Blocks`] batch.  If orphans
@@ -158,15 +482,196 @@ impl GossipSync {
     /// again.  Once the floor has bottomed out at 0 this peer has already
     /// sent its whole tree — stop re-asking it (the periodic anti-entropy
     /// rotates to other peers), otherwise two replicas would ping-pong
-    /// full-tree payloads for the rest of the run.
-    pub(crate) fn after_blocks(&mut self, ctx: &mut Context<Msg>, from: usize) {
-        if self.orphans.is_empty() {
+    /// full-tree payloads for the rest of the run.  With no orphans, a full
+    /// batch means the responder truncated: continue strictly above the
+    /// highest block received, which grows every round, so a full re-sync
+    /// terminates in `ceil(missing / MAX_SYNC_BATCH)` rounds.
+    pub fn after_blocks(
+        &mut self,
+        ctx: &mut Context<Msg>,
+        from: usize,
+        batch_len: usize,
+        batch_max_height: u64,
+    ) {
+        if !self.orphans.is_empty() {
+            if batch_len >= MAX_SYNC_BATCH {
+                // The batch was truncated, so it proves nothing about the
+                // blocks above its end — the missing ancestry may sit in
+                // the cut-off region (a capped batch over a deep gap fills
+                // up with blocks the requester already has).  Walk upward
+                // from the truncation point; `batch_max_height` strictly
+                // grows each round, so the walk terminates.
+                self.sync_floor = Some(batch_max_height);
+                self.send_request(ctx, from, batch_max_height, 0);
+                return;
+            }
+            // A non-full batch is complete coverage above the floor, so the
+            // fork point must lie below it: halve the floor (orphan heights
+            // alone cannot push it down) and ask again.
+            let floor = self.sync_floor.unwrap_or_else(|| self.tree.height());
+            if floor > 0 {
+                self.sync_floor = Some(floor / 2);
+                self.request_delta_sync(ctx, from);
+            }
             return;
         }
-        let floor = self.sync_floor.unwrap_or_else(|| self.tree.height());
-        if floor > 0 {
-            self.sync_floor = Some(floor / 2);
-            self.request_delta_sync(ctx, from);
+        if batch_len >= MAX_SYNC_BATCH {
+            self.send_request(ctx, from, batch_max_height, 0);
         }
+    }
+
+    /// Records a churn rejoin: bumps the incarnation (so in-flight
+    /// responses to the previous life classify as [`ResponseClass::Stale`]),
+    /// clears the pending request, and applies the recovery mode.  Returns
+    /// the number of blocks replayed from the journal.
+    pub fn note_rejoin(&mut self, mode: RecoveryMode) -> usize {
+        self.stats.rejoins += 1;
+        self.stats.requests_at_last_rejoin = self.stats.requests_sent;
+        self.incarnation += 1;
+        self.pending = None;
+        match mode {
+            RecoveryMode::Retain => 0,
+            RecoveryMode::Restart => self.crash_restart(false),
+            RecoveryMode::Journal => self.crash_restart(true),
+        }
+    }
+
+    /// Simulates a crash-restart: all volatile state (tree, orphans, sync
+    /// floor, peer health) is wiped.  With `replay`, the write-ahead
+    /// journal — the durable part of the process — is replayed first, in
+    /// sequence order, rebuilding the pre-crash tree; without it the
+    /// journal is lost too and the tree restarts from genesis.  Replay
+    /// bypasses the replica log (those applications were already recorded
+    /// before the crash) and does not re-journal.  Returns the number of
+    /// blocks replayed.
+    pub fn crash_restart(&mut self, replay: bool) -> usize {
+        self.tree = BlockTree::new();
+        self.orphans.clear();
+        self.sync_floor = None;
+        self.pending = None;
+        self.health.clear();
+        let mut replayed = 0usize;
+        if replay {
+            let blocks: Vec<Block> = self.journal.blocks().cloned().collect();
+            for block in blocks {
+                if !self.tree.contains(block.id) && self.tree.insert(block).is_ok() {
+                    replayed += 1;
+                }
+            }
+        } else {
+            self.journal.clear();
+        }
+        self.stats.replayed_blocks += replayed as u64;
+        replayed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truncate_batch_caps_at_max_sync_batch() {
+        let genesis = Block::genesis();
+        let mut parent = genesis.clone();
+        let mut blocks = Vec::new();
+        for nonce in 0..(MAX_SYNC_BATCH as u64 + 5) {
+            let b = BlockBuilder::new(&parent).nonce(nonce).build();
+            parent = b.clone();
+            blocks.push(b);
+        }
+        truncate_batch(&mut blocks);
+        assert_eq!(blocks.len(), MAX_SYNC_BATCH);
+    }
+
+    #[test]
+    fn classify_response_distinguishes_fresh_late_and_stale() {
+        let mut sync = GossipSync::new(0);
+        // Forge a pending request without a Context by driving the fields
+        // the way send_request would.
+        sync.pending = Some(PendingRequest {
+            request_id: 5,
+            peer: 1,
+            sent_at: SimTime(0),
+            attempt: 0,
+            above_height: 0,
+        });
+        assert_eq!(sync.classify_response(5, 0), ResponseClass::Fresh);
+        assert!(sync.pending.is_none());
+        assert_eq!(sync.stats().responses, 1);
+        assert_eq!(sync.stats().empty_responses, 1);
+        // Same incarnation (0), no pending: late.
+        assert_eq!(sync.classify_response(6, 2), ResponseClass::Late);
+        assert_eq!(sync.stats().late_responses, 1);
+        // Unsolicited id 0 is always late-class (applied, nothing cleared).
+        assert_eq!(sync.classify_response(0, 1), ResponseClass::Late);
+        // Bump incarnation: ids minted before the rejoin become stale.
+        sync.note_rejoin(RecoveryMode::Retain);
+        assert_eq!(sync.classify_response(7, 1), ResponseClass::Stale);
+        assert_eq!(sync.stats().stale_responses, 1);
+    }
+
+    #[test]
+    fn crash_restart_replays_journal_in_order() {
+        let mut sync = GossipSync::new(0);
+        let mut log = ReplicaLog::new();
+        let genesis = Block::genesis();
+        let a = BlockBuilder::new(&genesis).producer(0).nonce(1).build();
+        let b = BlockBuilder::new(&a).producer(7).nonce(2).build();
+        assert!(sync.insert_with_orphans(SimTime(1), a.clone(), &mut log));
+        assert!(sync.insert_with_orphans(SimTime(2), b.clone(), &mut log));
+        assert_eq!(sync.journal().len(), 2);
+        assert_eq!(sync.journal().mined().count(), 1);
+
+        let replayed = sync.crash_restart(true);
+        assert_eq!(replayed, 2);
+        assert!(sync.contains(a.id));
+        assert!(sync.contains(b.id));
+        // Journal survives a replayed restart (it is the durable medium).
+        assert_eq!(sync.journal().len(), 2);
+
+        let lost = sync.crash_restart(false);
+        assert_eq!(lost, 0);
+        assert!(!sync.contains(a.id));
+        assert!(sync.journal().is_empty());
+    }
+
+    #[test]
+    fn health_scores_clamp_and_gate_suspicion() {
+        let mut sync = GossipSync::new(0);
+        for _ in 0..10 {
+            sync.note_alive(1, 4);
+        }
+        assert_eq!(sync.health(1), HEALTH_MAX);
+        for _ in 0..10 {
+            sync.note_timeout(1, 4);
+        }
+        assert_eq!(sync.health(1), HEALTH_MIN);
+        assert!(sync.is_suspect(1));
+        // pick_healthy skips the suspect peer 1 starting from it.
+        assert_eq!(sync.pick_healthy(1, 4), 2);
+        // Evidence of life climbs back toward healthy.
+        for _ in 0..5 {
+            sync.note_alive(1, 4);
+        }
+        assert!(!sync.is_suspect(1));
+    }
+
+    #[test]
+    fn timeout_backoff_grows_and_jitter_is_deterministic() {
+        let sync = GossipSync::new(3);
+        let t0 = sync.timeout_for(42, 0);
+        let t1 = sync.timeout_for(42, 1);
+        let t2 = sync.timeout_for(42, 2);
+        assert!((BASE_TIMEOUT..BASE_TIMEOUT + BASE_TIMEOUT / 4).contains(&t0));
+        assert!(t1 >= 2 * BASE_TIMEOUT);
+        assert!(t2 >= 4 * BASE_TIMEOUT);
+        assert_eq!(t0, sync.timeout_for(42, 0));
+        // Different requests jitter differently (with overwhelming odds for
+        // these two fixed ids).
+        assert_ne!(
+            sync.timeout_for(42, 0) % BASE_TIMEOUT,
+            sync.timeout_for(43, 0) % BASE_TIMEOUT
+        );
     }
 }

@@ -1,0 +1,161 @@
+//! Per-process crash-recovery journal (an in-memory write-ahead log).
+//!
+//! Every block a replica *applies* — self-mined or accepted from a peer —
+//! is appended to its journal with a monotone sequence number, in exactly
+//! the order the replica's tree accepted it.  Because a block's parent is
+//! always applied before the block itself, replaying the journal in
+//! sequence order rebuilds the pre-crash tree without ever orphaning.
+//!
+//! The journal models durable local storage in the crash-recovery fault
+//! model: on a churn rejoin with
+//! [`RecoveryMode::Journal`], the replica's volatile state is wiped, the
+//! WAL is replayed first, and delta sync then only has to cover the *gap*
+//! the process missed while down — strictly fewer gossip rounds than the
+//! full re-sync a [`RecoveryMode::Restart`] rejoin needs (see
+//! `BENCH_robustness.json`).
+
+use btadt_types::Block;
+
+/// How a journaled block entered the replica.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JournalKind {
+    /// The replica mined the block itself.  These are the entries only the
+    /// journal can restore: a block mined while partitioned may exist
+    /// nowhere else in the network.
+    Mined,
+    /// The block was accepted from a peer (flood or delta sync).
+    Accepted,
+}
+
+/// One entry of the write-ahead log.
+#[derive(Clone, Debug)]
+pub struct JournalEntry {
+    /// Monotone per-process sequence number (application order).
+    pub seq: u64,
+    /// Whether the block was self-mined or accepted.
+    pub kind: JournalKind,
+    /// The journaled block.
+    pub block: Block,
+}
+
+/// The append-only write-ahead log of one replica.
+#[derive(Clone, Debug, Default)]
+pub struct Journal {
+    entries: Vec<JournalEntry>,
+    next_seq: u64,
+}
+
+impl Journal {
+    /// An empty journal.
+    pub fn new() -> Self {
+        Journal::default()
+    }
+
+    /// Appends a block, returning its sequence number.
+    pub fn append(&mut self, kind: JournalKind, block: Block) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.entries.push(JournalEntry { seq, kind, block });
+        seq
+    }
+
+    /// Number of journaled entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` iff nothing has been journaled.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All entries in application (= replay) order.
+    pub fn entries(&self) -> &[JournalEntry] {
+        &self.entries
+    }
+
+    /// The journaled blocks in replay order.
+    pub fn blocks(&self) -> impl Iterator<Item = &Block> {
+        self.entries.iter().map(|e| &e.block)
+    }
+
+    /// The self-mined blocks in replay order.
+    pub fn mined(&self) -> impl Iterator<Item = &Block> {
+        self.entries
+            .iter()
+            .filter(|e| e.kind == JournalKind::Mined)
+            .map(|e| &e.block)
+    }
+
+    /// Wipes the journal (a restart *without* durable storage loses it).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.next_seq = 0;
+    }
+}
+
+/// What a replica's `on_rejoin` does with its state after a churn window.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RecoveryMode {
+    /// Volatile state survives the window (a paused process, not a crashed
+    /// one).  This is the historical behavior and the default.
+    #[default]
+    Retain,
+    /// Crash-stop then restart with no durable storage: the tree is wiped
+    /// and rebuilt from genesis via full delta re-sync.
+    Restart,
+    /// Crash then recover from the write-ahead journal: replay the WAL
+    /// first, then delta-sync only the gap missed while down.
+    Journal,
+}
+
+impl RecoveryMode {
+    /// Short label used by benches and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            RecoveryMode::Retain => "retain",
+            RecoveryMode::Restart => "restart",
+            RecoveryMode::Journal => "journal",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btadt_types::BlockBuilder;
+
+    #[test]
+    fn sequence_numbers_are_monotone_and_entries_keep_order() {
+        let mut j = Journal::new();
+        assert!(j.is_empty());
+        let genesis = Block::genesis();
+        let a = BlockBuilder::new(&genesis).nonce(1).build();
+        let b = BlockBuilder::new(&a).nonce(2).build();
+        assert_eq!(j.append(JournalKind::Mined, a.clone()), 0);
+        assert_eq!(j.append(JournalKind::Accepted, b.clone()), 1);
+        assert_eq!(j.len(), 2);
+        let ids: Vec<_> = j.blocks().map(|x| x.id).collect();
+        assert_eq!(ids, vec![a.id, b.id]);
+        let mined: Vec<_> = j.mined().map(|x| x.id).collect();
+        assert_eq!(mined, vec![a.id]);
+        assert_eq!(j.entries()[1].seq, 1);
+    }
+
+    #[test]
+    fn clear_wipes_entries_and_resets_sequencing() {
+        let mut j = Journal::new();
+        j.append(JournalKind::Mined, Block::genesis());
+        j.clear();
+        assert!(j.is_empty());
+        assert_eq!(j.append(JournalKind::Accepted, Block::genesis()), 0);
+    }
+
+    #[test]
+    fn recovery_mode_labels() {
+        assert_eq!(RecoveryMode::default(), RecoveryMode::Retain);
+        assert_eq!(RecoveryMode::Retain.label(), "retain");
+        assert_eq!(RecoveryMode::Restart.label(), "restart");
+        assert_eq!(RecoveryMode::Journal.label(), "journal");
+    }
+}

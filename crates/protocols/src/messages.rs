@@ -34,12 +34,25 @@ pub enum Msg {
     /// Delta-sync request: "send me every block above this height".  Sent
     /// to the peer whose block arrived as an orphan.
     SyncRequest {
+        /// Correlates the response with the request (and with the
+        /// requester's incarnation — see
+        /// [`GossipSync`](crate::gossip::GossipSync)-level docs).  `0` marks
+        /// an unsolicited batch.
+        request_id: u64,
         /// Height of the requester's tree.
         above_height: u64,
     },
     /// Delta-sync response: a batch of blocks sorted `(height, id)` so the
-    /// receiver can insert them parents-first.
-    Blocks(Vec<Block>),
+    /// receiver can insert them parents-first.  Responders always reply,
+    /// even with an empty batch, so the requester can clear its pending
+    /// request and score the peer as alive.
+    Blocks {
+        /// Echo of the triggering request's id (`0` for unsolicited blocks).
+        request_id: u64,
+        /// The delta batch, capped at
+        /// [`MAX_SYNC_BATCH`](crate::gossip::MAX_SYNC_BATCH) blocks.
+        blocks: Vec<Block>,
+    },
 }
 
 impl Msg {
@@ -51,7 +64,7 @@ impl Msg {
             Msg::Propose { block, .. } => Some(block),
             Msg::Vote { payload, .. } => Some(payload),
             Msg::SyncRequest { .. } => None,
-            Msg::Blocks(blocks) => blocks.first(),
+            Msg::Blocks { blocks, .. } => blocks.first(),
         }
     }
 
@@ -62,7 +75,7 @@ impl Msg {
             Msg::Propose { .. } => "propose",
             Msg::Vote { .. } => "vote",
             Msg::SyncRequest { .. } => "sync-request",
-            Msg::Blocks(_) => "blocks",
+            Msg::Blocks { .. } => "blocks",
         }
     }
 }
@@ -91,12 +104,22 @@ mod tests {
         };
         assert_eq!(v.label(), "vote");
         assert_eq!(v.block().unwrap().id, b.id);
-        let s = Msg::SyncRequest { above_height: 4 };
+        let s = Msg::SyncRequest {
+            request_id: 9,
+            above_height: 4,
+        };
         assert_eq!(s.label(), "sync-request");
         assert!(s.block().is_none());
-        let d = Msg::Blocks(vec![b.clone()]);
+        let d = Msg::Blocks {
+            request_id: 9,
+            blocks: vec![b.clone()],
+        };
         assert_eq!(d.label(), "blocks");
         assert_eq!(d.block().unwrap().id, b.id);
-        assert!(Msg::Blocks(vec![]).block().is_none());
+        let empty = Msg::Blocks {
+            request_id: 0,
+            blocks: vec![],
+        };
+        assert!(empty.block().is_none());
     }
 }

@@ -18,7 +18,8 @@ use btadt_oracle::{Cell, Tape};
 use btadt_types::{BlockTree, Blockchain, SelectionFunction};
 
 use crate::extract::ReplicaLog;
-use crate::gossip::{GossipSync, SYNC_TAIL_ROUNDS};
+use crate::gossip::{self, GossipSync, ResponseClass, SyncStats, RETRY_TIMER, SYNC_TAIL_ROUNDS};
+use crate::journal::{Journal, RecoveryMode};
 use crate::messages::Msg;
 
 const MINE_TIMER: u64 = 1;
@@ -43,6 +44,9 @@ pub struct PowConfig {
     pub sync_interval: u64,
     /// Seed for the replica's tape.
     pub seed: u64,
+    /// What `on_rejoin` does with the replica's state after a churn window
+    /// (see [`RecoveryMode`]).
+    pub recovery: RecoveryMode,
 }
 
 /// A proof-of-work replica.
@@ -76,6 +80,21 @@ impl PowReplica {
     /// The replica's current local BlockTree.
     pub fn tree(&self) -> &BlockTree {
         self.sync.tree()
+    }
+
+    /// Sync machinery counters (requests, retries, timeouts, recoveries).
+    pub fn sync_stats(&self) -> &SyncStats {
+        self.sync.stats()
+    }
+
+    /// The replica's write-ahead journal.
+    pub fn journal(&self) -> &Journal {
+        self.sync.journal()
+    }
+
+    /// Current incarnation (bumped on every churn rejoin).
+    pub fn incarnation(&self) -> u32 {
+        self.sync.incarnation()
     }
 
     /// The chain currently selected by the replica.
@@ -125,6 +144,7 @@ impl Process<Msg> for PowReplica {
 
     fn on_message(&mut self, ctx: &mut Context<Msg>, from: usize, msg: Msg) {
         let at = ctx.now();
+        self.sync.note_alive(from, ctx.n());
         match msg {
             Msg::NewBlock(block) => {
                 if !self.sync.contains(block.id) {
@@ -137,7 +157,14 @@ impl Process<Msg> for PowReplica {
                     self.maybe_read(at);
                 }
             }
-            Msg::Blocks(blocks) => {
+            Msg::Blocks { request_id, blocks } => {
+                if self.sync.classify_response(request_id, blocks.len()) == ResponseClass::Stale {
+                    // Addressed to a previous incarnation of this process:
+                    // ignore the payload wholesale.
+                    return;
+                }
+                let batch_len = blocks.len();
+                let batch_max = blocks.iter().map(|b| b.height).max().unwrap_or(0);
                 for block in blocks {
                     if self.sync.contains(block.id) {
                         continue;
@@ -146,18 +173,35 @@ impl Process<Msg> for PowReplica {
                     self.sync.insert_with_orphans(at, block, &mut self.log);
                 }
                 self.maybe_read(at);
-                self.sync.after_blocks(ctx, from);
+                self.sync.after_blocks(ctx, from, batch_len, batch_max);
             }
-            Msg::SyncRequest { above_height } => {
-                let delta = self.sync.tree().delta_above(above_height);
-                if !delta.is_empty() {
-                    ctx.send(from, Msg::Blocks(delta));
-                }
+            Msg::SyncRequest {
+                request_id,
+                above_height,
+            } => {
+                // Always reply, even with an empty batch, so the requester
+                // can clear its pending request; duplicate requests get
+                // duplicate (idempotent) replies.
+                let mut delta = self.sync.tree().delta_above(above_height);
+                gossip::truncate_batch(&mut delta);
+                ctx.send(
+                    from,
+                    Msg::Blocks {
+                        request_id,
+                        blocks: delta,
+                    },
+                );
             }
             Msg::Propose { .. } | Msg::Vote { .. } => {
                 // Committee traffic is not part of the PoW family.
             }
         }
+    }
+
+    fn on_corrupted(&mut self, ctx: &mut Context<Msg>, from: usize) {
+        // Checksum rejection: the payload is discarded, but a garbled frame
+        // still proves the sender is alive.
+        self.sync.note_corrupted(from, ctx.n());
     }
 
     fn on_timer(&mut self, ctx: &mut Context<Msg>, timer_id: u64) {
@@ -174,7 +218,19 @@ impl Process<Msg> for PowReplica {
                     ctx.set_timer(self.config.sync_interval, SYNC_TIMER);
                 }
             }
+            RETRY_TIMER => self.sync.on_retry_timer(ctx),
             _ => {}
+        }
+    }
+
+    fn on_rejoin(&mut self, ctx: &mut Context<Msg>) {
+        let mode = self.config.recovery;
+        self.sync.note_rejoin(mode);
+        self.on_start(ctx);
+        if mode != RecoveryMode::Retain {
+            // A recovering process catches up immediately instead of
+            // waiting for its next periodic anti-entropy tick.
+            self.sync.anti_entropy(ctx);
         }
     }
 }
@@ -193,6 +249,7 @@ mod tests {
             mine_until: 40,
             sync_interval: 8,
             seed,
+            recovery: RecoveryMode::default(),
         }
     }
 
@@ -329,5 +386,211 @@ mod tests {
             tips.iter().all(|&t| t == tips[0]),
             "delta sync reconciles lossy replicas: tips {tips:?}, heights {heights:?}"
         );
+    }
+
+    /// Replica 3 mines alone behind a partition, then crashes before the
+    /// partition heals: its partition-era blocks exist nowhere else in the
+    /// network.  Run the identical schedule under each recovery mode.
+    fn isolated_miner_run(recovery: RecoveryMode) -> Vec<PowReplica> {
+        let mut cfg = config(21, 0.3);
+        cfg.mine_until = 150;
+        cfg.recovery = recovery;
+        let replicas: Vec<PowReplica> = (0..4).map(|i| PowReplica::new(i, cfg.clone())).collect();
+        let sim_config = SimConfig::synchronous(21, 3, 600);
+        let plan = FailurePlan::none()
+            .with_partition(vec![3], 80, 100)
+            .with_churn(3, 100, 160);
+        let mut sim = Simulator::new(replicas, sim_config, plan);
+        sim.run();
+        let (replicas, _) = sim.into_parts();
+        replicas
+    }
+
+    #[test]
+    fn journal_recovery_preserves_self_mined_blocks_a_restart_loses() {
+        let journaled = isolated_miner_run(RecoveryMode::Journal);
+        let restarted = isolated_miner_run(RecoveryMode::Restart);
+        let mined_in_isolation = |r: &PowReplica| {
+            r.log
+                .created
+                .iter()
+                .filter(|(at, _)| at.0 >= 80 && at.0 < 100)
+                .map(|(_, b)| b.id)
+                .collect::<Vec<_>>()
+        };
+        let iso_j = mined_in_isolation(&journaled[3]);
+        let iso_r = mined_in_isolation(&restarted[3]);
+        assert!(
+            !iso_j.is_empty() && !iso_r.is_empty(),
+            "the isolated window must see mining activity"
+        );
+        // A journaled recovery never loses a self-mined block…
+        assert!(
+            iso_j.iter().all(|&id| journaled[3].tree().contains(id)),
+            "journal replay restored every isolated self-mined block"
+        );
+        assert!(journaled[3].sync_stats().replayed_blocks > 0);
+        // …while a journal-less restart drops the ones nobody else holds.
+        assert!(
+            iso_r.iter().any(|&id| !restarted[3].tree().contains(id)),
+            "restart without a journal must lose the isolated blocks"
+        );
+        // Both recoveries still converge with the network on the selected chain.
+        for replicas in [&journaled, &restarted] {
+            let tips: Vec<_> = replicas.iter().map(|r| r.selected().tip().id).collect();
+            assert!(tips.iter().all(|&t| t == tips[0]), "tips {tips:?}");
+        }
+    }
+
+    #[test]
+    fn journal_recovery_needs_strictly_fewer_sync_requests_than_full_resync() {
+        let journaled = isolated_miner_run(RecoveryMode::Journal);
+        let restarted = isolated_miner_run(RecoveryMode::Restart);
+        let j = journaled[3].sync_stats().requests_since_rejoin();
+        let r = restarted[3].sync_stats().requests_since_rejoin();
+        assert_eq!(journaled[3].sync_stats().rejoins, 1);
+        assert!(
+            j < r,
+            "journal replay must delta-sync only the gap: journal {j} vs full {r} requests"
+        );
+    }
+
+    #[test]
+    fn crash_during_a_partition_window_then_rejoin_stays_consistent() {
+        // Regression: the crash happens *inside* the partition window, so
+        // deliveries and timers queued for the pre-crash incarnation are
+        // still in flight when the process returns.  The simulator-level
+        // incarnation stamps discard them, the gossip-level request-id
+        // incarnation bits ignore stale sync responses, and applications
+        // stay exactly-once.
+        for recovery in [RecoveryMode::Retain, RecoveryMode::Journal] {
+            let mut cfg = config(29, 0.3);
+            cfg.mine_until = 120;
+            cfg.recovery = recovery;
+            let replicas: Vec<PowReplica> =
+                (0..4).map(|i| PowReplica::new(i, cfg.clone())).collect();
+            let sim_config = SimConfig::synchronous(29, 3, 600);
+            let plan = FailurePlan::none()
+                .with_partition(vec![3], 20, 60)
+                .with_churn(3, 30, 50);
+            let mut sim = Simulator::new(replicas, sim_config, plan);
+            sim.run();
+            let (replicas, _) = sim.into_parts();
+            for r in &replicas {
+                // Exactly-once application: no block is ever applied twice.
+                let mut ids: Vec<_> = r.log.applied.iter().map(|(_, b)| b.id).collect();
+                let before = ids.len();
+                ids.sort();
+                ids.dedup();
+                assert_eq!(before, ids.len(), "a block was applied twice");
+            }
+            let tips: Vec<_> = replicas.iter().map(|r| r.selected().tip().id).collect();
+            assert!(
+                tips.iter().all(|&t| t == tips[0]),
+                "convergence under {recovery:?}: tips {tips:?}"
+            );
+            assert_eq!(replicas[3].incarnation(), 1);
+        }
+    }
+
+    #[test]
+    fn duplicated_sync_traffic_is_idempotent() {
+        use btadt_netsim::ChannelModel;
+        let replicas: Vec<PowReplica> = (0..4)
+            .map(|i| PowReplica::new(i, config(31, 0.3)))
+            .collect();
+        let sim_config = SimConfig {
+            seed: 31,
+            channel: ChannelModel::faulty(ChannelModel::synchronous(3), 0.4, 0.2, 4, 0.0),
+            max_time: 800,
+            max_events: 500_000,
+        };
+        let mut sim = Simulator::new(replicas, sim_config, FailurePlan::none());
+        sim.run();
+        let (replicas, trace) = sim.into_parts();
+        for r in &replicas {
+            let mut ids: Vec<_> = r.log.applied.iter().map(|(_, b)| b.id).collect();
+            let before = ids.len();
+            ids.sort();
+            ids.dedup();
+            assert_eq!(
+                before,
+                ids.len(),
+                "duplicated deliveries must not double-apply"
+            );
+        }
+        assert!(trace.delivered() > trace.sent(), "duplication happened");
+        let tips: Vec<_> = replicas.iter().map(|r| r.selected().tip().id).collect();
+        assert!(tips.iter().all(|&t| t == tips[0]), "tips {tips:?}");
+    }
+
+    #[test]
+    fn corrupted_frames_are_rejected_but_count_as_evidence_of_life() {
+        use btadt_netsim::ChannelModel;
+        let replicas: Vec<PowReplica> = (0..4)
+            .map(|i| PowReplica::new(i, config(37, 0.3)))
+            .collect();
+        let sim_config = SimConfig {
+            seed: 37,
+            channel: ChannelModel::faulty(ChannelModel::synchronous(3), 0.0, 0.0, 1, 0.15),
+            max_time: 800,
+            max_events: 500_000,
+        };
+        let mut sim = Simulator::new(replicas, sim_config, FailurePlan::none());
+        sim.run();
+        let (replicas, trace) = sim.into_parts();
+        assert!(trace.corrupted() > 0, "the channel must corrupt frames");
+        let rejected: u64 = replicas
+            .iter()
+            .map(|r| r.sync_stats().corrupt_rejected)
+            .sum();
+        assert_eq!(rejected as usize, trace.corrupted());
+        // Retry/anti-entropy repairs what corruption destroyed.
+        let tips: Vec<_> = replicas.iter().map(|r| r.selected().tip().id).collect();
+        assert!(tips.iter().all(|&t| t == tips[0]), "tips {tips:?}");
+    }
+
+    #[test]
+    fn empty_delta_anti_entropy_rounds_clear_pending_requests() {
+        // No mining at all: every anti-entropy round yields an empty batch.
+        // The always-reply rule means each request still gets a response, so
+        // pending requests clear and no timeouts accumulate.
+        let replicas: Vec<PowReplica> = (0..3)
+            .map(|i| PowReplica::new(i, config(41, 0.0)))
+            .collect();
+        let sim_config = SimConfig::synchronous(41, 3, 300);
+        let mut sim = Simulator::new(replicas, sim_config, FailurePlan::none());
+        sim.run();
+        let (replicas, _) = sim.into_parts();
+        for r in &replicas {
+            let s = r.sync_stats();
+            assert!(s.requests_sent > 0, "anti-entropy rounds ran");
+            assert_eq!(s.responses, s.requests_sent, "every request was answered");
+            assert_eq!(s.empty_responses, s.responses, "all batches were empty");
+            assert_eq!(s.timeouts, 0, "healthy peers never time out");
+        }
+    }
+
+    #[test]
+    fn a_crashed_peer_is_marked_suspect_and_skipped() {
+        // Replica 2 is down for most of the run; its peers' requests to it
+        // time out, drive its health score below the suspicion threshold and
+        // anti-entropy routes around it.  Once it rejoins and speaks again,
+        // evidence of life restores it.
+        let mut cfg = config(43, 0.2);
+        cfg.mine_until = 200;
+        let replicas: Vec<PowReplica> = (0..3).map(|i| PowReplica::new(i, cfg.clone())).collect();
+        let sim_config = SimConfig::synchronous(43, 3, 900);
+        let plan = FailurePlan::none().with_churn(2, 10, 400);
+        let mut sim = Simulator::new(replicas, sim_config, plan);
+        sim.run();
+        let (replicas, _) = sim.into_parts();
+        let timeouts: u64 = replicas[..2].iter().map(|r| r.sync_stats().timeouts).sum();
+        let retries: u64 = replicas[..2].iter().map(|r| r.sync_stats().retries).sum();
+        assert!(timeouts > 0, "requests to the dead peer must time out");
+        assert!(retries > 0, "timeouts must trigger retries");
+        // After rejoin + tail rounds the survivors see it alive again.
+        let tips: Vec<_> = replicas.iter().map(|r| r.selected().tip().id).collect();
+        assert!(tips.iter().all(|&t| t == tips[0]), "tips {tips:?}");
     }
 }
