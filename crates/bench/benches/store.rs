@@ -1,0 +1,26 @@
+//! `cargo bench -p btadt-bench --bench store` — the durable-store suite.
+//!
+//! Runs the 10⁵-block steady-state ceiling drill and the seeded corruption
+//! recovery cells, then writes `BENCH_store.json` at the workspace root.
+//! Every field is deterministic — residency peaks, recovery counters and
+//! resync rounds, never wall times — so the committed baseline diffs
+//! cleanly across hosts.  `-- --test` runs the 5 × 10³-block smoke suite
+//! and writes nothing, which is what CI exercises on every push.
+
+use btadt_bench::harness::workspace_root;
+use btadt_bench::store::{print_summary, run_all, write_json};
+
+fn main() {
+    let test_mode = std::env::args().skip(1).any(|a| a == "--test");
+    let report = run_all(test_mode);
+    print_summary(&report);
+    if !report.all_clean() {
+        eprintln!("store: suite is NOT clean");
+        std::process::exit(1);
+    }
+    if test_mode {
+        println!("store: smoke run complete");
+    } else {
+        write_json(&report, &workspace_root().join("BENCH_store.json"));
+    }
+}

@@ -180,15 +180,20 @@ fn push_bool_fields(
 }
 
 /// Extracts the consistency verdicts from a parsed report.  Understands
-/// the three shipped report shapes and takes whichever sections are
-/// present:
+/// the shipped report shapes and takes whichever sections are present:
 ///
 /// * `cells` (scenario sweep): `strong` / `eventual` / `converged` per
 ///   `(scenario, seed)` cell;
 /// * `verification` (concurrent bench): `admitted` per `(path, threads)`;
 /// * `chaos` / `recovery` / `sync` (robustness suite): `admitted` per
 ///   chaos cell, `converged` + `self_mined_kept` per recovery run,
-///   `converged` per sync drill.
+///   `converged` per sync drill — plus a synthetic
+///   `metrics/journal_beats_restart` row derived from the report's mean
+///   recovery rounds, admitted iff the journal mode was strictly cheaper
+///   than the journal-less restart (so the ISSUE 6 acceptance ratio is
+///   guarded alongside the boolean verdicts, not just recorded);
+/// * `steady` / `corruption` (durable-store suite): `under_ceiling` per
+///   steady row, `healed` + `converged` + `clean` per corruption cell.
 ///
 /// Errors when none of the known sections exist.
 pub fn verdicts_from_report(doc: &Json) -> Result<Vec<VerdictRow>, String> {
@@ -264,9 +269,52 @@ pub fn verdicts_from_report(doc: &Json) -> Result<Vec<VerdictRow>, String> {
             push_bool_fields(&mut rows, drill, &prefix, &["converged"])?;
         }
     }
+    if let Some(metrics) = doc.get("metrics") {
+        // The journal-vs-restart mean-rounds ratio of the robustness
+        // report, distilled to a verdict: journal recovery must stay
+        // *strictly* cheaper than a journal-less full re-sync.
+        if let (Some(journal), Some(restart)) = (
+            metrics
+                .get("journal_recovery_rounds")
+                .and_then(Json::as_f64),
+            metrics
+                .get("restart_recovery_rounds")
+                .and_then(Json::as_f64),
+        ) {
+            rows.push(VerdictRow {
+                key: "metrics/journal_beats_restart".to_string(),
+                admitted: journal > 0.0 && restart > 0.0 && journal < restart,
+            });
+        }
+    }
+    if let Some(rows_in) = doc.get("steady").and_then(Json::as_array) {
+        for (i, item) in rows_in.iter().enumerate() {
+            let scale = item
+                .get("scale")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("steady[{i}] has no \"scale\""))?;
+            let prefix = format!("steady/{scale}");
+            push_bool_fields(&mut rows, item, &prefix, &["under_ceiling"])?;
+        }
+    }
+    if let Some(cells) = doc.get("corruption").and_then(Json::as_array) {
+        for (i, cell) in cells.iter().enumerate() {
+            let fault = cell
+                .get("fault")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("corruption[{i}] has no \"fault\""))?;
+            let seed = cell
+                .get("seed")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("corruption[{i}] has no \"seed\""))?;
+            let prefix = format!("corruption/{fault}/s{seed}");
+            push_bool_fields(&mut rows, cell, &prefix, &["healed", "converged", "clean"])?;
+        }
+    }
     if rows.is_empty() {
         return Err(
-            "report has none of the verdict sections (cells / verification / chaos / recovery / sync)"
+            "report has none of the verdict sections (cells / verification / chaos / recovery / \
+             sync / steady / corruption)"
                 .to_string(),
         );
     }
@@ -439,6 +487,64 @@ mod tests {
         assert_eq!(rows.len(), 1 + 2 + 1);
         assert!(rows.iter().all(|r| r.admitted));
         assert!(verdicts_from_str("{\"bench\": \"tree\"}").is_err());
+    }
+
+    #[test]
+    fn store_report_sections_yield_verdicts() {
+        let rows = verdicts_from_str(
+            r#"{"steady": [{"scale": "full", "under_ceiling": true}],
+                "corruption": [
+                    {"fault": "bit-flip", "seed": 13, "healed": true, "converged": true, "clean": true}
+                ]}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            rows,
+            vec![
+                verdict("steady/full/under_ceiling", true),
+                verdict("corruption/bit-flip/s13/healed", true),
+                verdict("corruption/bit-flip/s13/converged", true),
+                verdict("corruption/bit-flip/s13/clean", true),
+            ]
+        );
+    }
+
+    #[test]
+    fn the_journal_vs_restart_ratio_is_guarded_as_a_verdict() {
+        // Strictly cheaper: admitted.
+        let rows = verdicts_from_str(
+            r#"{"sync": [{"fault": "loss-churn", "seed": 5, "converged": true}],
+                "metrics": {"journal_recovery_rounds": 2.0, "restart_recovery_rounds": 5.3}}"#,
+        )
+        .unwrap();
+        let ratio = rows
+            .iter()
+            .find(|r| r.key == "metrics/journal_beats_restart")
+            .expect("ratio row present");
+        assert!(ratio.admitted);
+        // Journal no longer cheaper: the verdict flips, so a baseline that
+        // recorded it admitted fails the guard.
+        let rows = verdicts_from_str(
+            r#"{"sync": [{"fault": "loss-churn", "seed": 5, "converged": true}],
+                "metrics": {"journal_recovery_rounds": 6.0, "restart_recovery_rounds": 5.3}}"#,
+        )
+        .unwrap();
+        let fresh = rows
+            .iter()
+            .find(|r| r.key == "metrics/journal_beats_restart")
+            .unwrap();
+        assert!(!fresh.admitted);
+        let report = compare_verdicts(std::slice::from_ref(ratio), std::slice::from_ref(fresh));
+        assert!(!report.passed());
+        assert_eq!(report.flipped, vec!["metrics/journal_beats_restart"]);
+        // Reports without the recovery metrics (scenarios, concurrent)
+        // simply do not grow the row.
+        let rows = verdicts_from_str(
+            r#"{"cells": [{"scenario": "x", "seed": 1, "strong": true, "eventual": true, "converged": true}],
+                "metrics": {"other": 1.0}}"#,
+        )
+        .unwrap();
+        assert!(!rows.iter().any(|r| r.key.starts_with("metrics/")));
     }
 
     #[test]

@@ -22,6 +22,7 @@ pub mod harness;
 pub mod json;
 pub mod robustness;
 pub mod scenarios;
+pub mod store;
 
 use std::sync::Arc;
 

@@ -44,6 +44,7 @@ use std::sync::{Mutex as StdMutex, MutexGuard};
 
 use btadt_core::invariant::{check_block_tree, InvariantViolation};
 use btadt_oracle::{FrugalOracle, MeritTable, OracleConfig, OracleStats, SharedOracle};
+use btadt_store::BlockStore;
 use btadt_types::tree::InsertError;
 use btadt_types::{
     Block, BlockBuilder, BlockTree, Blockchain, LengthScore, Score, Transaction, WorkScore,
@@ -185,6 +186,15 @@ pub struct ConcurrentBlockTree {
     tip_rule: TipRule,
     nonce: AtomicU64,
     clients: usize,
+    /// Optional durable sink: every installed block is mirrored into this
+    /// chunked [`BlockStore`] under the writer lock, so the durable record
+    /// sequence is exactly the install order.  Chaos cells attach a store
+    /// over a faulted medium here and crash/recover it in their epilogue.
+    durable: Mutex<Option<BlockStore>>,
+    /// Writer-mutex poison recoveries performed by [`Self::lock_writer`] —
+    /// observable evidence that a monitor or helper *healed* a dead
+    /// writer's lock instead of propagating its panic.
+    poison_heals: AtomicU64,
 }
 
 impl ConcurrentBlockTree {
@@ -248,6 +258,8 @@ impl ConcurrentBlockTree {
             tip_rule: TipRule::default(),
             nonce: AtomicU64::new(1),
             clients: clients.max(1),
+            durable: Mutex::new(None),
+            poison_heals: AtomicU64::new(0),
         }
     }
 
@@ -255,6 +267,33 @@ impl ConcurrentBlockTree {
     pub fn with_tip_rule(mut self, rule: TipRule) -> Self {
         self.tip_rule = rule;
         self
+    }
+
+    /// Attaches a durable block store (builder style; call before use).
+    /// Every subsequently installed block is appended to it under the
+    /// writer lock.
+    pub fn with_durable_store(self, store: BlockStore) -> Self {
+        *self.durable.lock() = Some(store);
+        self
+    }
+
+    /// Detaches and returns the durable store, if one is attached — the
+    /// hand-off point for the chaos epilogue's crash/recover drill.
+    /// Subsequent installs stop mirroring.
+    pub fn take_durable_store(&self) -> Option<BlockStore> {
+        self.durable.lock().take()
+    }
+
+    /// How many times `lock_writer` recovered the writer mutex from
+    /// poison (a panic while the lock was held).
+    pub fn poison_heals(&self) -> u64 {
+        self.poison_heals.load(Ordering::Relaxed)
+    }
+
+    /// A clone of the writer-side tree (takes the writer lock; epilogue
+    /// and diagnostic use, not the hot path).
+    pub fn writer_tree_snapshot(&self) -> BlockTree {
+        self.lock_writer().clone()
     }
 
     /// Which append path this replica runs.
@@ -336,6 +375,7 @@ impl ConcurrentBlockTree {
                 self.writer.clear_poison();
                 let guard = poisoned.into_inner();
                 self.heal_after_poison(&guard);
+                self.poison_heals.fetch_add(1, Ordering::Relaxed);
                 guard
             }
         }
@@ -605,6 +645,14 @@ impl ConcurrentBlockTree {
             tree.idx_of(block.id).map(|i| i.0),
             "store indices mirror arena indices"
         );
+        // Mirror into the durable sink while still serialized by the
+        // writer lock: the `contains` fast path above already deduplicated
+        // helping installs, so each block is persisted exactly once, in
+        // install order.  Whether the bytes *survive* is the medium's
+        // business — a faulted medium is the point of the chaos drills.
+        if let Some(durable) = self.durable.lock().as_mut() {
+            durable.append(block);
+        }
         session.apply(Seam::WriterPrePublish);
         let tip = choose_tip(&tree, store_idx);
         self.store.publish(tree.len() as u32, tip);

@@ -24,6 +24,7 @@ use std::thread;
 use crate::blocktree::AppendPath;
 use crate::driver::{build_replica, check_claimed, run_workload_with_on, DriverConfig};
 use crate::fault::FaultPlan;
+use crate::storage::{crash_recover_heal, faulted_store, StorageReport};
 
 /// One cell of the chaos grid: a workload pinned to a seed, a fault plan,
 /// a thread count and an append path.
@@ -99,6 +100,15 @@ pub struct ChaosOutcome {
     pub violations: Vec<String>,
     /// How many times the background monitor completed a full recheck.
     pub monitor_checks: u64,
+    /// `true` iff the cell attached a durable store and ran the
+    /// crash/recover/heal storage epilogue (plans arming a storage seam).
+    pub storage: bool,
+    /// The storage epilogue's report, when `storage` is set.  Its
+    /// agreement violations are also folded into `violations` (prefixed
+    /// `store:`), so [`ChaosOutcome::is_clean`] already judges it; the
+    /// counts here are diagnostics and — unlike the verdict — depend on
+    /// the observed interleaving.
+    pub storage_report: Option<StorageReport>,
 }
 
 impl ChaosOutcome {
@@ -108,12 +118,16 @@ impl ChaosOutcome {
     }
 }
 
-/// The three default plans of the grid, all driven by `seed`.
+/// The five default plans of the grid, all driven by `seed`: three
+/// schedule-perturbing plans plus the two storage plans that grow the
+/// grid its durable-state dimension.
 pub fn default_plans(seed: u64) -> Vec<FaultPlan> {
     vec![
         FaultPlan::stalled_winners(seed),
         FaultPlan::contention_storm(seed),
         FaultPlan::token_chaos(seed),
+        FaultPlan::torn_storage(seed),
+        FaultPlan::checkpoint_chaos(seed),
     ]
 }
 
@@ -129,6 +143,15 @@ pub fn run_chaos_cell(cell: &ChaosCell) -> ChaosOutcome {
         record: true,
     };
     let replica = build_replica(&config);
+    // Plans arming a storage seam run over a durable store whose medium
+    // executes exactly those corruptions; the epilogue below must then
+    // recover and re-heal it back to agreement with the tree.
+    let storage = cell.plan.arms_storage();
+    let replica = if storage {
+        replica.with_durable_store(faulted_store(&cell.plan))
+    } else {
+        replica
+    };
     let stop = AtomicBool::new(false);
     let monitor_log: Mutex<Vec<String>> = Mutex::new(Vec::new());
     let checks = AtomicUsize::new(0);
@@ -168,6 +191,16 @@ pub fn run_chaos_cell(cell: &ChaosCell) -> ChaosOutcome {
     );
     violations.dedup();
 
+    // Storage epilogue: crash the durable store, recover it from whatever
+    // the faulted medium kept, heal the gap from the in-memory tree (the
+    // healthy peer), and require store↔tree agreement.
+    let storage_report = replica.take_durable_store().map(|store| {
+        let tree = replica.writer_tree_snapshot();
+        let report = crash_recover_heal(&tree, store, &cell.plan);
+        violations.extend(report.violations.iter().map(|v| format!("store: {v}")));
+        report
+    });
+
     let verdict = check_claimed(&run);
     ChaosOutcome {
         label: cell.label(),
@@ -184,6 +217,8 @@ pub fn run_chaos_cell(cell: &ChaosCell) -> ChaosOutcome {
         max_fork_degree: run.max_fork_degree,
         violations,
         monitor_checks: checks.load(Ordering::Relaxed) as u64,
+        storage,
+        storage_report,
     }
 }
 
@@ -247,6 +282,106 @@ mod tests {
         assert!(a.is_clean() && b.is_clean());
         assert_eq!(a.admitted, b.admitted);
         assert_eq!(a.label, b.label);
+    }
+
+    #[test]
+    fn a_torn_storage_cell_recovers_and_heals_clean() {
+        let cell = ChaosCell::new(5, FaultPlan::torn_storage(5), 2, AppendPath::Strong);
+        let outcome = run_chaos_cell(&cell);
+        assert!(outcome.storage, "torn-storage arms the storage dimension");
+        let report = outcome.storage_report.as_ref().expect("epilogue ran");
+        assert!(
+            outcome.is_clean(),
+            "{}: {:?}",
+            outcome.label,
+            outcome.violations
+        );
+        assert!(
+            report.recovered_blocks + report.healed > 0,
+            "the store saw the workload"
+        );
+    }
+
+    #[test]
+    fn a_checkpoint_chaos_cell_survives_stale_manifests_and_prune_races() {
+        let cell = ChaosCell::new(13, FaultPlan::checkpoint_chaos(13), 3, AppendPath::Eventual);
+        let outcome = run_chaos_cell(&cell);
+        assert!(
+            outcome.is_clean(),
+            "{}: {:?}",
+            outcome.label,
+            outcome.violations
+        );
+        let report = outcome.storage_report.as_ref().expect("epilogue ran");
+        assert!(report.prune_raced, "the PruneRace drill fired");
+    }
+
+    #[test]
+    fn schedule_plans_attach_no_store() {
+        let cell = ChaosCell::new(2, FaultPlan::token_chaos(2), 2, AppendPath::Eventual);
+        let outcome = run_chaos_cell(&cell);
+        assert!(!outcome.storage);
+        assert!(outcome.storage_report.is_none());
+    }
+
+    #[test]
+    fn storage_verdicts_are_schedule_independent_across_reruns() {
+        let cell = ChaosCell::new(7, FaultPlan::torn_storage(7), 4, AppendPath::Eventual);
+        let a = run_chaos_cell(&cell);
+        let b = run_chaos_cell(&cell);
+        assert!(a.is_clean() && b.is_clean());
+        assert_eq!(a.admitted, b.admitted);
+        assert_eq!(a.storage, b.storage);
+        assert_eq!(a.label, b.label);
+    }
+
+    #[test]
+    fn the_monitor_heals_a_poisoned_writer_lock_instead_of_panicking() {
+        use crate::blocktree::ConcurrentBlockTree;
+        use crate::fault::{FaultAction, FaultSession, Seam};
+        use std::sync::atomic::AtomicU64;
+
+        let t = ConcurrentBlockTree::strong(2, 23);
+        t.append(0, vec![]);
+        // A writer dies between its arena insert and the tip publish,
+        // while holding the writer mutex — the mutex is now poisoned.
+        let plan = FaultPlan::quiet(1).arm(Seam::WriterPrePublish, FaultAction::Panic, 100);
+        let prepared = t.prepare(0, vec![]);
+        let doomed_height = prepared.block.height;
+
+        let stop = AtomicBool::new(false);
+        let monitor_checks = AtomicU64::new(0);
+        thread::scope(|scope| {
+            // The same background monitor loop `run_chaos_cell` runs.
+            let monitor = scope.spawn(|| {
+                while !stop.load(Ordering::Relaxed) {
+                    let violations = t.check_invariants();
+                    assert!(violations.is_empty(), "{violations:?}");
+                    monitor_checks.fetch_add(1, Ordering::Relaxed);
+                    thread::yield_now();
+                }
+            });
+            let crashed = scope
+                .spawn(|| {
+                    let mut session = FaultSession::new(&plan, 0);
+                    t.commit_with_faults(prepared, &mut session)
+                })
+                .join();
+            assert!(crashed.is_err(), "the injected panic reaches join");
+            // The monitor keeps polling: its next lock acquisition crosses
+            // the poisoned mutex and must heal it rather than panic.
+            while t.poison_heals() == 0 {
+                thread::yield_now();
+            }
+            stop.store(true, Ordering::Relaxed);
+            monitor.join().expect("the monitor absorbed the poison");
+        });
+        assert!(monitor_checks.load(Ordering::Relaxed) > 0);
+        assert!(t.poison_heals() >= 1, "the heal was counted");
+        assert_eq!(t.height(), doomed_height, "healing published the orphan");
+        // The replica keeps serving after the heal.
+        assert!(t.append(1, vec![]).appended || t.height() > doomed_height);
+        assert!(t.check_invariants().is_empty());
     }
 
     #[test]

@@ -42,10 +42,29 @@ pub enum Seam {
     WriterPrePublish,
     /// Reader: before walking the published chain.
     ReaderPreWalk,
+    /// Durable medium: a block-record append to the active chunk (a
+    /// [`FaultAction::Corrupt`] here tears the write to a prefix).
+    StoreTornWrite,
+    /// Durable medium: a block-record append to the active chunk (a
+    /// [`FaultAction::Corrupt`] here flips one persisted bit).
+    StoreBitFlip,
+    /// Durable medium: the shadow-manifest overwrite of a checkpoint (a
+    /// [`FaultAction::Corrupt`] here tears the shadow write, so the swap
+    /// publishes a half-written manifest candidate — recovery must fall
+    /// back rather than trust it).
+    StorePartialCheckpoint,
+    /// Durable medium: the atomic manifest rename (a
+    /// [`FaultAction::Corrupt`] here drops the directory-entry update,
+    /// leaving the previous, stale manifest authoritative).
+    StoreStaleManifest,
+    /// Store epilogue: a pruning compaction crashes after writing the
+    /// compacted chunks but before the manifest swap commits them, leaving
+    /// old and new layouts superposed for recovery to collapse.
+    StorePruneRace,
 }
 
 /// Number of distinct seams (sizes per-seam occurrence counters).
-pub const SEAM_COUNT: usize = 8;
+pub const SEAM_COUNT: usize = 13;
 
 impl Seam {
     /// Dense index used for counters and rate tables.
@@ -59,6 +78,11 @@ impl Seam {
             Seam::WriterPreInsert => 5,
             Seam::WriterPrePublish => 6,
             Seam::ReaderPreWalk => 7,
+            Seam::StoreTornWrite => 8,
+            Seam::StoreBitFlip => 9,
+            Seam::StorePartialCheckpoint => 10,
+            Seam::StoreStaleManifest => 11,
+            Seam::StorePruneRace => 12,
         }
     }
 
@@ -73,6 +97,11 @@ impl Seam {
             Seam::WriterPreInsert,
             Seam::WriterPrePublish,
             Seam::ReaderPreWalk,
+            Seam::StoreTornWrite,
+            Seam::StoreBitFlip,
+            Seam::StorePartialCheckpoint,
+            Seam::StoreStaleManifest,
+            Seam::StorePruneRace,
         ]
     }
 
@@ -87,7 +116,30 @@ impl Seam {
             Seam::WriterPreInsert => "writer-pre-insert",
             Seam::WriterPrePublish => "writer-pre-publish",
             Seam::ReaderPreWalk => "reader-pre-walk",
+            Seam::StoreTornWrite => "store-torn-write",
+            Seam::StoreBitFlip => "store-bit-flip",
+            Seam::StorePartialCheckpoint => "store-partial-checkpoint",
+            Seam::StoreStaleManifest => "store-stale-manifest",
+            Seam::StorePruneRace => "store-prune-race",
         }
+    }
+
+    /// Parses a [`Seam::label`] back into the seam (the `--seam` CLI flag).
+    pub fn from_label(label: &str) -> Option<Seam> {
+        Seam::all().into_iter().find(|s| s.label() == label)
+    }
+
+    /// `true` iff the seam sits in the durable-storage layer (its faults
+    /// corrupt bytes on the medium rather than perturbing the schedule).
+    pub fn is_storage(self) -> bool {
+        matches!(
+            self,
+            Seam::StoreTornWrite
+                | Seam::StoreBitFlip
+                | Seam::StorePartialCheckpoint
+                | Seam::StoreStaleManifest
+                | Seam::StorePruneRace
+        )
     }
 }
 
@@ -111,6 +163,11 @@ pub enum FaultAction {
     ///
     /// [`heal_after_poison`]: crate::blocktree::ConcurrentBlockTree::heal_after_poison
     Panic,
+    /// Corrupt the durable write crossing the seam (only meaningful at the
+    /// storage seams; the medium bridge in [`crate::storage`] translates it
+    /// into the seam's write fault — torn prefix, flipped bit or dropped
+    /// rename).
+    Corrupt,
 }
 
 /// One seam's arming: the action and how often it fires (percent, 0–100).
@@ -197,6 +254,34 @@ impl FaultPlan {
         plan
     }
 
+    /// **Torn storage**: block-record appends are torn to a prefix or bit
+    /// flipped on the durable medium while the usual install stalls keep
+    /// the schedule adversarial — recovery must quarantine the damage and
+    /// the replica must re-heal the gap from its in-memory peer.
+    pub fn torn_storage(seed: u64) -> Self {
+        let mut plan = FaultPlan::quiet(seed)
+            .arm(Seam::StoreTornWrite, FaultAction::Corrupt, 6)
+            .arm(Seam::StoreBitFlip, FaultAction::Corrupt, 5)
+            .arm(Seam::CasWinPreInstall, FaultAction::Pause(12), 25)
+            .arm(Seam::SnapshotPreInstall, FaultAction::Pause(12), 25);
+        plan.name = "torn-storage";
+        plan
+    }
+
+    /// **Checkpoint chaos**: checkpoint shadow writes are torn, manifest
+    /// swaps dropped (stale manifests), and the epilogue pruning compaction
+    /// crashes before its commit — recovery must fall back to the last
+    /// durable manifest and collapse the layout superposition.
+    pub fn checkpoint_chaos(seed: u64) -> Self {
+        let mut plan = FaultPlan::quiet(seed)
+            .arm(Seam::StorePartialCheckpoint, FaultAction::Corrupt, 40)
+            .arm(Seam::StoreStaleManifest, FaultAction::Corrupt, 40)
+            .arm(Seam::StorePruneRace, FaultAction::Corrupt, 100)
+            .arm(Seam::WriterPrePublish, FaultAction::Pause(6), 15);
+        plan.name = "checkpoint-chaos";
+        plan
+    }
+
     /// The arming of one seam.
     pub fn arm_of(&self, seam: Seam) -> SeamArm {
         self.arms[seam.index()]
@@ -206,9 +291,45 @@ impl FaultPlan {
     pub fn is_armed(&self) -> bool {
         self.arms.iter().any(|a| a.rate_percent > 0)
     }
+
+    /// `true` iff `seam` is armed (non-zero rate).
+    pub fn arms_seam(&self, seam: Seam) -> bool {
+        self.arm_of(seam).rate_percent > 0
+    }
+
+    /// `true` iff the plan arms any [storage seam](Seam::is_storage) — such
+    /// plans make their chaos cells attach a durable store and run the
+    /// crash/recover/heal epilogue.
+    pub fn arms_storage(&self) -> bool {
+        Seam::all()
+            .into_iter()
+            .any(|s| s.is_storage() && self.arms_seam(s))
+    }
+
+    /// The deterministic trigger decision: what fires at `seam` for
+    /// `client`'s `occurrence`-th crossing.  This is the pure function
+    /// behind [`FaultSession::decide`]; the storage bridge calls it with
+    /// its own occurrence counters.
+    pub fn decide(&self, client: usize, seam: Seam, occurrence: u32) -> FaultAction {
+        let arm = self.arm_of(seam);
+        if arm.rate_percent == 0 {
+            return FaultAction::Proceed;
+        }
+        let mixed = splitmix64(
+            self.seed
+                ^ (client as u64).wrapping_mul(0xA076_1D64_78BD_642F)
+                ^ ((seam.index() as u64) << 32)
+                ^ u64::from(occurrence),
+        );
+        if mixed % 100 < u64::from(arm.rate_percent) {
+            arm.action
+        } else {
+            FaultAction::Proceed
+        }
+    }
 }
 
-fn splitmix64(mut z: u64) -> u64 {
+pub(crate) fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -254,24 +375,13 @@ impl<'a> FaultSession<'a> {
         let Some(plan) = self.plan else {
             return FaultAction::Proceed;
         };
-        let arm = plan.arm_of(seam);
         let occurrence = self.hits[seam.index()];
         self.hits[seam.index()] = occurrence.wrapping_add(1);
-        if arm.rate_percent == 0 {
-            return FaultAction::Proceed;
-        }
-        let mixed = splitmix64(
-            plan.seed
-                ^ (self.client as u64).wrapping_mul(0xA076_1D64_78BD_642F)
-                ^ ((seam.index() as u64) << 32)
-                ^ u64::from(occurrence),
-        );
-        if mixed % 100 < u64::from(arm.rate_percent) {
+        let action = plan.decide(self.client, seam, occurrence);
+        if action != FaultAction::Proceed {
             self.injected += 1;
-            arm.action
-        } else {
-            FaultAction::Proceed
         }
+        action
     }
 
     /// Decides and *executes* the scheduling-only actions: pauses yield in
@@ -338,10 +448,51 @@ mod tests {
             FaultPlan::stalled_winners(1),
             FaultPlan::contention_storm(1),
             FaultPlan::token_chaos(1),
+            FaultPlan::torn_storage(1),
+            FaultPlan::checkpoint_chaos(1),
         ] {
             assert!(plan.is_armed(), "{} must arm at least one seam", plan.name);
         }
         assert!(!FaultPlan::quiet(1).is_armed());
+    }
+
+    #[test]
+    fn seam_labels_round_trip_and_storage_seams_are_flagged() {
+        for seam in Seam::all() {
+            assert_eq!(Seam::from_label(seam.label()), Some(seam));
+        }
+        assert_eq!(Seam::from_label("no-such-seam"), None);
+        let storage: Vec<Seam> = Seam::all().into_iter().filter(|s| s.is_storage()).collect();
+        assert_eq!(storage.len(), 5, "exactly the five storage seams");
+        assert!(!Seam::CasPreConsume.is_storage());
+    }
+
+    #[test]
+    fn storage_plans_arm_storage_and_schedule_plans_do_not() {
+        assert!(FaultPlan::torn_storage(1).arms_storage());
+        assert!(FaultPlan::checkpoint_chaos(1).arms_storage());
+        assert!(FaultPlan::checkpoint_chaos(1).arms_seam(Seam::StorePruneRace));
+        assert!(!FaultPlan::torn_storage(1).arms_seam(Seam::StorePruneRace));
+        for plan in [
+            FaultPlan::quiet(1),
+            FaultPlan::stalled_winners(1),
+            FaultPlan::contention_storm(1),
+            FaultPlan::token_chaos(1),
+        ] {
+            assert!(!plan.arms_storage(), "{} must not arm storage", plan.name);
+        }
+    }
+
+    #[test]
+    fn plan_decide_matches_the_session_stream() {
+        let plan = FaultPlan::torn_storage(17);
+        let mut session = FaultSession::new(&plan, 3);
+        for occurrence in 0..32u32 {
+            assert_eq!(
+                session.decide(Seam::StoreTornWrite),
+                plan.decide(3, Seam::StoreTornWrite, occurrence),
+            );
+        }
     }
 
     #[test]

@@ -44,7 +44,11 @@
 //!   interleavings to the SC/EC criterion checkers of `btadt-core`;
 //! * [`fault`] — deterministic seam-point fault injection (seeded plans
 //!   forcing CAS losses, stalled installs, duplicated/dropped consumes,
-//!   poisoned writer locks);
+//!   poisoned writer locks, corrupted durable writes);
+//! * [`storage`] — the bridge from fault plans to the durable medium of
+//!   `btadt-store`: plans arming the storage seams corrupt the replica's
+//!   chunk/checkpoint writes, and the chaos epilogue crashes, recovers
+//!   and peer-heals the store back to store↔tree agreement;
 //! * [`chaos`] — the chaos driver: a grid of `(seed, plan, threads, path)`
 //!   cells, each re-running the workload under injected faults with a
 //!   background invariant monitor, asserting the Theorem 4.1–4.3 verdicts
@@ -64,6 +68,7 @@ pub mod prodigal_from_snapshot;
 pub mod recorder;
 pub mod register;
 pub mod snapshot;
+pub mod storage;
 pub mod store;
 
 pub use blocktree::{
@@ -82,4 +87,5 @@ pub use prodigal_from_snapshot::SnapshotConsumeToken;
 pub use recorder::{RecorderHub, ThreadRecorder};
 pub use register::AtomicRegister;
 pub use snapshot::AtomicSnapshot;
+pub use storage::{crash_recover_heal, faulted_store, PlanInjector, StorageReport, STORAGE_CLIENT};
 pub use store::{SnapshotStore, SnapshotView, StoreExhausted};

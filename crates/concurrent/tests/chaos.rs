@@ -1,13 +1,17 @@
 //! The chaos grid: Theorem 4.1–4.3 verdicts under injected fault schedules.
 //!
-//! ISSUE 6's acceptance gate for the shared-memory layer: a grid of at
-//! least 3 seeds × 3 fault plans × {1, 2, 4} client threads, each cell
-//! re-running the workload driver with seam-point faults armed (stalled
-//! CAS winners, pre-consume contention storms, duplicated/dropped prodigal
-//! consumes, paused readers) while a background monitor recomputes the
-//! tree's structural invariants.  Every frugal/CAS cell must still admit
-//! **BT Strong Consistency** and every prodigal/snapshot cell **BT
-//! Eventual Consistency** — the reductions' guarantees are
+//! ISSUE 6's acceptance gate for the shared-memory layer, grown a storage
+//! dimension by ISSUE 7: a grid of at least 3 seeds × 5 fault plans ×
+//! {1, 2, 4} client threads, each cell re-running the workload driver with
+//! seam-point faults armed (stalled CAS winners, pre-consume contention
+//! storms, duplicated/dropped prodigal consumes, paused readers — and,
+//! for the storage plans, torn/bit-flipped chunk writes, partial
+//! checkpoints, stale manifests and crashed pruning compactions on a
+//! durable store) while a background monitor recomputes the tree's
+//! structural invariants.  Every frugal/CAS cell must still admit **BT
+//! Strong Consistency**, every prodigal/snapshot cell **BT Eventual
+//! Consistency**, and every storage cell must recover + peer-heal its
+//! store back to store↔tree agreement — the reductions' guarantees are
 //! schedule-independent, and the injected schedules are exactly the ones a
 //! fair scheduler almost never produces.
 
@@ -38,8 +42,8 @@ fn the_full_chaos_grid_is_clean() {
     let cells = full_grid();
     assert_eq!(
         cells.len(),
-        3 * 3 * 3 * 2,
-        "3 seeds x 3 plans x 3 thread counts x 2 paths"
+        3 * 5 * 3 * 2,
+        "3 seeds x 5 plans x 3 thread counts x 2 paths"
     );
     let outcomes = chaos_grid(&cells, 2);
     let dirty: Vec<String> = outcomes
@@ -66,6 +70,24 @@ fn the_full_chaos_grid_is_clean() {
             .filter(|o| o.path == "eventual-snapshot" && o.threads > 1)
             .any(|o| o.max_fork_degree > 1),
         "the prodigal path under chaos should fork somewhere"
+    );
+    // The storage dimension: both storage plans ran their epilogue on
+    // every (seed, threads, path) combination, the injected corruption
+    // cost real blocks somewhere, and healing closed every gap (a dirty
+    // heal would have failed `is_clean` above).
+    let storage: Vec<_> = outcomes.iter().filter(|o| o.storage).collect();
+    assert_eq!(storage.len(), 3 * 2 * 3 * 2, "2 of the 5 plans arm storage");
+    assert!(
+        storage
+            .iter()
+            .any(|o| o.storage_report.as_ref().unwrap().healed > 0),
+        "seeded corruption should cost at least one durable block somewhere"
+    );
+    assert!(
+        storage
+            .iter()
+            .any(|o| o.storage_report.as_ref().unwrap().prune_raced),
+        "the checkpoint-chaos cells run the prune-race drill"
     );
 }
 

@@ -22,10 +22,10 @@
 //! Violations are reported, not panicked, so background monitor threads can
 //! collect them and fail a run at the end with context.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 
-use btadt_types::{BlockId, BlockTree};
+use btadt_types::{Block, BlockId, BlockTree, GENESIS_ID};
 
 /// One detected violation of a BlockTree structural invariant.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -201,6 +201,87 @@ pub fn check_block_tree(tree: &BlockTree) -> Vec<InvariantViolation> {
     out
 }
 
+/// Checks that a durable block set agrees with a (possibly pruned)
+/// resident tree — the store↔tree contract of a checkpointed replica:
+///
+/// 1. **No duplicates** — the durable set stores each block id once.
+/// 2. **Tree ⊆ store** — every resident block except the implicit genesis
+///    is durable, and the durable copy is field-for-field identical.  The
+///    tree's root is exempted from the parent-pointer comparison: a pruned
+///    window's root is a boundary copy whose parent link was deliberately
+///    cleared by rerooting, while the durable copy keeps the true pointer.
+/// 3. **Store ⊆ tree above the floor** — every durable block strictly above
+///    the tree root's height (the pruning floor) is resident; below the
+///    floor the store legitimately holds cold history the tree dropped.
+///
+/// `stored` is the decoded durable set (e.g. `BlockStore::blocks()` from
+/// `btadt-store`); taking plain blocks keeps this crate free of a store
+/// dependency, so the check runs against any durable backend.
+pub fn check_store_tree_agreement(tree: &BlockTree, stored: &[Block]) -> Vec<InvariantViolation> {
+    let mut out = Vec::new();
+    let floor = tree.genesis().height;
+    let root_id = tree.genesis().id;
+    let mut by_id: HashMap<BlockId, &Block> = HashMap::with_capacity(stored.len());
+    for block in stored {
+        if by_id.insert(block.id, block).is_some() {
+            out.push(violation(
+                "store-agree",
+                Some(block.id),
+                "stored more than once".to_string(),
+            ));
+        }
+    }
+
+    for block in tree.blocks() {
+        if block.id == GENESIS_ID {
+            // The genesis block is implicit everywhere and never persisted.
+            continue;
+        }
+        match by_id.get(&block.id) {
+            None => out.push(violation(
+                "store-agree",
+                Some(block.id),
+                "resident in the tree but not durable".to_string(),
+            )),
+            Some(durable) => {
+                let agrees = if block.id == root_id {
+                    let mut normalized = (*durable).clone();
+                    normalized.parent = block.parent;
+                    normalized == *block
+                } else {
+                    **durable == *block
+                };
+                if !agrees {
+                    out.push(violation(
+                        "store-agree",
+                        Some(block.id),
+                        format!(
+                            "durable copy (height {}, work {}) disagrees with the \
+                             resident block (height {}, work {})",
+                            durable.height, durable.work, block.height, block.work
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    for block in stored {
+        if block.height > floor && !tree.contains(block.id) {
+            out.push(violation(
+                "store-agree",
+                Some(block.id),
+                format!(
+                    "durable at height {} above the pruning floor {floor} but not resident",
+                    block.height
+                ),
+            ));
+        }
+    }
+
+    out
+}
+
 /// [`check_block_tree`] as a `Result`, surfacing the first violation.
 pub fn assert_block_tree(tree: &BlockTree) -> Result<(), InvariantViolation> {
     match check_block_tree(tree).into_iter().next() {
@@ -244,6 +325,62 @@ mod tests {
         // first line of defence the checker backstops.
         assert!(tree.insert(b).is_err());
         assert!(check_block_tree(&tree).is_empty());
+    }
+
+    #[test]
+    fn store_tree_agreement_accepts_a_faithful_mirror() {
+        let tree = Workload::new(11).random_tree(60, 0.5, 0);
+        let stored: Vec<Block> = tree.blocks().filter(|b| !b.is_genesis()).cloned().collect();
+        assert!(check_store_tree_agreement(&tree, &stored).is_empty());
+    }
+
+    #[test]
+    fn store_tree_agreement_reports_gaps_duplicates_and_strays() {
+        let mut tree = BlockTree::new();
+        let a = BlockBuilder::new(tree.genesis()).nonce(1).build();
+        let b = BlockBuilder::new(&a).nonce(2).build();
+        tree.insert(a.clone()).unwrap();
+        tree.insert(b.clone()).unwrap();
+        // Gap: `b` resident but not durable.
+        let gaps = check_store_tree_agreement(&tree, std::slice::from_ref(&a));
+        assert_eq!(gaps.len(), 1);
+        assert_eq!(gaps[0].block, Some(b.id));
+        assert!(gaps[0].detail.contains("not durable"));
+        // Duplicate durable copy.
+        let dups = check_store_tree_agreement(&tree, &[a.clone(), a.clone(), b.clone()]);
+        assert!(dups.iter().any(|v| v.detail.contains("more than once")));
+        // A stray durable block above the floor that the tree never saw.
+        let stray = BlockBuilder::new(&a).nonce(99).build();
+        let strays = check_store_tree_agreement(&tree, &[a.clone(), b.clone(), stray.clone()]);
+        assert_eq!(strays.len(), 1);
+        assert_eq!(strays[0].block, Some(stray.id));
+        assert!(strays[0].detail.contains("not resident"));
+        // A forged durable copy under the resident block's id.
+        let mut forged = b.clone();
+        forged.work += 1;
+        let forgeries = check_store_tree_agreement(&tree, &[a, forged]);
+        assert!(forgeries.iter().any(|v| v.detail.contains("disagrees")));
+    }
+
+    #[test]
+    fn store_tree_agreement_exempts_the_pruned_boundary_and_cold_history() {
+        let mut full = BlockTree::new();
+        let a = BlockBuilder::new(full.genesis()).nonce(1).build();
+        let b = BlockBuilder::new(&a).nonce(2).build();
+        let c = BlockBuilder::new(&b).nonce(3).build();
+        for blk in [&a, &b, &c] {
+            full.insert(blk.clone()).unwrap();
+        }
+        // A hot window rooted at `b`: the resident root is a boundary copy
+        // with its parent pointer cleared, the store keeps the true block.
+        let mut window = BlockTree::rerooted(b.clone());
+        window.insert(c.clone()).unwrap();
+        let stored = vec![a, b, c];
+        let violations = check_store_tree_agreement(&window, &stored);
+        assert!(
+            violations.is_empty(),
+            "boundary copy and cold spine are legitimate: {violations:?}"
+        );
     }
 
     #[test]

@@ -47,7 +47,9 @@ pub use criteria::{
     eventual_consistency, strong_consistency, BlockValidity, EventualPrefix, EverGrowingTree,
     LocalMonotonicRead, StrongPrefix,
 };
-pub use invariant::{assert_block_tree, check_block_tree, InvariantViolation};
+pub use invariant::{
+    assert_block_tree, check_block_tree, check_store_tree_agreement, InvariantViolation,
+};
 pub use ops::{BtHistory, BtOperation, BtRecorder, BtResponse};
 pub use refinement::{RefinedBlockTree, RefinementOutcome};
 pub use replica::{BtReplica, ReplicatedRun};

@@ -36,9 +36,21 @@
 //!   costs `ceil(missing / MAX_SYNC_BATCH)` rounds.
 //! * **Write-ahead journal** — every applied block is appended to a
 //!   [`Journal`]; [`GossipSync::crash_restart`] replays it so a recovering
-//!   process only delta-syncs the gap (see [`RecoveryMode`]).
+//!   process only delta-syncs the gap (see [`RecoveryMode`]).  Replay is
+//!   **idempotent**: already-present blocks are skipped and replay never
+//!   re-journals, so a crash *during* replay followed by a second recovery
+//!   ([`GossipSync::resume_replay`]) applies only the unreplayed tail and a
+//!   double replay of the same WAL is a no-op.
+//! * **Durable checkpoint store** — a replica built with
+//!   [`GossipSync::with_durable_store`] mirrors every applied block into a
+//!   `btadt-store` [`BlockStore`] (chunked, checksummed, atomically
+//!   checkpointed).  [`RecoveryMode::Checkpoint`] rejoins run the store's
+//!   verifying recovery pipeline instead of the WAL: torn tails are
+//!   truncated, corrupt chunks quarantined, and whatever corruption cost is
+//!   healed by the same delta-sync machinery that covers the churn gap.
 
 use btadt_netsim::{Context, SimTime};
+use btadt_store::{BlockStore, RecoveryReport};
 use btadt_types::{Block, BlockBuilder, BlockId, BlockTree, Transaction};
 
 use crate::extract::ReplicaLog;
@@ -196,6 +208,12 @@ pub struct GossipSync {
     health: Vec<i32>,
     stats: SyncStats,
     journal: Journal,
+    /// Durable chunked block store, when the replica runs in
+    /// [`RecoveryMode::Checkpoint`].  Every applied block is mirrored here
+    /// (deduplicated by id), and a checkpoint rejoin recovers from it.
+    store: Option<BlockStore>,
+    /// Report of the most recent checkpoint recovery, if any.
+    last_recovery: Option<RecoveryReport>,
 }
 
 impl GossipSync {
@@ -213,7 +231,27 @@ impl GossipSync {
             health: Vec::new(),
             stats: SyncStats::default(),
             journal: Journal::new(),
+            store: None,
+            last_recovery: None,
         }
+    }
+
+    /// Attaches a durable chunked block store; from now on every applied
+    /// block is mirrored into it and [`RecoveryMode::Checkpoint`] rejoins
+    /// recover from it.
+    pub fn with_durable_store(mut self, store: BlockStore) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// The attached durable store, if any.
+    pub fn durable_store(&self) -> Option<&BlockStore> {
+        self.store.as_ref()
+    }
+
+    /// The report of the most recent checkpoint recovery, if one ran.
+    pub fn last_recovery_report(&self) -> Option<&RecoveryReport> {
+        self.last_recovery.as_ref()
     }
 
     /// The replica's local block tree.
@@ -376,6 +414,16 @@ impl GossipSync {
     }
 
     fn journal_applied(&mut self, block: Block) {
+        // Persist before journaling: the durable store is the medium a
+        // checkpoint recovery trusts, so a block must never be observable
+        // in the volatile WAL without also having been handed to the
+        // store.  Dedup by id — a block recovered from the store and later
+        // re-applied via orphan drain must not grow a duplicate record.
+        if let Some(store) = self.store.as_mut() {
+            if !store.contains(block.id) {
+                store.append(&block);
+            }
+        }
         let kind = if block.producer == self.id as u32 {
             JournalKind::Mined
         } else {
@@ -533,36 +581,113 @@ impl GossipSync {
             RecoveryMode::Retain => 0,
             RecoveryMode::Restart => self.crash_restart(false),
             RecoveryMode::Journal => self.crash_restart(true),
+            RecoveryMode::Checkpoint => self.crash_recover_checkpoint(),
         }
+    }
+
+    /// Wipes all volatile state (tree, orphans, sync floor, pending
+    /// request, peer health) — what any flavour of crash loses.
+    fn wipe_volatile(&mut self) {
+        self.tree = BlockTree::new();
+        self.orphans.clear();
+        self.sync_floor = None;
+        self.pending = None;
+        self.health.clear();
+    }
+
+    /// Replays up to `limit` journal entries (all of them when `None`) into
+    /// the current tree, in sequence order.  Replay is **idempotent**:
+    /// blocks already in the tree are skipped, and nothing is re-journaled
+    /// — so replaying the same WAL twice is a no-op, and a replay
+    /// interrupted mid-way can simply be run again.  Replay bypasses the
+    /// replica log (those applications were recorded before the crash).
+    /// Returns the number of blocks newly applied.
+    fn replay_journal(&mut self, limit: Option<usize>) -> usize {
+        let take = limit.unwrap_or(self.journal.len());
+        let blocks: Vec<Block> = self.journal.blocks().take(take).cloned().collect();
+        let mut replayed = 0usize;
+        for block in blocks {
+            if !self.tree.contains(block.id) && self.tree.insert(block).is_ok() {
+                replayed += 1;
+            }
+        }
+        self.stats.replayed_blocks += replayed as u64;
+        replayed
     }
 
     /// Simulates a crash-restart: all volatile state (tree, orphans, sync
     /// floor, peer health) is wiped.  With `replay`, the write-ahead
     /// journal — the durable part of the process — is replayed first, in
     /// sequence order, rebuilding the pre-crash tree; without it the
-    /// journal is lost too and the tree restarts from genesis.  Replay
-    /// bypasses the replica log (those applications were already recorded
-    /// before the crash) and does not re-journal.  Returns the number of
-    /// blocks replayed.
+    /// journal is lost too and the tree restarts from genesis.  Returns the
+    /// number of blocks replayed.
     pub fn crash_restart(&mut self, replay: bool) -> usize {
-        self.tree = BlockTree::new();
-        self.orphans.clear();
-        self.sync_floor = None;
-        self.pending = None;
-        self.health.clear();
-        let mut replayed = 0usize;
+        self.wipe_volatile();
         if replay {
-            let blocks: Vec<Block> = self.journal.blocks().cloned().collect();
-            for block in blocks {
-                if !self.tree.contains(block.id) && self.tree.insert(block).is_ok() {
-                    replayed += 1;
-                }
-            }
+            self.replay_journal(None)
         } else {
             self.journal.clear();
+            0
         }
-        self.stats.replayed_blocks += replayed as u64;
-        replayed
+    }
+
+    /// Simulates a crash that strikes *again* in the middle of journal
+    /// replay: volatile state is wiped and only the first `after` WAL
+    /// entries are applied before the process dies once more.  The journal
+    /// itself — durable storage — is untouched, so a subsequent
+    /// [`GossipSync::resume_replay`] (or full [`GossipSync::crash_restart`])
+    /// completes the recovery.  Returns the number of blocks applied before
+    /// the second crash.
+    pub fn crash_restart_interrupted(&mut self, after: usize) -> usize {
+        self.wipe_volatile();
+        self.replay_journal(Some(after))
+    }
+
+    /// Re-runs a full journal replay over the *current* tree without wiping
+    /// anything — how a process recovering from a crash-during-replay picks
+    /// up where the interrupted replay left off.  Because replay is
+    /// idempotent, the already-applied prefix contributes nothing and only
+    /// the unreplayed tail counts.  Returns the number of blocks newly
+    /// applied.
+    pub fn resume_replay(&mut self) -> usize {
+        self.replay_journal(None)
+    }
+
+    /// Simulates a crash-recovery from the durable chunked store: volatile
+    /// state *and* the volatile WAL are wiped (in checkpoint mode the store
+    /// is the durable medium, not the journal), the store's verifying
+    /// recovery pipeline runs (truncating torn tails, quarantining corrupt
+    /// chunks), and the surviving blocks are re-inserted parents-first.
+    /// Survivors whose ancestry was lost to corruption are buffered as
+    /// orphans so the ordinary delta-sync machinery heals the gap.  Without
+    /// an attached store this degrades to a bare restart.  Returns the
+    /// number of blocks restored from the store.
+    pub fn crash_recover_checkpoint(&mut self) -> usize {
+        self.wipe_volatile();
+        self.journal.clear();
+        let Some(store) = self.store.take() else {
+            return 0;
+        };
+        let config = store.config();
+        let (recovered, report, mut survivors) = BlockStore::recover(store.into_medium(), config);
+        self.last_recovery = Some(report);
+        self.store = Some(recovered);
+        survivors.sort_by_key(|b| (b.height, b.id));
+        let mut restored = 0usize;
+        for block in survivors {
+            if self.tree.contains(block.id) {
+                continue;
+            }
+            if self.tree.insert(block.clone()).is_ok() {
+                restored += 1;
+            } else {
+                // Ancestry lost to corruption: buffer so delta sync can
+                // re-attach it once the gap is fetched from a peer.
+                self.orphans.push(block);
+            }
+        }
+        self.stats.replayed_blocks += restored as u64;
+        restored
     }
 }
 
@@ -634,6 +759,116 @@ mod tests {
         assert_eq!(lost, 0);
         assert!(!sync.contains(a.id));
         assert!(sync.journal().is_empty());
+    }
+
+    #[test]
+    fn a_crash_during_replay_recovers_by_replaying_again() {
+        // Satellite regression: the WAL replay must be idempotent, so a
+        // process that crashes *during* journal replay recovers by simply
+        // replaying the whole journal once more — the already-applied
+        // prefix is a no-op and only the tail counts.
+        let mut sync = GossipSync::new(0);
+        let mut log = ReplicaLog::new();
+        let genesis = Block::genesis();
+        let a = BlockBuilder::new(&genesis).producer(0).nonce(1).build();
+        let b = BlockBuilder::new(&a).producer(1).nonce(2).build();
+        let c = BlockBuilder::new(&b).producer(2).nonce(3).build();
+        for (t, block) in [&a, &b, &c].into_iter().enumerate() {
+            assert!(sync.insert_with_orphans(SimTime(t as u64), block.clone(), &mut log));
+        }
+        assert_eq!(sync.journal().len(), 3);
+
+        // First crash; replay dies after 2 of the 3 entries.
+        let partial = sync.crash_restart_interrupted(2);
+        assert_eq!(partial, 2);
+        assert!(sync.contains(b.id) && !sync.contains(c.id));
+        assert_eq!(sync.journal().len(), 3, "the WAL itself is durable");
+
+        // Second recovery: full replay over the half-restored tree.
+        let resumed = sync.resume_replay();
+        assert_eq!(resumed, 1, "only the unreplayed tail applies");
+        assert!(sync.contains(c.id));
+
+        // Replaying the same WAL twice is a no-op.
+        assert_eq!(sync.resume_replay(), 0);
+        assert_eq!(sync.journal().len(), 3, "replay never re-journals");
+        assert_eq!(sync.stats().replayed_blocks, 3);
+
+        // The full crash_restart path is equally idempotent.
+        assert_eq!(sync.crash_restart(true), 3);
+        assert_eq!(sync.crash_restart(true), 3);
+        assert_eq!(sync.journal().len(), 3);
+    }
+
+    #[test]
+    fn checkpoint_recovery_restores_from_the_durable_store() {
+        use btadt_store::{SimMedium, StoreConfig};
+        let store = BlockStore::create(SimMedium::new(), StoreConfig::small());
+        let mut sync = GossipSync::new(0).with_durable_store(store);
+        let mut log = ReplicaLog::new();
+        let genesis = Block::genesis();
+        let mut parent = genesis.clone();
+        let mut blocks = Vec::new();
+        for nonce in 1..=20u64 {
+            let b = BlockBuilder::new(&parent).producer(0).nonce(nonce).build();
+            parent = b.clone();
+            assert!(sync.insert_with_orphans(SimTime(nonce), b.clone(), &mut log));
+            blocks.push(b);
+        }
+        assert_eq!(sync.durable_store().unwrap().blocks().len(), 20);
+
+        let restored = sync.note_rejoin(RecoveryMode::Checkpoint);
+        assert_eq!(restored, 20, "every durable block comes back");
+        for b in &blocks {
+            assert!(sync.contains(b.id));
+        }
+        let report = sync.last_recovery_report().expect("recovery ran");
+        assert_eq!(report.blocks_recovered, 20);
+        assert!(
+            sync.journal().is_empty(),
+            "in checkpoint mode the WAL is volatile and dies with the crash"
+        );
+        // The recovered store keeps mirroring: a fresh apply is persisted,
+        // and re-applying a recovered block does not duplicate its record.
+        let next = BlockBuilder::new(&parent).producer(0).nonce(99).build();
+        assert!(sync.insert_with_orphans(SimTime(99), next.clone(), &mut log));
+        assert!(sync.durable_store().unwrap().contains(next.id));
+        assert_eq!(sync.durable_store().unwrap().blocks().len(), 21);
+    }
+
+    #[test]
+    fn checkpoint_recovery_buffers_corruption_gaps_as_orphans() {
+        use btadt_store::{SimMedium, StoreConfig};
+        let store = BlockStore::create(SimMedium::new(), StoreConfig::small());
+        let mut sync = GossipSync::new(0).with_durable_store(store);
+        let mut log = ReplicaLog::new();
+        let genesis = Block::genesis();
+        let mut parent = genesis.clone();
+        for nonce in 1..=20u64 {
+            let b = BlockBuilder::new(&parent).producer(0).nonce(nonce).build();
+            parent = b.clone();
+            sync.insert_with_orphans(SimTime(nonce), b, &mut log);
+        }
+        // Flip a bit inside the first sealed chunk: recovery quarantines
+        // the chunk, losing mid-chain ancestry, so the surviving upper
+        // blocks cannot attach and must wait for delta sync.
+        let medium = sync.store.as_mut().unwrap().medium_mut();
+        let chunk = medium
+            .list()
+            .into_iter()
+            .find(|f| f.starts_with("chunk-"))
+            .expect("a sealed chunk exists");
+        assert!(medium.corrupt_bit(&chunk, 40));
+
+        let restored = sync.note_rejoin(RecoveryMode::Checkpoint);
+        let report = *sync.last_recovery_report().expect("recovery ran");
+        assert!(report.chunks_quarantined >= 1, "{report:?}");
+        assert!(restored < 20, "the quarantined chunk cost blocks");
+        assert!(
+            !sync.orphans.is_empty(),
+            "survivors above the gap wait as orphans for delta sync"
+        );
+        assert!(restored + sync.orphans.len() <= 20);
     }
 
     #[test]

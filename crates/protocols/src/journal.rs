@@ -107,6 +107,14 @@ pub enum RecoveryMode {
     /// Crash then recover from the write-ahead journal: replay the WAL
     /// first, then delta-sync only the gap missed while down.
     Journal,
+    /// Crash then recover from the durable chunked block store of
+    /// `btadt-store`: run the checksum-verifying recovery pipeline
+    /// (truncate the torn tail, quarantine corrupt chunks), replay the
+    /// surviving blocks orphan-tolerantly, and delta-sync both the churn
+    /// gap *and* whatever corruption cost.  Requires a store attached via
+    /// `GossipSync::with_durable_store`; without one it degrades to
+    /// [`RecoveryMode::Restart`].
+    Checkpoint,
 }
 
 impl RecoveryMode {
@@ -116,6 +124,7 @@ impl RecoveryMode {
             RecoveryMode::Retain => "retain",
             RecoveryMode::Restart => "restart",
             RecoveryMode::Journal => "journal",
+            RecoveryMode::Checkpoint => "checkpoint",
         }
     }
 }
@@ -157,5 +166,6 @@ mod tests {
         assert_eq!(RecoveryMode::Retain.label(), "retain");
         assert_eq!(RecoveryMode::Restart.label(), "restart");
         assert_eq!(RecoveryMode::Journal.label(), "journal");
+        assert_eq!(RecoveryMode::Checkpoint.label(), "checkpoint");
     }
 }

@@ -15,6 +15,7 @@ use std::sync::Arc;
 
 use btadt_netsim::{Context, Process, SimTime};
 use btadt_oracle::{Cell, Tape};
+use btadt_store::{BlockStore, SimMedium, StoreConfig};
 use btadt_types::{BlockTree, Blockchain, SelectionFunction};
 
 use crate::extract::ReplicaLog;
@@ -66,11 +67,22 @@ impl PowReplica {
     /// Creates a replica.
     pub fn new(id: usize, config: PowConfig) -> Self {
         let tape = Tape::new(config.seed, id as u64, config.success_probability);
+        let mut sync = GossipSync::new(id);
+        if config.recovery == RecoveryMode::Checkpoint {
+            // Checkpoint mode persists to a durable chunked store instead of
+            // the volatile WAL: seal often enough that a mid-run crash finds
+            // most of the history behind a committed checkpoint.
+            let store_config = StoreConfig {
+                chunk_capacity: 64,
+                auto_checkpoint_every: 32,
+            };
+            sync = sync.with_durable_store(BlockStore::create(SimMedium::new(), store_config));
+        }
         PowReplica {
             id,
             config,
             tape,
-            sync: GossipSync::new(id),
+            sync,
             last_read_score: 0,
             next_tx: 1,
             log: ReplicaLog::new(),
@@ -95,6 +107,12 @@ impl PowReplica {
     /// Current incarnation (bumped on every churn rejoin).
     pub fn incarnation(&self) -> u32 {
         self.sync.incarnation()
+    }
+
+    /// The durable chunked store, when running in
+    /// [`RecoveryMode::Checkpoint`].
+    pub fn durable_store(&self) -> Option<&BlockStore> {
+        self.sync.durable_store()
     }
 
     /// The chain currently selected by the replica.
@@ -437,6 +455,50 @@ mod tests {
         );
         // Both recoveries still converge with the network on the selected chain.
         for replicas in [&journaled, &restarted] {
+            let tips: Vec<_> = replicas.iter().map(|r| r.selected().tip().id).collect();
+            assert!(tips.iter().all(|&t| t == tips[0]), "tips {tips:?}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_recovery_preserves_self_mined_blocks_a_restart_loses() {
+        // The durable chunked store carries the same guarantee the WAL
+        // does — a crash never loses a self-mined block that nobody else
+        // holds — but through the full checksum-verifying recovery
+        // pipeline instead of a journal replay.
+        let checkpointed = isolated_miner_run(RecoveryMode::Checkpoint);
+        let restarted = isolated_miner_run(RecoveryMode::Restart);
+        let mined_in_isolation = |r: &PowReplica| {
+            r.log
+                .created
+                .iter()
+                .filter(|(at, _)| at.0 >= 80 && at.0 < 100)
+                .map(|(_, b)| b.id)
+                .collect::<Vec<_>>()
+        };
+        let iso_c = mined_in_isolation(&checkpointed[3]);
+        let iso_r = mined_in_isolation(&restarted[3]);
+        assert!(
+            !iso_c.is_empty() && !iso_r.is_empty(),
+            "the isolated window must see mining activity"
+        );
+        assert!(
+            iso_c.iter().all(|&id| checkpointed[3].tree().contains(id)),
+            "checkpoint recovery restored every isolated self-mined block"
+        );
+        assert!(
+            iso_r.iter().any(|&id| !restarted[3].tree().contains(id)),
+            "restart without durable storage must lose the isolated blocks"
+        );
+        let store = checkpointed[3].durable_store().expect("store attached");
+        assert!(
+            iso_c.iter().all(|&id| store.contains(id)),
+            "the recovered store still holds the isolated blocks"
+        );
+        assert!(checkpointed[3].sync_stats().replayed_blocks > 0);
+        assert_eq!(checkpointed[3].sync_stats().rejoins, 1);
+        // Both recoveries still converge with the network.
+        for replicas in [&checkpointed, &restarted] {
             let tips: Vec<_> = replicas.iter().map(|r| r.selected().tip().id).collect();
             assert!(tips.iter().all(|&t| t == tips[0]), "tips {tips:?}");
         }

@@ -1,0 +1,345 @@
+//! Block record encoding with per-record checksums.
+//!
+//! Each block persists as one length-prefixed record:
+//!
+//! ```text
+//! [u32 body_len][body][u64 checksum64(body)]
+//! ```
+//!
+//! The body serialises every [`Block`] field little-endian (a flag byte
+//! marks the optional parent), and the trailing checksum is FNV-1a over the
+//! body — the same structural-hash family the block identifiers use, which
+//! is exactly the right strength here: the store defends against *media*
+//! faults (torn tails, flipped bits, lost pages), not against adversarial
+//! forgery, which the paper's model never relies on (see DESIGN.md).
+//!
+//! Decoding distinguishes the two failure shapes recovery treats
+//! differently: [`DecodeError::Truncated`] (the record runs past the end of
+//! the buffer — a torn tail, or a length field mangled upward) and
+//! [`DecodeError::Corrupt`] (the record is self-delimiting but its checksum
+//! or structural identifier disagrees — salvage can skip it and continue at
+//! the next record boundary).
+
+use btadt_types::{Block, BlockId, Transaction};
+
+/// Upper bound on a record body; a decoded length above this is treated as
+/// corruption rather than an allocation request.
+pub const MAX_RECORD_BYTES: usize = 1 << 20;
+
+/// Streaming FNV-1a: the chunk checksum is maintained incrementally as
+/// records are appended, so sealing a chunk never re-reads it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+impl Fnv64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv64(Self::OFFSET)
+    }
+
+    /// Feeds bytes into the running hash.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// The hash of everything fed so far (non-consuming).
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// FNV-1a over a byte slice — the record and chunk checksum function.
+pub fn checksum64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.update(bytes);
+    h.finish()
+}
+
+/// A decoding failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ends before the record does: a torn tail (or a length
+    /// field corrupted past the end — indistinguishable, and treated the
+    /// same way: everything from here on is lost).
+    Truncated,
+    /// The record is self-delimiting but its contents fail verification;
+    /// the byte offset just past it is recoverable, so salvage can skip it.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "record truncated"),
+            DecodeError::Corrupt(why) => write!(f, "record corrupt: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn get_u32(buf: &[u8], off: &mut usize) -> Result<u32, DecodeError> {
+    let end = off.checked_add(4).ok_or(DecodeError::Truncated)?;
+    let bytes = buf.get(*off..end).ok_or(DecodeError::Truncated)?;
+    *off = end;
+    Ok(u32::from_le_bytes(bytes.try_into().expect("4 bytes")))
+}
+
+pub(crate) fn get_u64(buf: &[u8], off: &mut usize) -> Result<u64, DecodeError> {
+    let end = off.checked_add(8).ok_or(DecodeError::Truncated)?;
+    let bytes = buf.get(*off..end).ok_or(DecodeError::Truncated)?;
+    *off = end;
+    Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+}
+
+fn get_u8(buf: &[u8], off: &mut usize) -> Result<u8, DecodeError> {
+    let b = *buf.get(*off).ok_or(DecodeError::Truncated)?;
+    *off += 1;
+    Ok(b)
+}
+
+/// Serialises a block body (no length prefix, no checksum).
+fn encode_body(block: &Block) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 + block.payload.len() * 24);
+    put_u64(&mut out, block.id.0);
+    match block.parent {
+        Some(parent) => {
+            out.push(1);
+            put_u64(&mut out, parent.0);
+        }
+        None => out.push(0),
+    }
+    put_u64(&mut out, block.height);
+    put_u32(&mut out, block.producer);
+    put_u32(&mut out, block.merit_ppm);
+    put_u64(&mut out, block.nonce);
+    put_u64(&mut out, block.work);
+    put_u32(
+        &mut out,
+        u32::try_from(block.payload.len()).expect("payload fits u32"),
+    );
+    for tx in &block.payload {
+        put_u64(&mut out, tx.id.0);
+        put_u32(&mut out, tx.from);
+        put_u32(&mut out, tx.to);
+        put_u64(&mut out, tx.amount);
+    }
+    out
+}
+
+/// Encodes one block as a checksummed, length-prefixed record.
+pub fn encode_record(block: &Block) -> Vec<u8> {
+    let body = encode_body(block);
+    let mut out = Vec::with_capacity(body.len() + 12);
+    put_u32(&mut out, u32::try_from(body.len()).expect("body fits u32"));
+    out.extend_from_slice(&body);
+    put_u64(&mut out, checksum64(&body));
+    out
+}
+
+/// Decodes one record at the start of `buf`.
+///
+/// On success returns the block and the number of bytes consumed.  A
+/// [`DecodeError::Corrupt`] record still has a well-defined end — callers
+/// that want to salvage the rest of a chunk can advance by
+/// `record_span(buf)` and continue.
+pub fn decode_record(buf: &[u8]) -> Result<(Block, usize), DecodeError> {
+    let mut off = 0usize;
+    let body_len = get_u32(buf, &mut off)? as usize;
+    if body_len > MAX_RECORD_BYTES {
+        // A mangled length field this large is corruption, but the record
+        // boundary is unrecoverable: treat it as a truncating fault.
+        return Err(DecodeError::Truncated);
+    }
+    let body_end = off + body_len;
+    let body = buf.get(off..body_end).ok_or(DecodeError::Truncated)?;
+    off = body_end;
+    let stored_sum = get_u64(buf, &mut off)?;
+    let consumed = off;
+    if checksum64(body) != stored_sum {
+        return Err(DecodeError::Corrupt("checksum mismatch".to_string()));
+    }
+
+    let mut at = 0usize;
+    let corrupt = |why: &str| DecodeError::Corrupt(why.to_string());
+    let id = BlockId(get_u64(body, &mut at).map_err(|_| corrupt("short body"))?);
+    let parent = match get_u8(body, &mut at).map_err(|_| corrupt("short body"))? {
+        0 => None,
+        1 => Some(BlockId(
+            get_u64(body, &mut at).map_err(|_| corrupt("short body"))?,
+        )),
+        flag => return Err(corrupt(&format!("bad parent flag {flag}"))),
+    };
+    let height = get_u64(body, &mut at).map_err(|_| corrupt("short body"))?;
+    let producer = get_u32(body, &mut at).map_err(|_| corrupt("short body"))?;
+    let merit_ppm = get_u32(body, &mut at).map_err(|_| corrupt("short body"))?;
+    let nonce = get_u64(body, &mut at).map_err(|_| corrupt("short body"))?;
+    let work = get_u64(body, &mut at).map_err(|_| corrupt("short body"))?;
+    let tx_count = get_u32(body, &mut at).map_err(|_| corrupt("short body"))? as usize;
+    if tx_count > body_len / 24 + 1 {
+        return Err(corrupt("transaction count exceeds body"));
+    }
+    let mut payload = Vec::with_capacity(tx_count);
+    for _ in 0..tx_count {
+        let txid = get_u64(body, &mut at).map_err(|_| corrupt("short body"))?;
+        let from = get_u32(body, &mut at).map_err(|_| corrupt("short body"))?;
+        let to = get_u32(body, &mut at).map_err(|_| corrupt("short body"))?;
+        let amount = get_u64(body, &mut at).map_err(|_| corrupt("short body"))?;
+        payload.push(Transaction::transfer(txid, from, to, amount));
+    }
+    if at != body.len() {
+        return Err(corrupt("trailing bytes in body"));
+    }
+
+    // Defence in depth: for non-genesis blocks the identifier must be the
+    // structural hash of the contents (a checksum collision would have to
+    // also collide FNV over a *different* byte layout to slip through).
+    if let Some(parent) = parent {
+        let expected = Block::compute_id(parent, producer, nonce, work, &payload);
+        if expected != id {
+            return Err(corrupt("structural identifier mismatch"));
+        }
+    }
+
+    Ok((
+        Block {
+            id,
+            parent,
+            height,
+            payload,
+            producer,
+            merit_ppm,
+            nonce,
+            work,
+        },
+        consumed,
+    ))
+}
+
+/// The byte span of the record at the start of `buf`, if its length field
+/// is intact enough to delimit it (used to skip a corrupt record during
+/// salvage).
+pub fn record_span(buf: &[u8]) -> Option<usize> {
+    let mut off = 0usize;
+    let body_len = get_u32(buf, &mut off).ok()? as usize;
+    if body_len > MAX_RECORD_BYTES {
+        return None;
+    }
+    let span = off + body_len + 8;
+    (span <= buf.len()).then_some(span)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btadt_types::BlockBuilder;
+
+    fn sample() -> Block {
+        BlockBuilder::new(&Block::genesis())
+            .producer(3)
+            .merit_ppm(250_000)
+            .nonce(42)
+            .work(5)
+            .push_tx(Transaction::transfer(9, 1, 2, 100))
+            .push_tx(Transaction::heartbeat(10, 1))
+            .build()
+    }
+
+    #[test]
+    fn round_trip_preserves_every_field() {
+        let block = sample();
+        let rec = encode_record(&block);
+        let (decoded, consumed) = decode_record(&rec).unwrap();
+        assert_eq!(decoded, block);
+        assert_eq!(consumed, rec.len());
+    }
+
+    #[test]
+    fn genesis_round_trips_without_a_parent() {
+        let rec = encode_record(&Block::genesis());
+        let (decoded, _) = decode_record(&rec).unwrap();
+        assert_eq!(decoded, Block::genesis());
+    }
+
+    #[test]
+    fn truncation_reports_truncated_at_every_cut() {
+        let rec = encode_record(&sample());
+        for cut in 0..rec.len() {
+            assert_eq!(
+                decode_record(&rec[..cut]).unwrap_err(),
+                DecodeError::Truncated,
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn any_single_bit_flip_is_detected() {
+        let rec = encode_record(&sample());
+        for bit in 0..rec.len() * 8 {
+            let mut copy = rec.clone();
+            copy[bit / 8] ^= 1 << (bit % 8);
+            assert!(
+                decode_record(&copy).is_err(),
+                "flip of bit {bit} slipped through"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_records_are_skippable_by_span() {
+        let a = encode_record(&sample());
+        let b = encode_record(&Block::genesis());
+        let mut buf = a.clone();
+        buf.extend_from_slice(&b);
+        // Corrupt a body byte of the first record (not its length prefix).
+        buf[6] ^= 0xFF;
+        let err = decode_record(&buf).unwrap_err();
+        assert!(matches!(err, DecodeError::Corrupt(_)));
+        let span = record_span(&buf).unwrap();
+        assert_eq!(span, a.len());
+        let (decoded, _) = decode_record(&buf[span..]).unwrap();
+        assert_eq!(decoded, Block::genesis());
+    }
+
+    #[test]
+    fn absurd_length_fields_are_truncating() {
+        let mut rec = encode_record(&sample());
+        rec[0..4].copy_from_slice(&(u32::MAX).to_le_bytes());
+        assert_eq!(decode_record(&rec).unwrap_err(), DecodeError::Truncated);
+        assert_eq!(record_span(&rec), None);
+    }
+
+    #[test]
+    fn forged_contents_fail_the_structural_identifier() {
+        let block = sample();
+        let mut forged = block.clone();
+        forged.nonce += 1; // contents change, id does not
+        let rec = encode_record(&forged);
+        let err = decode_record(&rec).unwrap_err();
+        assert!(
+            matches!(&err, DecodeError::Corrupt(why) if why.contains("identifier")),
+            "{err}"
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! # btadt-store — durable state for the BT-ADT reproduction
+//!
+//! The paper's replicas are in-memory objects; the ROADMAP north-star
+//! (million-block, million-user scale) needs durable state that can be
+//! **wrong**: torn writes, bit flips, lost pages and stale checkpoints
+//! must be detected, quarantined and repaired from peers rather than
+//! trusted.  This crate supplies that layer, modelled on the caching
+//! store + pruning-processor split of rusty-kaspa:
+//!
+//! * [`SimMedium`] — a simulated durable medium with an injectable fault
+//!   vocabulary (torn / flipped / dropped writes, dropped renames);
+//! * [`codec`] — checksummed, length-prefixed block records;
+//! * [`BlockStore`] — chunked append-only store with per-record and
+//!   per-chunk checksums, atomic-manifest checkpoints, a canonicalising
+//!   recovery pipeline and crash-safe pruning compaction;
+//! * [`CheckpointedReplica`] — a memory-bounded replica: hot
+//!   [`BlockTree`](btadt_types::BlockTree) window over cold chunks, with
+//!   peer-healing of corruption gaps.
+//!
+//! Everything is deterministic: faults are seeded functions of the write
+//! sequence, never of wall time, so every corruption/recovery drill in the
+//! chaos grid and the benches replays byte-identically.
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod medium;
+pub mod replica;
+pub mod store;
+
+pub use codec::{checksum64, decode_record, encode_record, DecodeError};
+pub use medium::{
+    FaultInjector, MediumStats, SeededCorruption, SimMedium, WriteFault, WriteKind, WriteOp,
+};
+pub use replica::{CheckpointedReplica, ReplicaConfig};
+pub use store::{
+    chunk_file, BlockStore, ChunkMeta, PruneOutcome, RecoveryReport, StoreConfig, StoreStats,
+    MANIFEST, MANIFEST_TMP,
+};

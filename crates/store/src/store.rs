@@ -1,0 +1,913 @@
+//! The chunked append-only block store.
+//!
+//! ## Layout
+//!
+//! Blocks are appended as checksummed records (see [`crate::codec`]) to an
+//! *active chunk* file; when the chunk reaches
+//! [`StoreConfig::chunk_capacity`] records it is **sealed** — its byte
+//! length and whole-chunk checksum (maintained incrementally, never
+//! re-read) become part of the next checkpoint.  A **checkpoint** writes a
+//! manifest listing every sealed chunk, the active chunk index, the
+//! pruning height and a generation counter, protected by its own trailing
+//! checksum — first to `manifest.tmp`, then committed with one atomic
+//! rename.  The chunk files themselves are never rewritten on the happy
+//! path, so the only commit point in the whole store is that rename: the
+//! crash-consistency argument is the classic shadow-manifest one
+//! (rusty-kaspa's store/pruning split applies the same discipline).
+//!
+//! ## Corruption taxonomy and recovery
+//!
+//! [`BlockStore::recover`] rebuilds a store from a medium of unknown
+//! integrity:
+//!
+//! 1. the manifest is read and checksum-verified; if it is absent or
+//!    corrupt, recovery falls back to an empty manifest and trusts only
+//!    per-record checksums (`manifest_fallback`);
+//! 2. every chunk file on the medium is scanned record by record — records
+//!    with intact boundaries but failing checksums are **skipped and
+//!    counted** (bit flips), a record that runs past the end of the file
+//!    **truncates the torn tail** (torn writes, mangled length fields);
+//! 3. a sealed chunk whose byte length or whole-chunk checksum disagrees
+//!    with its manifest entry is **damaged** even when every surviving
+//!    record parses — that is how *dropped* appends inside sealed history
+//!    are detected.  Damaged chunks are copied to `quarantine-*` for
+//!    forensics; chunks listed in the manifest but missing from the medium
+//!    count as lost;
+//! 4. surviving blocks (deduplicated by id — interrupted compactions leave
+//!    benign duplicates) are rewritten into a **fresh canonical layout**
+//!    and immediately checkpointed, so a second crash during recovery
+//!    replays the same pipeline over an already-clean store (idempotent).
+//!
+//! Blocks that existed only in lost/damaged regions are simply *gone* from
+//! the store's perspective — the recovery report and the returned block
+//! set tell the replica layer exactly what survived, and the replica
+//! delta-syncs the gap from healthy peers (hardened gossip, or the peer
+//! healing in `CheckpointedReplica`).
+//!
+//! ## Pruning
+//!
+//! [`BlockStore::prune`] garbage-collects losing subtrees: the caller
+//! supplies the keep-set (selected-chain spine + the hot window) and a
+//! requested pruning height, which is clamped to the **last checkpoint
+//! height** — history is only GC'd once a durable manifest seals it.
+//! Compaction writes the retained blocks into fresh chunk indices, commits
+//! them with a manifest swap, and only then deletes the old chunk files;
+//! a crash at any intermediate point (the `PruneRace` seam) leaves either
+//! the old layout (manifest not yet swapped) or a benign superposition of
+//! both, which recovery's id-dedup canonicalisation collapses.
+
+use std::collections::HashSet;
+
+use btadt_types::{Block, BlockId};
+
+use crate::codec::{
+    checksum64, decode_record, encode_record, get_u32, get_u64, put_u32, put_u64, record_span,
+    DecodeError, Fnv64,
+};
+use crate::medium::SimMedium;
+
+/// The durable manifest file name.
+pub const MANIFEST: &str = "manifest";
+/// The shadow manifest written before the atomic swap.
+pub const MANIFEST_TMP: &str = "manifest.tmp";
+
+const MANIFEST_MAGIC: u64 = 0x4254_5354_4f52_4531; // "BTSTORE1"
+const MANIFEST_VERSION: u32 = 1;
+
+/// Static configuration of a [`BlockStore`].
+#[derive(Clone, Copy, Debug)]
+pub struct StoreConfig {
+    /// Records per chunk before the active chunk is sealed.
+    pub chunk_capacity: u32,
+    /// Appends between automatic checkpoints (0 = manual checkpoints only).
+    pub auto_checkpoint_every: u64,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            chunk_capacity: 256,
+            auto_checkpoint_every: 0,
+        }
+    }
+}
+
+impl StoreConfig {
+    /// A small configuration that seals and checkpoints often — convenient
+    /// for tests and chaos cells that want many commit points.
+    pub fn small() -> Self {
+        StoreConfig {
+            chunk_capacity: 8,
+            auto_checkpoint_every: 16,
+        }
+    }
+}
+
+/// Metadata of one sealed chunk, as recorded in the manifest.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChunkMeta {
+    /// Chunk index (chunk indices are assigned once and never reused).
+    pub index: u64,
+    /// Number of records sealed into the chunk.
+    pub records: u32,
+    /// Byte length of the chunk file at sealing time.
+    pub bytes: u64,
+    /// Whole-chunk checksum at sealing time.
+    pub checksum: u64,
+}
+
+/// The file name of a chunk index (zero-padded so sorted listings are in
+/// index order).
+pub fn chunk_file(index: u64) -> String {
+    format!("chunk-{index:010}")
+}
+
+fn parse_chunk_index(name: &str) -> Option<u64> {
+    name.strip_prefix("chunk-")?.parse().ok()
+}
+
+/// Counters of store activity (volatile; reset by recovery).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Blocks appended.
+    pub appended: u64,
+    /// Chunks sealed.
+    pub chunks_sealed: u64,
+    /// Checkpoints attempted (the medium decides what became durable).
+    pub checkpoints: u64,
+    /// Blocks garbage-collected by pruning.
+    pub pruned: u64,
+    /// Compaction passes completed.
+    pub prunes: u64,
+}
+
+/// What one recovery pass found and repaired.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Blocks that survived verification (after id-dedup).
+    pub blocks_recovered: usize,
+    /// Records skipped for failing their checksum (bit flips et al.).
+    pub corrupt_records: usize,
+    /// Bytes dropped from chunk tails (torn writes, mangled lengths).
+    pub torn_tail_bytes: u64,
+    /// Chunks quarantined for damage (bad whole-chunk checksum, short
+    /// record count, or any record-level fault inside them).
+    pub chunks_quarantined: usize,
+    /// Chunks listed in the manifest but absent from the medium.
+    pub chunks_missing: usize,
+    /// Chunks that verified clean end to end.
+    pub chunks_verified: usize,
+    /// Duplicate records dropped (benign residue of interrupted compaction).
+    pub duplicates_dropped: usize,
+    /// `true` when the manifest itself was absent or corrupt and recovery
+    /// fell back to per-record trust only.
+    pub manifest_fallback: bool,
+    /// The pruning height carried over from the recovered manifest.
+    pub pruning_height: u64,
+}
+
+impl RecoveryReport {
+    /// `true` iff recovery found no damage of any kind.
+    pub fn is_pristine(&self) -> bool {
+        self.corrupt_records == 0
+            && self.torn_tail_bytes == 0
+            && self.chunks_quarantined == 0
+            && self.chunks_missing == 0
+            && self.duplicates_dropped == 0
+            && !self.manifest_fallback
+    }
+}
+
+/// The result of one pruning compaction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PruneOutcome {
+    /// Blocks retained in the compacted layout.
+    pub retained: usize,
+    /// Blocks garbage-collected.
+    pub dropped: usize,
+    /// The effective pruning height (requested, clamped to the last
+    /// checkpoint height).
+    pub pruning_height: u64,
+}
+
+struct Manifest {
+    generation: u64,
+    pruning_height: u64,
+    checkpoint_height: u64,
+    next_index: u64,
+    active_index: u64,
+    sealed: Vec<ChunkMeta>,
+}
+
+fn encode_manifest(m: &Manifest) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 + m.sealed.len() * 28);
+    put_u64(&mut out, MANIFEST_MAGIC);
+    put_u32(&mut out, MANIFEST_VERSION);
+    put_u64(&mut out, m.generation);
+    put_u64(&mut out, m.pruning_height);
+    put_u64(&mut out, m.checkpoint_height);
+    put_u64(&mut out, m.next_index);
+    put_u64(&mut out, m.active_index);
+    put_u32(
+        &mut out,
+        u32::try_from(m.sealed.len()).expect("sealed count fits u32"),
+    );
+    for chunk in &m.sealed {
+        put_u64(&mut out, chunk.index);
+        put_u32(&mut out, chunk.records);
+        put_u64(&mut out, chunk.bytes);
+        put_u64(&mut out, chunk.checksum);
+    }
+    let sum = checksum64(&out);
+    put_u64(&mut out, sum);
+    out
+}
+
+fn decode_manifest(buf: &[u8]) -> Result<Manifest, DecodeError> {
+    if buf.len() < 8 {
+        return Err(DecodeError::Truncated);
+    }
+    let (body, tail) = buf.split_at(buf.len() - 8);
+    let stored = u64::from_le_bytes(tail.try_into().expect("8 bytes"));
+    if checksum64(body) != stored {
+        return Err(DecodeError::Corrupt("manifest checksum mismatch".into()));
+    }
+    let mut off = 0usize;
+    if get_u64(body, &mut off)? != MANIFEST_MAGIC {
+        return Err(DecodeError::Corrupt("bad manifest magic".into()));
+    }
+    if get_u32(body, &mut off)? != MANIFEST_VERSION {
+        return Err(DecodeError::Corrupt("unknown manifest version".into()));
+    }
+    let generation = get_u64(body, &mut off)?;
+    let pruning_height = get_u64(body, &mut off)?;
+    let checkpoint_height = get_u64(body, &mut off)?;
+    let next_index = get_u64(body, &mut off)?;
+    let active_index = get_u64(body, &mut off)?;
+    let count = get_u32(body, &mut off)? as usize;
+    let mut sealed = Vec::with_capacity(count.min(1 << 16));
+    for _ in 0..count {
+        sealed.push(ChunkMeta {
+            index: get_u64(body, &mut off)?,
+            records: get_u32(body, &mut off)?,
+            bytes: get_u64(body, &mut off)?,
+            checksum: get_u64(body, &mut off)?,
+        });
+    }
+    if off != body.len() {
+        return Err(DecodeError::Corrupt("trailing manifest bytes".into()));
+    }
+    Ok(Manifest {
+        generation,
+        pruning_height,
+        checkpoint_height,
+        next_index,
+        active_index,
+        sealed,
+    })
+}
+
+/// The chunked append-only block store over a [`SimMedium`].
+#[derive(Debug)]
+pub struct BlockStore {
+    config: StoreConfig,
+    medium: SimMedium,
+    sealed: Vec<ChunkMeta>,
+    active_index: u64,
+    active_records: u32,
+    active_bytes: u64,
+    active_hash: Fnv64,
+    next_index: u64,
+    index: HashSet<BlockId>,
+    generation: u64,
+    pruning_height: u64,
+    checkpoint_height: u64,
+    max_height: u64,
+    appends_since_checkpoint: u64,
+    stats: StoreStats,
+}
+
+impl BlockStore {
+    /// Creates a fresh store over `medium` (which should be empty of
+    /// `chunk-*`/`manifest` files; recovery is the entry point for a
+    /// non-empty medium).
+    pub fn create(medium: SimMedium, config: StoreConfig) -> Self {
+        BlockStore {
+            config,
+            medium,
+            sealed: Vec::new(),
+            active_index: 0,
+            active_records: 0,
+            active_bytes: 0,
+            active_hash: Fnv64::new(),
+            next_index: 1,
+            index: HashSet::new(),
+            generation: 0,
+            pruning_height: 0,
+            checkpoint_height: 0,
+            max_height: 0,
+            appends_since_checkpoint: 0,
+            stats: StoreStats::default(),
+        }
+    }
+
+    /// The store's configuration.
+    pub fn config(&self) -> StoreConfig {
+        self.config
+    }
+
+    /// Number of blocks the store believes it holds.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// `true` iff no blocks have been appended.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// `true` iff the store believes it holds `id`.
+    pub fn contains(&self, id: BlockId) -> bool {
+        self.index.contains(&id)
+    }
+
+    /// The current pruning height (blocks at or below it exist only on the
+    /// selected-chain spine).
+    pub fn pruning_height(&self) -> u64 {
+        self.pruning_height
+    }
+
+    /// The maximum block height covered by the last checkpoint attempt.
+    pub fn checkpoint_height(&self) -> u64 {
+        self.checkpoint_height
+    }
+
+    /// Sealed chunks of the live layout.
+    pub fn sealed_chunks(&self) -> &[ChunkMeta] {
+        &self.sealed
+    }
+
+    /// Volatile activity counters.
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+
+    /// Read-only access to the medium.
+    pub fn medium(&self) -> &SimMedium {
+        &self.medium
+    }
+
+    /// Mutable access to the medium — the hook point for attaching fault
+    /// injectors and for corruption drills.
+    pub fn medium_mut(&mut self) -> &mut SimMedium {
+        &mut self.medium
+    }
+
+    /// Simulates a crash: every volatile structure (index, sealed list,
+    /// counters) is dropped, only the durable medium survives — with its
+    /// fault injector detached, because the *replacement* hardware is
+    /// healthy even though the bytes it reads back may not be.
+    pub fn into_medium(mut self) -> SimMedium {
+        self.medium.clear_injector();
+        self.medium
+    }
+
+    /// Appends one block to the active chunk, sealing and checkpointing as
+    /// configured.  The append is *believed* durable — whether it actually
+    /// became durable is the medium's (and recovery's) business.
+    pub fn append(&mut self, block: &Block) {
+        let record = encode_record(block);
+        self.medium.append(&chunk_file(self.active_index), &record);
+        self.active_hash.update(&record);
+        self.active_bytes += record.len() as u64;
+        self.active_records += 1;
+        self.index.insert(block.id);
+        self.max_height = self.max_height.max(block.height);
+        self.stats.appended += 1;
+        if self.active_records >= self.config.chunk_capacity {
+            self.seal_active();
+        }
+        self.appends_since_checkpoint += 1;
+        if self.config.auto_checkpoint_every > 0
+            && self.appends_since_checkpoint >= self.config.auto_checkpoint_every
+        {
+            self.checkpoint();
+        }
+    }
+
+    fn seal_active(&mut self) {
+        self.sealed.push(ChunkMeta {
+            index: self.active_index,
+            records: self.active_records,
+            bytes: self.active_bytes,
+            checksum: self.active_hash.finish(),
+        });
+        self.active_index = self.next_index;
+        self.next_index += 1;
+        self.active_records = 0;
+        self.active_bytes = 0;
+        self.active_hash = Fnv64::new();
+        self.stats.chunks_sealed += 1;
+    }
+
+    /// Writes a checkpoint: shadow manifest, then the atomic swap.  The
+    /// `PartialCheckpoint` fault tears the shadow write; the
+    /// `StaleManifest` fault drops the swap — both leave the *previous*
+    /// durable manifest authoritative, which is exactly what recovery
+    /// assumes.
+    pub fn checkpoint(&mut self) {
+        self.generation += 1;
+        let manifest = Manifest {
+            generation: self.generation,
+            pruning_height: self.pruning_height,
+            checkpoint_height: self.max_height,
+            next_index: self.next_index,
+            active_index: self.active_index,
+            sealed: self.sealed.clone(),
+        };
+        let bytes = encode_manifest(&manifest);
+        self.medium.overwrite(MANIFEST_TMP, &bytes);
+        self.medium.rename(MANIFEST_TMP, MANIFEST);
+        self.checkpoint_height = self.max_height;
+        self.appends_since_checkpoint = 0;
+        self.stats.checkpoints += 1;
+    }
+
+    /// Decodes every block of the live layout from the medium, in chunk
+    /// order (append order: parents precede children barring corruption).
+    ///
+    /// Undecodable records are *skipped* — this accessor reports what the
+    /// medium can prove, the recovery pipeline is the authority on damage.
+    pub fn blocks(&self) -> Vec<Block> {
+        let mut out = Vec::with_capacity(self.index.len());
+        let mut indices: Vec<u64> = self.sealed.iter().map(|c| c.index).collect();
+        indices.push(self.active_index);
+        for index in indices {
+            let Some(bytes) = self.medium.read(&chunk_file(index)) else {
+                continue;
+            };
+            let mut off = 0usize;
+            while off < bytes.len() {
+                match decode_record(&bytes[off..]) {
+                    Ok((block, consumed)) => {
+                        out.push(block);
+                        off += consumed;
+                    }
+                    Err(DecodeError::Corrupt(_)) => match record_span(&bytes[off..]) {
+                        Some(span) => off += span,
+                        None => break,
+                    },
+                    Err(DecodeError::Truncated) => break,
+                }
+            }
+        }
+        out
+    }
+
+    /// Garbage-collects every block that is neither above the effective
+    /// pruning height nor in `keep` (the selected-chain spine).  See the
+    /// module docs for the crash-safety argument.
+    pub fn prune(&mut self, keep: &HashSet<BlockId>, requested_height: u64) -> PruneOutcome {
+        self.prune_inner(keep, requested_height, false)
+            .expect("uninterrupted prune completes")
+    }
+
+    /// Pruning interrupted *after* the compacted chunks are written but
+    /// *before* the manifest swap — the `PruneRace` seam.  Consumes the
+    /// store and returns the crashed medium; [`BlockStore::recover`] must
+    /// collapse the old-layout/new-layout superposition.
+    pub fn prune_crashing_before_commit(
+        mut self,
+        keep: &HashSet<BlockId>,
+        requested_height: u64,
+    ) -> SimMedium {
+        let interrupted = self.prune_inner(keep, requested_height, true);
+        debug_assert!(
+            interrupted.is_none(),
+            "interrupted prune returns no outcome"
+        );
+        self.into_medium()
+    }
+
+    fn prune_inner(
+        &mut self,
+        keep: &HashSet<BlockId>,
+        requested_height: u64,
+        crash_before_commit: bool,
+    ) -> Option<PruneOutcome> {
+        let effective = requested_height.min(self.checkpoint_height);
+        let all = self.blocks();
+        let total = all.len();
+        let retained: Vec<Block> = all
+            .into_iter()
+            .filter(|b| b.height > effective || keep.contains(&b.id))
+            .collect();
+        let dropped = total - retained.len();
+
+        // Write the compacted layout at fresh indices (never reused, so
+        // the old and new layouts coexist until the swap commits).
+        let old_indices: Vec<u64> = self
+            .sealed
+            .iter()
+            .map(|c| c.index)
+            .chain([self.active_index])
+            .collect();
+        let first_new = self.next_index;
+        let mut sealed = Vec::new();
+        let mut active_index = first_new;
+        let mut next_index = first_new + 1;
+        let mut records = 0u32;
+        let mut bytes_len = 0u64;
+        let mut hash = Fnv64::new();
+        for block in &retained {
+            let record = encode_record(block);
+            self.medium.append(&chunk_file(active_index), &record);
+            hash.update(&record);
+            bytes_len += record.len() as u64;
+            records += 1;
+            if records >= self.config.chunk_capacity {
+                sealed.push(ChunkMeta {
+                    index: active_index,
+                    records,
+                    bytes: bytes_len,
+                    checksum: hash.finish(),
+                });
+                active_index = next_index;
+                next_index += 1;
+                records = 0;
+                bytes_len = 0;
+                hash = Fnv64::new();
+            }
+        }
+
+        if crash_before_commit {
+            return None;
+        }
+
+        // Commit: swap in a manifest describing only the new layout…
+        self.sealed = sealed;
+        self.active_index = active_index;
+        self.next_index = next_index;
+        self.active_records = records;
+        self.active_bytes = bytes_len;
+        self.active_hash = hash;
+        self.index = retained.iter().map(|b| b.id).collect();
+        self.pruning_height = effective;
+        self.checkpoint();
+        // …then delete the superseded chunk files (pure garbage now).
+        for index in old_indices {
+            self.medium.remove(&chunk_file(index));
+        }
+        self.stats.pruned += dropped as u64;
+        self.stats.prunes += 1;
+        Some(PruneOutcome {
+            retained: retained.len(),
+            dropped,
+            pruning_height: effective,
+        })
+    }
+
+    /// Rebuilds a store from a medium of unknown integrity.  Returns the
+    /// recovered store (fresh canonical layout, already checkpointed), the
+    /// damage report, and the surviving blocks in scan order.
+    pub fn recover(
+        mut medium: SimMedium,
+        config: StoreConfig,
+    ) -> (Self, RecoveryReport, Vec<Block>) {
+        let mut report = RecoveryReport::default();
+
+        let manifest = match medium.read(MANIFEST).map(decode_manifest) {
+            Some(Ok(manifest)) => Some(manifest),
+            Some(Err(_)) => {
+                report.manifest_fallback = true;
+                None
+            }
+            None => {
+                // An absent manifest is only a fault if data exists.
+                report.manifest_fallback = medium.list().iter().any(|f| f.starts_with("chunk-"));
+                None
+            }
+        };
+        report.pruning_height = manifest.as_ref().map(|m| m.pruning_height).unwrap_or(0);
+
+        // The scan set: every chunk file on the medium, in index order.
+        let mut on_disk: Vec<(u64, String)> = medium
+            .list()
+            .into_iter()
+            .filter_map(|name| parse_chunk_index(&name).map(|i| (i, name)))
+            .collect();
+        on_disk.sort_unstable();
+        let present: HashSet<u64> = on_disk.iter().map(|&(i, _)| i).collect();
+        if let Some(m) = &manifest {
+            report.chunks_missing = m
+                .sealed
+                .iter()
+                .filter(|c| !present.contains(&c.index))
+                .count();
+        }
+
+        let mut seen: HashSet<BlockId> = HashSet::new();
+        let mut blocks: Vec<Block> = Vec::new();
+        let mut quarantine: Vec<(String, Vec<u8>)> = Vec::new();
+        for (index, name) in &on_disk {
+            let bytes = medium.read(name).expect("listed file exists").to_vec();
+            let meta = manifest
+                .as_ref()
+                .and_then(|m| m.sealed.iter().find(|c| c.index == *index).copied());
+            let mut damaged = match meta {
+                Some(meta) => {
+                    meta.bytes != bytes.len() as u64 || meta.checksum != checksum64(&bytes)
+                }
+                None => false,
+            };
+            let mut parsed = 0u32;
+            let mut off = 0usize;
+            while off < bytes.len() {
+                match decode_record(&bytes[off..]) {
+                    Ok((block, consumed)) => {
+                        if seen.insert(block.id) {
+                            blocks.push(block);
+                        } else {
+                            report.duplicates_dropped += 1;
+                        }
+                        parsed += 1;
+                        off += consumed;
+                    }
+                    Err(DecodeError::Corrupt(_)) => {
+                        report.corrupt_records += 1;
+                        damaged = true;
+                        match record_span(&bytes[off..]) {
+                            Some(span) => off += span,
+                            None => {
+                                report.torn_tail_bytes += (bytes.len() - off) as u64;
+                                break;
+                            }
+                        }
+                    }
+                    Err(DecodeError::Truncated) => {
+                        report.torn_tail_bytes += (bytes.len() - off) as u64;
+                        damaged = true;
+                        break;
+                    }
+                }
+            }
+            if let Some(meta) = meta {
+                // Fewer surviving records than sealed: dropped appends.
+                if parsed < meta.records {
+                    damaged = true;
+                }
+            }
+            if damaged {
+                report.chunks_quarantined += 1;
+                quarantine.push((format!("quarantine-{name}"), bytes));
+            } else {
+                report.chunks_verified += 1;
+            }
+        }
+
+        // Canonicalise: quarantine forensic copies, drop the old layout,
+        // rewrite the survivors, checkpoint.
+        for (name, bytes) in quarantine {
+            medium.overwrite(&name, &bytes);
+        }
+        for (_, name) in &on_disk {
+            medium.remove(name);
+        }
+        medium.remove(MANIFEST);
+        medium.remove(MANIFEST_TMP);
+
+        let mut store = BlockStore::create(medium, config);
+        store.pruning_height = report.pruning_height;
+        for block in &blocks {
+            store.append(block);
+        }
+        store.checkpoint();
+        store.stats = StoreStats::default();
+        report.blocks_recovered = blocks.len();
+        (store, report, blocks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btadt_types::BlockBuilder;
+
+    /// A deterministic chain of `n` blocks hanging off the genesis block.
+    fn chain(n: usize) -> Vec<Block> {
+        let mut parent = Block::genesis();
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let block = BlockBuilder::new(&parent)
+                .producer(1)
+                .nonce(i as u64)
+                .work(1 + (i as u64 % 3))
+                .build();
+            parent = block.clone();
+            out.push(block);
+        }
+        out
+    }
+
+    fn store_with(blocks: &[Block], config: StoreConfig) -> BlockStore {
+        let mut store = BlockStore::create(SimMedium::new(), config);
+        for b in blocks {
+            store.append(b);
+        }
+        store
+    }
+
+    #[test]
+    fn append_seal_checkpoint_recover_round_trip() {
+        let blocks = chain(30);
+        let mut store = store_with(&blocks, StoreConfig::small());
+        store.checkpoint();
+        assert_eq!(store.len(), 30);
+        assert!(store.sealed_chunks().len() >= 3);
+        let (recovered, report, survivors) =
+            BlockStore::recover(store.into_medium(), StoreConfig::small());
+        assert!(report.is_pristine(), "{report:?}");
+        assert_eq!(report.blocks_recovered, 30);
+        assert_eq!(survivors, blocks);
+        assert_eq!(recovered.len(), 30);
+        for b in &blocks {
+            assert!(recovered.contains(b.id));
+        }
+    }
+
+    #[test]
+    fn crash_without_any_checkpoint_still_recovers_records() {
+        let blocks = chain(10);
+        let store = store_with(&blocks, StoreConfig::default());
+        // No checkpoint at all: no manifest, only the active chunk file.
+        let (_, report, survivors) =
+            BlockStore::recover(store.into_medium(), StoreConfig::default());
+        assert_eq!(survivors.len(), 10);
+        assert!(report.manifest_fallback, "no manifest to trust");
+        assert_eq!(report.corrupt_records, 0);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_the_rest_survives() {
+        let blocks = chain(5);
+        let mut store = store_with(&blocks, StoreConfig::default());
+        store.checkpoint();
+        let file = chunk_file(0);
+        let len = store.medium().len(&file);
+        let mut medium = store.into_medium();
+        medium.truncate(&file, len - 7); // tear the last record
+        let (_, report, survivors) = BlockStore::recover(medium, StoreConfig::default());
+        assert_eq!(survivors.len(), 4);
+        assert!(report.torn_tail_bytes > 0);
+        assert_eq!(report.chunks_quarantined, 1);
+        assert_eq!(survivors, blocks[..4]);
+    }
+
+    #[test]
+    fn bit_flip_quarantines_the_chunk_but_salvages_the_rest() {
+        let blocks = chain(6);
+        let mut store = store_with(&blocks, StoreConfig::default());
+        store.checkpoint();
+        let mut medium = store.into_medium();
+        // Flip a bit in the *second* record's body, far from length fields.
+        let record_len = encode_record(&blocks[0]).len();
+        medium.corrupt_bit(&chunk_file(0), (record_len + 10) * 8);
+        let (_, report, survivors) = BlockStore::recover(medium, StoreConfig::default());
+        assert_eq!(report.corrupt_records, 1);
+        assert_eq!(report.chunks_quarantined, 1);
+        assert_eq!(survivors.len(), 5, "all but the flipped record salvage");
+        assert!(survivors.iter().all(|b| b.id != blocks[1].id));
+    }
+
+    #[test]
+    fn a_corrupt_manifest_falls_back_to_per_record_trust() {
+        let blocks = chain(12);
+        let mut store = store_with(&blocks, StoreConfig::small());
+        store.checkpoint();
+        let mut medium = store.into_medium();
+        medium.corrupt_bit(MANIFEST, 100);
+        let (_, report, survivors) = BlockStore::recover(medium, StoreConfig::small());
+        assert!(report.manifest_fallback);
+        assert_eq!(survivors.len(), 12, "records carry their own checksums");
+    }
+
+    #[test]
+    fn dropped_records_inside_a_sealed_chunk_are_detected() {
+        // Build the same sealed chunk twice: once faithfully, once with a
+        // record missing — then graft the short file under the faithful
+        // manifest, as a dropped append would leave it.
+        let blocks = chain(8);
+        let config = StoreConfig {
+            chunk_capacity: 8,
+            auto_checkpoint_every: 0,
+        };
+        let mut faithful = store_with(&blocks, config);
+        faithful.checkpoint();
+        let mut medium = faithful.into_medium();
+        let file = chunk_file(0);
+        let full = medium.read(&file).unwrap().to_vec();
+        let span = record_span(&full).unwrap();
+        medium.overwrite(&file, &full[span..]); // first record silently gone
+        let (_, report, survivors) = BlockStore::recover(medium, config);
+        assert_eq!(report.chunks_quarantined, 1, "short chunk is damaged");
+        assert_eq!(survivors.len(), 7);
+        assert!(survivors.iter().all(|b| b.id != blocks[0].id));
+    }
+
+    #[test]
+    fn missing_chunk_files_are_reported() {
+        let blocks = chain(20);
+        let mut store = store_with(&blocks, StoreConfig::small());
+        store.checkpoint();
+        let mut medium = store.into_medium();
+        assert!(medium.remove(&chunk_file(1)));
+        let (_, report, survivors) = BlockStore::recover(medium, StoreConfig::small());
+        assert_eq!(report.chunks_missing, 1);
+        assert_eq!(survivors.len(), 12, "8 of 20 lived in the lost chunk");
+    }
+
+    #[test]
+    fn prune_drops_losers_and_is_clamped_to_the_checkpoint() {
+        let blocks = chain(20);
+        let mut store = store_with(&blocks, StoreConfig::small());
+        // Last checkpoint covered height 16 (auto, every 16 appends).
+        assert_eq!(store.checkpoint_height(), 16);
+        let keep: HashSet<BlockId> = blocks[..10].iter().map(|b| b.id).collect();
+        let outcome = store.prune(&keep, 18);
+        assert_eq!(outcome.pruning_height, 16, "clamped to the checkpoint");
+        // Heights 11..=16 are neither kept nor above the pruning height.
+        assert_eq!(outcome.dropped, 6);
+        assert_eq!(outcome.retained, 14);
+        assert_eq!(store.len(), 14);
+        assert!(store.contains(blocks[0].id), "spine survives");
+        assert!(!store.contains(blocks[12].id), "loser is gone");
+        assert!(store.contains(blocks[17].id), "above the point survives");
+        // The compacted layout recovers cleanly.
+        let (recovered, report, survivors) =
+            BlockStore::recover(store.into_medium(), StoreConfig::small());
+        assert!(report.is_pristine(), "{report:?}");
+        assert_eq!(survivors.len(), 14);
+        assert_eq!(recovered.pruning_height(), 16);
+    }
+
+    #[test]
+    fn prune_race_crash_recovers_the_old_layout_without_duplicates() {
+        let blocks = chain(20);
+        let mut store = store_with(&blocks, StoreConfig::small());
+        store.checkpoint();
+        let keep: HashSet<BlockId> = blocks[..5].iter().map(|b| b.id).collect();
+        let medium = store.prune_crashing_before_commit(&keep, 10);
+        // Old chunks AND uncommitted compacted chunks coexist on disk.
+        let (recovered, report, survivors) = BlockStore::recover(medium, StoreConfig::small());
+        assert_eq!(survivors.len(), 20, "the committed layout wins: no loss");
+        assert!(report.duplicates_dropped > 0, "compaction residue deduped");
+        assert_eq!(report.corrupt_records, 0);
+        assert_eq!(recovered.len(), 20);
+    }
+
+    #[test]
+    fn recovery_is_idempotent_under_double_crash() {
+        let blocks = chain(25);
+        let mut store = store_with(&blocks, StoreConfig::small());
+        store.checkpoint();
+        let mut medium = store.into_medium();
+        medium.corrupt_bit(&chunk_file(0), 999);
+        let (first, report1, survivors1) = BlockStore::recover(medium, StoreConfig::small());
+        // Crash again mid-life: the second recovery sees a clean store.
+        let (_, report2, survivors2) =
+            BlockStore::recover(first.into_medium(), StoreConfig::small());
+        assert!(report1.corrupt_records > 0);
+        assert!(report2.is_pristine(), "{report2:?}");
+        assert_eq!(survivors1.len(), survivors2.len());
+    }
+
+    #[test]
+    fn stale_manifest_recovery_scans_unlisted_chunks() {
+        use crate::medium::{FaultInjector, WriteFault, WriteKind, WriteOp};
+        struct DropRenames;
+        impl FaultInjector for DropRenames {
+            fn on_write(&mut self, op: &WriteOp<'_>) -> WriteFault {
+                if op.kind == WriteKind::Rename {
+                    WriteFault::Drop
+                } else {
+                    WriteFault::None
+                }
+            }
+        }
+        let blocks = chain(20);
+        let mut store = store_with(&blocks[..10], StoreConfig::small());
+        store.checkpoint(); // durable manifest covers the first 10
+        store.medium_mut().set_injector(Box::new(DropRenames));
+        for b in &blocks[10..] {
+            store.append(b);
+        }
+        store.checkpoint(); // this swap is dropped: manifest stays stale
+        let (_, _report, survivors) =
+            BlockStore::recover(store.into_medium(), StoreConfig::small());
+        assert_eq!(
+            survivors.len(),
+            20,
+            "chunks beyond the stale manifest are still scanned"
+        );
+    }
+}

@@ -66,18 +66,19 @@ impl Blockchain {
     }
 
     /// Builds a chain from a vector already known to satisfy the chain
-    /// invariants — genesis first, parent/height links consistent — as the
-    /// arena tree's path walks and the concurrent store's parent walks
-    /// produce.  The invariants are checked in debug builds only; callers
-    /// who cannot guarantee them must use
-    /// [`from_blocks`](Blockchain::from_blocks).
+    /// invariants — a tree root (the genesis block, or the boundary root of
+    /// a pruned window, see [`BlockTree::rerooted`](crate::BlockTree::rerooted))
+    /// first, parent/height links consistent — as the arena tree's path
+    /// walks and the concurrent store's parent walks produce.  The
+    /// invariants are checked in debug builds only; callers who cannot
+    /// guarantee them must use [`from_blocks`](Blockchain::from_blocks).
     pub fn from_blocks_trusted(blocks: Vec<Block>) -> Self {
         Self::from_vec_trusted(blocks)
     }
 
     /// Crate-internal alias predating [`from_blocks_trusted`].
     pub(crate) fn from_vec_trusted(blocks: Vec<Block>) -> Self {
-        debug_assert!(!blocks.is_empty() && blocks[0].is_genesis());
+        debug_assert!(!blocks.is_empty() && blocks[0].parent.is_none());
         debug_assert!(blocks
             .windows(2)
             .all(|w| w[1].parent == Some(w[0].id) && w[1].height == w[0].height + 1));

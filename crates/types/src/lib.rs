@@ -52,7 +52,7 @@ pub use reference::NaiveBlockTree;
 pub use score::{ChainScore, LengthScore, Score, WorkScore};
 pub use selection::{GhostSelection, HeaviestChain, LongestChain, SelectionFunction, TieBreak};
 pub use transaction::{Transaction, TxId};
-pub use tree::{BlockTree, NodeIdx};
+pub use tree::{BlockTree, InsertError, NodeIdx};
 pub use validity::{
     AlwaysValid, CompositeValidity, MaxPayload, NeverValid, NoDoubleSpend, StructuralValidity,
     ValidityPredicate,

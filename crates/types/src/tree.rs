@@ -186,6 +186,44 @@ impl BlockTree {
         }
     }
 
+    /// Creates a tree rooted at an arbitrary block — the representation of
+    /// a **pruned hot window**: `root` is a pruning point, its ancestors
+    /// live in cold storage, and the tree accepts only descendants of the
+    /// root.
+    ///
+    /// The stored root is a *boundary copy*: its parent pointer is cleared
+    /// (the parent is pruned away), so the "exactly one parentless block"
+    /// invariant keeps holding with the root in the genesis slot.  Heights
+    /// stay absolute — children of the root must record `root.height + 1` —
+    /// and cumulative work restarts at `root.work`, which preserves every
+    /// comparison *within* the window (all paths share the pruned prefix).
+    ///
+    /// `rerooted(Block::genesis())` is equivalent to [`BlockTree::new`].
+    pub fn rerooted(root: Block) -> Self {
+        let mut root = root;
+        root.parent = None;
+        let root_id = root.id;
+        let root_height = root.height;
+        let root_work = root.work;
+        let mut index = BlockIdMap::default();
+        index.insert(root_id, NodeIdx::GENESIS);
+        BlockTree {
+            nodes: vec![BlockNode {
+                block: root,
+                parent: None,
+                children: Vec::new(),
+                cumulative_work: root_work,
+            }],
+            index,
+            leaf_ids: BTreeSet::from([root_id]),
+            best_height_largest: (root_height, root_id),
+            best_height_smallest: (root_height, root_id),
+            best_work_largest: (root_work, root_id),
+            best_work_smallest: (root_work, root_id),
+            max_fork_degree: 0,
+        }
+    }
+
     /// Number of blocks in the tree (including the genesis block).
     pub fn len(&self) -> usize {
         self.nodes.len()
@@ -566,6 +604,40 @@ mod tests {
         assert_eq!(tree.leaf_count(), 1);
         assert_eq!(tree.best_leaf_by_height(true), GENESIS_ID);
         assert_eq!(tree.best_leaf_by_work(true), GENESIS_ID);
+    }
+
+    #[test]
+    fn rerooted_tree_accepts_descendants_at_absolute_heights() {
+        let (full, a, b, _c) = forked_tree();
+        // Re-root at `a` (height 1): its subtree re-inserts cleanly.
+        let mut window = BlockTree::rerooted(a.clone());
+        assert_eq!(window.genesis().id, a.id);
+        assert_eq!(window.genesis().parent, None, "boundary copy");
+        assert_eq!(window.height(), 1);
+        window.insert(b.clone()).unwrap();
+        assert_eq!(window.height(), 2);
+        assert_eq!(window.best_leaf_by_height(true), b.id);
+        let chain = window.chain_to(b.id).unwrap();
+        assert_eq!(chain.len(), 2, "the pruned prefix is not in the window");
+        // A wrong-height child is still rejected.
+        let mut bad = BlockBuilder::new(&b).nonce(9).build();
+        bad.height = 99;
+        assert!(window.insert(bad).is_err());
+        // Blocks below the root cannot enter the window.
+        let below = BlockBuilder::new(full.genesis()).nonce(77).build();
+        assert!(matches!(
+            window.insert(below),
+            Err(InsertError::UnknownParent(_))
+        ));
+    }
+
+    #[test]
+    fn rerooted_at_genesis_is_a_fresh_tree() {
+        let tree = BlockTree::rerooted(Block::genesis());
+        assert!(tree.is_empty());
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree.genesis().id, GENESIS_ID);
+        assert_eq!(tree.leaves(), vec![GENESIS_ID]);
     }
 
     #[test]
