@@ -17,14 +17,17 @@ use std::sync::Arc;
 
 use btadt_bench::harness::{workspace_root, Harness};
 use btadt_core::hierarchy::{run_contended, ContendedRunConfig, OracleKind};
-use btadt_core::{eventual_consistency, strong_consistency};
+use btadt_core::ops::BtHistoryExt;
+use btadt_core::{
+    eventual_consistency, strong_consistency, EventualPrefix, ReachForest, StrongPrefix,
+};
 use btadt_history::ConsistencyCriterion;
 use btadt_netsim::{FailurePlan, SimConfig, Simulator};
 use btadt_protocols::{PowConfig, PowReplica};
 use btadt_types::workload::Workload;
 use btadt_types::{
     AlwaysValid, Block, BlockTree, GhostSelection, HeaviestChain, LengthScore, LongestChain,
-    NaiveBlockTree, SelectionFunction, TieBreak,
+    NaiveBlockTree, NodeIdx, SelectionFunction, TieBreak,
 };
 
 /// The fork-heavy profile the BT-ADT sees under contention: 50% of blocks
@@ -164,6 +167,109 @@ fn main() {
         assert!(ec.admits(&contended.history));
     });
 
+    // --- reachability: interval index vs parent-pointer walks -------------
+    //
+    // The `criteria_reach` family measures the tentpole directly: ancestor
+    // and mcp query batches answered by interval containment vs by climbing
+    // parent pointers, plus the indexed SC/EC sub-checkers against their
+    // chain-walking reference implementations on the contended history.
+    let reach_n = if h.test_mode() { 500 } else { 10_000 };
+    let reach_tree = Workload::new(7).random_tree(reach_n, CHAIN_BIAS, 0);
+    let node_count = reach_tree.len() as u32;
+    // A deterministic batch of query pairs striding through the arena, so
+    // both related and unrelated node pairs are exercised.
+    let pairs: Vec<(NodeIdx, NodeIdx)> = (0..4_096u32)
+        .map(|i| {
+            (
+                NodeIdx(i.wrapping_mul(7_919) % node_count),
+                NodeIdx(i.wrapping_mul(104_729).wrapping_add(1) % node_count),
+            )
+        })
+        .collect();
+    let depth_of = |mut idx: NodeIdx| {
+        let mut d = 0u32;
+        while let Some(p) = reach_tree.parent_idx(idx) {
+            idx = p;
+            d += 1;
+        }
+        d
+    };
+    let walk_is_ancestor = |a: NodeIdx, b: NodeIdx| {
+        let mut cursor = Some(b);
+        while let Some(c) = cursor {
+            if c == a {
+                return true;
+            }
+            cursor = reach_tree.parent_idx(c);
+        }
+        false
+    };
+    h.bench("criteria_reach", "is_ancestor_index", || {
+        let hits = pairs
+            .iter()
+            .filter(|&&(a, b)| reach_tree.is_ancestor_idx(a, b))
+            .count();
+        assert!(hits > 0);
+    });
+    h.bench("criteria_reach", "is_ancestor_walk", || {
+        let hits = pairs
+            .iter()
+            .filter(|&&(a, b)| walk_is_ancestor(a, b))
+            .count();
+        assert!(hits > 0);
+    });
+    h.bench("criteria_reach", "mcp_index", || {
+        let mut acc = 0u64;
+        for &(a, b) in &pairs {
+            acc = acc.wrapping_add(u64::from(reach_tree.mcp_idx(a, b).0));
+        }
+        assert!(acc > 0);
+    });
+    h.bench("criteria_reach", "mcp_walk", || {
+        // Depth-balanced parent-pointer ascent, the textbook comparator.
+        let mut acc = 0u64;
+        for &(a, b) in &pairs {
+            let (mut a, mut b) = (a, b);
+            let (mut da, mut db) = (depth_of(a), depth_of(b));
+            while da > db {
+                a = reach_tree.parent_idx(a).expect("deeper node has a parent");
+                da -= 1;
+            }
+            while db > da {
+                b = reach_tree.parent_idx(b).expect("deeper node has a parent");
+                db -= 1;
+            }
+            while a != b {
+                a = reach_tree.parent_idx(a).expect("roots coincide");
+                b = reach_tree.parent_idx(b).expect("roots coincide");
+            }
+            acc = acc.wrapping_add(u64::from(a.0));
+        }
+        let _ = acc;
+    });
+    let read_chains: Vec<_> = contended.history.reads();
+    h.bench("criteria_reach", "forest_build", || {
+        let forest = ReachForest::from_chains(read_chains.iter().map(|(_, c)| *c))
+            .expect("oracle read chains form one tree");
+        assert!(forest.tree().len() > 1);
+    });
+    let sp = StrongPrefix::new();
+    let sp_ref = StrongPrefix::reference();
+    h.bench("criteria_reach", "strong_prefix_index", || {
+        assert!(!sp.admits(&contended.history));
+    });
+    h.bench("criteria_reach", "strong_prefix_reference", || {
+        assert!(!sp_ref.admits(&contended.history));
+    });
+    let ep = EventualPrefix::new(Arc::new(LengthScore));
+    let ep_ref = EventualPrefix::reference(Arc::new(LengthScore));
+    h.bench("criteria_reach", "eventual_prefix_index", || {
+        assert!(ep.admits(&contended.history));
+    });
+    h.bench("criteria_reach", "eventual_prefix_reference", || {
+        assert!(ep_ref.admits(&contended.history));
+    });
+
     // --- derived speedups (the acceptance metric) -------------------------
     if !h.test_mode() {
         let mut speedups = Vec::new();
@@ -180,6 +286,27 @@ fn main() {
         }
         for (key, ratio) in speedups {
             h.record_metric(&key, ratio);
+        }
+        for (metric, index, walk) in [
+            ("reach_is_ancestor", "is_ancestor_index", "is_ancestor_walk"),
+            ("reach_mcp", "mcp_index", "mcp_walk"),
+            (
+                "reach_strong_prefix",
+                "strong_prefix_index",
+                "strong_prefix_reference",
+            ),
+            (
+                "reach_eventual_prefix",
+                "eventual_prefix_index",
+                "eventual_prefix_reference",
+            ),
+        ] {
+            if let (Some(walk), Some(index)) = (
+                h.median_of("criteria_reach", walk),
+                h.median_of("criteria_reach", index),
+            ) {
+                h.record_metric(&format!("speedup_{metric}"), walk / index.max(1e-9));
+            }
         }
     }
 

@@ -445,6 +445,35 @@ mod tests {
         assert!(rows_from_str("not json").is_err());
     }
 
+    #[test]
+    fn criteria_reach_rows_ride_the_generic_timing_guard() {
+        // The reachability-index family added by the interval-labeling PR
+        // needs no special parsing: rows are guarded by (group, name) key.
+        let rows = rows_from_str(
+            r#"{"bench": "tree", "results": [
+                {"group": "criteria_reach", "name": "is_ancestor_index", "iters": 9, "mean_ns": 50.0, "median_ns": 40.0},
+                {"group": "criteria_reach", "name": "strong_prefix_index", "iters": 9, "mean_ns": 9000.0, "median_ns": 8000.0}
+            ], "metrics": {}}"#,
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 2);
+        // First appearance: new rows against an old baseline are allowed.
+        let report = compare(&[], &rows, 0.25);
+        assert!(report.passed());
+        assert_eq!(report.added.len(), 2);
+        // Once committed as the baseline, a blown-up index row trips it.
+        let slow = [
+            row("criteria_reach", "is_ancestor_index", 5000.0),
+            rows[1].clone(),
+        ];
+        let report = compare(&rows, &slow, 0.25);
+        assert!(!report.passed());
+        assert_eq!(
+            report.regressions[0].key,
+            "criteria_reach/is_ancestor_index"
+        );
+    }
+
     fn verdict(key: &str, admitted: bool) -> VerdictRow {
         VerdictRow {
             key: key.into(),

@@ -21,7 +21,7 @@ use std::path::Path;
 use std::sync::Arc;
 use std::time::Duration;
 
-use btadt_core::{eventual_consistency, strong_consistency};
+use btadt_core::{eventual_consistency, strong_consistency, ReachForest};
 use btadt_history::ConsistencyCriterion;
 use btadt_netsim::{
     AdversaryMix, Latency, MatrixCell, Scenario, ScenarioMatrix, SimReport, SimTime, Simulator,
@@ -102,10 +102,19 @@ pub fn run_cell(scenario: &Scenario, seed: u64) -> CellOutcome {
     let converged = honest_chains
         .windows(2)
         .all(|w| w[0].tip().id == w[1].tip().id);
+    // Interval-indexed pairwise divergence: intern the honest chains once
+    // and answer each mcp via the reachability index instead of re-zipping
+    // every pair.  The positional walk stays as the fallback (and spec) for
+    // chain sets the forest refuses; both produce identical depths, so the
+    // scenario determinism gates are unaffected.
     let mut divergence_depth = 0u64;
+    let forest = ReachForest::from_chains(honest_chains.iter());
     for (i, a) in honest_chains.iter().enumerate() {
-        for b in honest_chains.iter().skip(i + 1) {
-            let mcp = a.mcp_len(b);
+        for (j, b) in honest_chains.iter().enumerate().skip(i + 1) {
+            let mcp = match &forest {
+                Some(forest) => forest.mcp_len(a, forest.tip(j)),
+                None => a.mcp_len(b),
+            };
             divergence_depth = divergence_depth.max(a.height().max(b.height()) - mcp);
         }
     }
@@ -502,6 +511,56 @@ mod tests {
             .iter()
             .map(|c| (c.scenario.as_str(), c.seed, &c.result))
             .collect()
+    }
+
+    #[test]
+    fn scenario_histories_get_identical_indexed_and_reference_verdicts() {
+        // Satellite of the reachability-index PR: every history the smoke
+        // matrix produces must get byte-identical SC/EC verdicts from the
+        // indexed checkers and the chain-walking reference conjunctions.
+        use btadt_core::{eventual_consistency_reference, strong_consistency_reference};
+        let matrix = smoke_matrix();
+        for scenario in &matrix.scenarios {
+            for &seed in &matrix.seeds {
+                let config = scenario_pow_config(seed, scenario.duration);
+                let miners = build_miners(
+                    scenario.nodes,
+                    scenario.adversaries,
+                    &config,
+                    WITHHOLD_DELAY,
+                );
+                let mut sim =
+                    Simulator::new(miners, scenario.sim_config(seed), scenario.failure_plan());
+                sim.run();
+                let (mut miners, _) = sim.into_parts();
+                let crashed: Vec<usize> = scenario.crashes.iter().map(|&(p, _)| p).collect();
+                for (i, m) in miners.iter_mut().enumerate() {
+                    if !crashed.contains(&i) {
+                        m.force_read(SimTime(scenario.max_time));
+                    }
+                }
+                let logs: Vec<ReplicaLog> = miners.iter().map(|m| m.log().clone()).collect();
+                let (history, _) = build_histories(&logs);
+                let sc = strong_consistency(Arc::new(LengthScore), Arc::new(AlwaysValid));
+                let sc_ref =
+                    strong_consistency_reference(Arc::new(LengthScore), Arc::new(AlwaysValid));
+                assert_eq!(
+                    sc.check(&history),
+                    sc_ref.check(&history),
+                    "{} seed {seed}: SC verdicts diverge",
+                    scenario.name
+                );
+                let ec = eventual_consistency(Arc::new(LengthScore), Arc::new(AlwaysValid));
+                let ec_ref =
+                    eventual_consistency_reference(Arc::new(LengthScore), Arc::new(AlwaysValid));
+                assert_eq!(
+                    ec.check(&history),
+                    ec_ref.check(&history),
+                    "{} seed {seed}: EC verdicts diverge",
+                    scenario.name
+                );
+            }
+        }
     }
 
     #[test]

@@ -25,6 +25,7 @@ use crate::blocktree::AppendPath;
 use crate::driver::{build_replica, check_claimed, run_workload_with_on, DriverConfig};
 use crate::fault::FaultPlan;
 use crate::storage::{crash_recover_heal, faulted_store, StorageReport};
+use btadt_types::{BlockTree, NodeIdx};
 
 /// One cell of the chaos grid: a workload pinned to a seed, a fault plan,
 /// a thread count and an append path.
@@ -131,6 +132,40 @@ pub fn default_plans(seed: u64) -> Vec<FaultPlan> {
     ]
 }
 
+/// Exhaustive reachability-index ↔ topology agreement sweep: every
+/// ordered node pair must get the same ancestor verdict from interval
+/// containment ([`BlockTree::is_ancestor_idx`]) and from climbing parent
+/// pointers.  Chaos trees are small (≤ a few hundred nodes), so the O(n²)
+/// sweep is cheap; any disagreement means a fault schedule corrupted the
+/// interval labels without tripping the structural invariants.
+pub fn reachability_disagreements(tree: &BlockTree) -> Vec<String> {
+    let walk_is_ancestor = |a: NodeIdx, b: NodeIdx| {
+        let mut cursor = Some(b);
+        while let Some(c) = cursor {
+            if c == a {
+                return true;
+            }
+            cursor = tree.parent_idx(c);
+        }
+        false
+    };
+    let mut out = Vec::new();
+    let n = tree.len() as u32;
+    for a in 0..n {
+        for b in 0..n {
+            let (a, b) = (NodeIdx(a), NodeIdx(b));
+            let indexed = tree.is_ancestor_idx(a, b);
+            if indexed != walk_is_ancestor(a, b) {
+                out.push(format!(
+                    "reach: index says is_ancestor({a:?}, {b:?}) = {indexed}, \
+                     the parent walk disagrees"
+                ));
+            }
+        }
+    }
+    out
+}
+
 /// Runs one chaos cell: workload under the armed plan, background
 /// invariant monitor, criterion judgement.
 pub fn run_chaos_cell(cell: &ChaosCell) -> ChaosOutcome {
@@ -190,6 +225,9 @@ pub fn run_chaos_cell(cell: &ChaosCell) -> ChaosOutcome {
             .map(|v| format!("final: {v}")),
     );
     violations.dedup();
+    // The index must agree with the topology pair-for-pair, not only pass
+    // the structural nesting invariants the monitor already rechecks.
+    violations.extend(reachability_disagreements(&replica.writer_tree_snapshot()));
 
     // Storage epilogue: crash the durable store, recover it from whatever
     // the faulted medium kept, heal the gap from the in-memory tree (the

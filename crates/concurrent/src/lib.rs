@@ -76,7 +76,9 @@ pub use blocktree::{
 };
 pub use cas::CasRegister;
 pub use cas_from_oracle::OracleCas;
-pub use chaos::{chaos_grid, default_plans, run_chaos_cell, ChaosCell, ChaosOutcome};
+pub use chaos::{
+    chaos_grid, default_plans, reachability_disagreements, run_chaos_cell, ChaosCell, ChaosOutcome,
+};
 pub use consensus::{CasConsensus, Consensus, OracleConsensus};
 pub use driver::{
     build_replica, check_claimed, claimed_criterion, run_workload, run_workload_on,

@@ -16,8 +16,8 @@
 //! fair scheduler almost never produces.
 
 use btadt_concurrent::{
-    chaos_grid, default_plans, run_chaos_cell, AppendPath, ChaosCell, FaultAction, FaultPlan,
-    FaultSession, Seam,
+    chaos_grid, default_plans, reachability_disagreements, run_chaos_cell, AppendPath, ChaosCell,
+    FaultAction, FaultPlan, FaultSession, Seam,
 };
 
 const SEEDS: [u64; 3] = [5, 23, 71];
@@ -171,8 +171,17 @@ fn injected_panics_poison_then_heal_under_load() {
         violations.is_empty(),
         "healed replica is sound: {violations:?}"
     );
+    // The healed tree's reachability index agrees with its topology
+    // pair-for-pair — poison recovery must not leave stale intervals.
+    let disagreements = reachability_disagreements(&replica.writer_tree_snapshot());
+    assert!(disagreements.is_empty(), "{disagreements:?}");
     // The replica still makes progress after all that poison.
     let before = replica.height();
     assert!(replica.append(0, vec![]).appended);
     assert!(replica.height() >= before);
+    let disagreements = reachability_disagreements(&replica.writer_tree_snapshot());
+    assert!(
+        disagreements.is_empty(),
+        "post-heal appends keep the index consistent: {disagreements:?}"
+    );
 }

@@ -5,29 +5,59 @@
 //! the chain preceding `b`) and (ii) have been inserted with an `append(b)`
 //! operation whose invocation precedes the read's response in program order.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
-use btadt_history::{ConsistencyCriterion, Verdict, Violation};
+use btadt_history::{ConsistencyCriterion, Verdict};
 use btadt_types::{BlockId, ValidityPredicate};
 
-use crate::ops::{BtHistory, BtHistoryExt, BtOperation, BtResponse};
+use crate::criteria::CappedViolations;
+use crate::ops::{BtHistory, BtHistoryExt, BtOperation, BtRecord, BtResponse};
 
 /// Checks the Block Validity property.
 pub struct BlockValidity {
     validity: Arc<dyn ValidityPredicate>,
+    use_cache: bool,
 }
 
 impl BlockValidity {
     /// Creates the property for the given validity predicate `P`.
     pub fn new(validity: Arc<dyn ValidityPredicate>) -> Self {
-        BlockValidity { validity }
+        BlockValidity {
+            validity,
+            use_cache: true,
+        }
+    }
+
+    /// Creates the property in reference mode: no memoization, every block
+    /// occurrence re-evaluates the predicate against a freshly materialized
+    /// context.  The executable spec the cached path is tested against.
+    pub fn reference(validity: Arc<dyn ValidityPredicate>) -> Self {
+        BlockValidity {
+            validity,
+            use_cache: false,
+        }
     }
 }
 
 impl ConsistencyCriterion<BtOperation, BtResponse> for BlockValidity {
     fn check(&self, history: &BtHistory) -> Verdict {
-        let mut violations = Vec::new();
+        let mut violations = CappedViolations::new("block-validity");
         let appends = history.appends();
+        // Append records grouped by block id: membership tests then touch
+        // only the records for that id instead of scanning every append
+        // per block per read.
+        let mut appends_by_id: HashMap<BlockId, Vec<&BtRecord>> = HashMap::new();
+        if self.use_cache {
+            for (a, b, _ok) in &appends {
+                appends_by_id.entry(b.id).or_default().push(a);
+            }
+        }
+        // A block's chain context is its ancestor path, which its structural
+        // id determines (the same interning assumption the tree relies on),
+        // and the predicate is deterministic — so the verdict per block is
+        // memoizable across reads.
+        let mut validity_cache: HashMap<BlockId, bool> = HashMap::new();
 
         for (read, chain) in history.reads() {
             for (idx, block) in chain.blocks().iter().enumerate() {
@@ -35,37 +65,54 @@ impl ConsistencyCriterion<BtOperation, BtResponse> for BlockValidity {
                     continue;
                 }
                 // (i) validity against the prefix preceding the block.
-                let context = chain.truncated(idx - 1);
-                if !self.validity.is_valid(block, &context) {
-                    violations.push(Violation {
-                        property: "block-validity",
-                        witnesses: vec![read.id],
-                        detail: format!(
+                let valid = if self.use_cache {
+                    match validity_cache.get(&block.id) {
+                        Some(&v) => v,
+                        None => {
+                            let context = chain.truncated(idx - 1);
+                            let v = self.validity.is_valid(block, &context);
+                            validity_cache.insert(block.id, v);
+                            v
+                        }
+                    }
+                } else {
+                    let context = chain.truncated(idx - 1);
+                    self.validity.is_valid(block, &context)
+                };
+                if !valid {
+                    violations.push_with(vec![read.id], || {
+                        format!(
                             "read returned block {} which is invalid in its chain context",
                             block.id
-                        ),
+                        )
                     });
                 }
                 // (ii) the block was appended, and the append's invocation
                 // precedes this read's response (e_inv(append) ↗ e_rsp(read)).
-                let appended_before = appends.iter().any(|(a, b, _ok)| {
-                    b.id == block.id
-                        && (a.invoked_at < read.responded_at.unwrap_or(a.invoked_at)
-                            || (a.process == read.process && a.seq < read.seq))
-                });
+                let precedes = |a: &BtRecord| {
+                    a.invoked_at < read.responded_at.unwrap_or(a.invoked_at)
+                        || (a.process == read.process && a.seq < read.seq)
+                };
+                let appended_before = if self.use_cache {
+                    appends_by_id
+                        .get(&block.id)
+                        .is_some_and(|records| records.iter().any(|a| precedes(a)))
+                } else {
+                    appends
+                        .iter()
+                        .any(|(a, b, _ok)| b.id == block.id && precedes(a))
+                };
                 if !appended_before {
-                    violations.push(Violation {
-                        property: "block-validity",
-                        witnesses: vec![read.id],
-                        detail: format!(
+                    violations.push_with(vec![read.id], || {
+                        format!(
                             "read returned block {} with no preceding append({}) invocation",
                             block.id, block.id
-                        ),
+                        )
                     });
                 }
             }
         }
-        Verdict::from_violations(violations)
+        Verdict::from_violations(violations.finish())
     }
 
     fn name(&self) -> &'static str {

@@ -18,17 +18,21 @@
 //! reference points; the protocol simulations end with a quiescent round so
 //! the default of `0` is sound there.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
-use btadt_history::{ConsistencyCriterion, Verdict, Violation};
-use btadt_types::Score;
+use btadt_history::{ConsistencyCriterion, Verdict};
+use btadt_types::{NodeIdx, Score};
 
+use crate::criteria::CappedViolations;
 use crate::ops::{BtHistory, BtHistoryExt, BtOperation, BtResponse};
+use crate::reachability::ReachForest;
 
 /// Checks the Eventual Prefix property under a given score function.
 pub struct EventualPrefix {
     score: Arc<dyn Score>,
     ignore_last: usize,
+    use_index: bool,
 }
 
 impl EventualPrefix {
@@ -37,6 +41,7 @@ impl EventualPrefix {
         EventualPrefix {
             score,
             ignore_last: 0,
+            use_index: true,
         }
     }
 
@@ -44,20 +49,41 @@ impl EventualPrefix {
     /// trace as reference points (they are still used as evidence of later
     /// convergence).
     pub fn ignoring_last(score: Arc<dyn Score>, ignore_last: usize) -> Self {
-        EventualPrefix { score, ignore_last }
+        EventualPrefix {
+            score,
+            ignore_last,
+            use_index: true,
+        }
     }
-}
 
-impl ConsistencyCriterion<BtOperation, BtResponse> for EventualPrefix {
-    fn check(&self, history: &BtHistory) -> Verdict {
+    /// Creates the property in reference mode: every `mcps` is recomputed
+    /// by zipping the chains, the executable spec the indexed path is
+    /// tested against.
+    pub fn reference(score: Arc<dyn Score>) -> Self {
+        EventualPrefix {
+            score,
+            ignore_last: 0,
+            use_index: false,
+        }
+    }
+
+    /// The shared checker body.  `forest` carries the interned read chains
+    /// when the indexed path is active: identical tip pairs then share one
+    /// memoized `mcps` computation instead of re-zipping the chains for
+    /// every reference read (`mcps` is deterministic in its two chains, and
+    /// equal tips mean positionally identical chains, so memoization cannot
+    /// change any verdict).
+    fn check_with(&self, history: &BtHistory, forest: Option<&ReachForest>) -> Verdict {
         let reads = history.reads();
-        let mut violations = Vec::new();
+        let mut violations = CappedViolations::new("eventual-prefix");
         let reference_count = reads.len().saturating_sub(self.ignore_last);
+        let mut mcps_cache: HashMap<(NodeIdx, NodeIdx), u64> = HashMap::new();
 
         for (i, (r, chain)) in reads.iter().enumerate().take(reference_count) {
             let s = self.score.score(chain);
             // For each process, its last read that responds after r.
-            let mut finals: Vec<(&crate::ops::BtRecord, &btadt_types::Blockchain)> = Vec::new();
+            let mut finals: Vec<(usize, &crate::ops::BtRecord, &btadt_types::Blockchain)> =
+                Vec::new();
             for p in history.processes() {
                 let last_after = reads
                     .iter()
@@ -65,33 +91,54 @@ impl ConsistencyCriterion<BtOperation, BtResponse> for EventualPrefix {
                     .filter(|(j, (other, _))| {
                         *j != i && other.process == p && history.program_order(r, other)
                     })
-                    .map(|(_, pair)| pair)
+                    .map(|(j, (rec, c))| (j, *rec, *c))
                     .next_back();
-                if let Some((rec, c)) = last_after {
-                    finals.push((rec, c));
+                if let Some(found) = last_after {
+                    finals.push(found);
                 }
             }
             // Every pair of final reads must share a prefix of score ≥ s.
             for a in 0..finals.len() {
                 for b in (a + 1)..finals.len() {
-                    let (ra, ca) = finals[a];
-                    let (rb, cb) = finals[b];
-                    let m = self.score.mcps(ca, cb);
+                    let (ja, ra, ca) = finals[a];
+                    let (jb, rb, cb) = finals[b];
+                    let m = match forest {
+                        Some(forest) => {
+                            let ta = forest.tip(ja);
+                            let tb = forest.tip(jb);
+                            let key = (ta.min(tb), ta.max(tb));
+                            *mcps_cache
+                                .entry(key)
+                                .or_insert_with(|| self.score.mcps(ca, cb))
+                        }
+                        None => self.score.mcps(ca, cb),
+                    };
                     if m < s {
-                        violations.push(Violation {
-                            property: "eventual-prefix",
-                            witnesses: vec![r.id, ra.id, rb.id],
-                            detail: format!(
+                        violations.push_with(vec![r.id, ra.id, rb.id], || {
+                            format!(
                                 "reference read has score {s} but the final reads of {} and {} \
                                  only share a prefix of score {m}",
                                 ra.process, rb.process
-                            ),
+                            )
                         });
                     }
                 }
             }
         }
-        Verdict::from_violations(violations)
+        Verdict::from_violations(violations.finish())
+    }
+}
+
+impl ConsistencyCriterion<BtOperation, BtResponse> for EventualPrefix {
+    fn check(&self, history: &BtHistory) -> Verdict {
+        if !self.use_index {
+            return self.check_with(history, None);
+        }
+        let reads = history.reads();
+        match ReachForest::from_chains(reads.iter().map(|(_, c)| *c)) {
+            Some(forest) => self.check_with(history, Some(&forest)),
+            None => self.check_with(history, None),
+        }
     }
 
     fn name(&self) -> &'static str {

@@ -5,45 +5,99 @@
 //! their prefixes never diverge.  This is the property that separates
 //! Consensus-based blockchains from proof-of-work ones (Theorem 4.8 shows
 //! it cannot be guaranteed as soon as the oracle allows forks).
+//!
+//! ## Two implementations, one verdict
+//!
+//! The default path interns every read chain into a [`ReachForest`] and
+//! decides each pair with two O(1) interval-containment checks; the
+//! reference path ([`StrongPrefix::reference`]) zips the chains positionally
+//! via [`Blockchain::prefix_compatible`] and is kept as the executable spec.
+//! Both apply the same violation-detail cap, so the equivalence tests can
+//! require byte-identical verdicts.  Histories whose chains do not form one
+//! consistent tree (never produced by the BT-ADT, but checkers accept
+//! arbitrary histories) make the forest construction bail and the default
+//! path falls back to the reference walk.
+//!
+//! [`Blockchain::prefix_compatible`]: btadt_types::Blockchain::prefix_compatible
 
-use btadt_history::{ConsistencyCriterion, Verdict, Violation};
+use btadt_history::{ConsistencyCriterion, Verdict};
 
+use crate::criteria::CappedViolations;
 use crate::ops::{BtHistory, BtHistoryExt, BtOperation, BtResponse};
+use crate::reachability::ReachForest;
 
 /// Checks the Strong Prefix property.
-#[derive(Default)]
 pub struct StrongPrefix {
-    _private: (),
+    use_index: bool,
 }
 
-impl StrongPrefix {
-    /// Creates the property.
-    pub fn new() -> Self {
-        StrongPrefix::default()
+impl Default for StrongPrefix {
+    fn default() -> Self {
+        StrongPrefix::new()
     }
 }
 
-impl ConsistencyCriterion<BtOperation, BtResponse> for StrongPrefix {
-    fn check(&self, history: &BtHistory) -> Verdict {
+impl StrongPrefix {
+    /// Creates the property (reachability-indexed pair checks).
+    pub fn new() -> Self {
+        StrongPrefix { use_index: true }
+    }
+
+    /// Creates the property in reference mode: positional chain zipping,
+    /// the executable spec the indexed path is tested against.
+    pub fn reference() -> Self {
+        StrongPrefix { use_index: false }
+    }
+
+    /// The chain-walking spec: pairwise [`prefix_compatible`] zips.
+    ///
+    /// [`prefix_compatible`]: btadt_types::Blockchain::prefix_compatible
+    fn check_walk(&self, history: &BtHistory) -> Verdict {
         let reads = history.reads();
-        let mut violations = Vec::new();
+        let mut violations = CappedViolations::new("strong-prefix");
         for i in 0..reads.len() {
             for j in (i + 1)..reads.len() {
                 let (ri, ci) = reads[i];
                 let (rj, cj) = reads[j];
                 if !ci.prefix_compatible(cj) {
-                    violations.push(Violation {
-                        property: "strong-prefix",
-                        witnesses: vec![ri.id, rj.id],
-                        detail: format!(
+                    violations.push_with(vec![ri.id, rj.id], || {
+                        format!(
                             "reads returned diverging chains {:?} and {:?} (neither prefixes the other)",
                             ci, cj
-                        ),
+                        )
                     });
                 }
             }
         }
-        Verdict::from_violations(violations)
+        Verdict::from_violations(violations.finish())
+    }
+}
+
+impl ConsistencyCriterion<BtOperation, BtResponse> for StrongPrefix {
+    fn check(&self, history: &BtHistory) -> Verdict {
+        if !self.use_index {
+            return self.check_walk(history);
+        }
+        let reads = history.reads();
+        let Some(forest) = ReachForest::from_chains(reads.iter().map(|(_, c)| *c)) else {
+            return self.check_walk(history);
+        };
+        let mut violations = CappedViolations::new("strong-prefix");
+        for i in 0..reads.len() {
+            for j in (i + 1)..reads.len() {
+                if !forest.compatible(i, j) {
+                    let (ri, ci) = reads[i];
+                    let (rj, cj) = reads[j];
+                    violations.push_with(vec![ri.id, rj.id], || {
+                        format!(
+                            "reads returned diverging chains {:?} and {:?} (neither prefixes the other)",
+                            ci, cj
+                        )
+                    });
+                }
+            }
+        }
+        Verdict::from_violations(violations.finish())
     }
 
     fn name(&self) -> &'static str {

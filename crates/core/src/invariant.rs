@@ -18,6 +18,11 @@
 //!    `parent's cumulative work + own work`.
 //! 4. **Aggregate agreement** — `height()` and `max_fork_degree()` match
 //!    recomputed values.
+//! 5. **Reachability labeling** — every node's `[start, end)` interval nests
+//!    strictly inside its parent's usable range, sibling intervals are
+//!    pairwise disjoint, and allocation cursors stay in bounds, so interval
+//!    containment remains a sound ancestor test (see
+//!    `btadt_types::reachability`).
 //!
 //! Violations are reported, not panicked, so background monitor threads can
 //! collect them and fail a run at the end with context.
@@ -198,7 +203,75 @@ pub fn check_block_tree(tree: &BlockTree) -> Vec<InvariantViolation> {
         ));
     }
 
+    check_reachability_labels(tree, &mut out);
+
     out
+}
+
+/// The reachability-labeling invariants: interval nesting (child strictly
+/// inside the parent's usable range `[start, end-1)`), sibling disjointness,
+/// and cursor bounds.  These are exactly the conditions under which interval
+/// containment equals ancestry, so the O(1) `is_ancestor` fast path stays
+/// trustworthy under fault injection.
+fn check_reachability_labels(tree: &BlockTree, out: &mut Vec<InvariantViolation>) {
+    for block in tree.blocks() {
+        let idx = tree.idx_of(block.id).expect("enumerated blocks resolve");
+        let iv = tree.interval_at(idx);
+        if iv.start >= iv.end {
+            out.push(violation(
+                "reachability",
+                Some(block.id),
+                format!("empty labeling interval [{}, {})", iv.start, iv.end),
+            ));
+            continue;
+        }
+        let cursor = tree.interval_cursor_at(idx);
+        if cursor < iv.start || cursor > iv.end - 1 {
+            out.push(violation(
+                "reachability",
+                Some(block.id),
+                format!(
+                    "allocation cursor {cursor} outside usable range [{}, {})",
+                    iv.start,
+                    iv.end - 1
+                ),
+            ));
+        }
+        let mut child_ivs: Vec<_> = tree
+            .children_idx(idx)
+            .iter()
+            .map(|&c| (tree.block_at(c).id, tree.interval_at(c)))
+            .collect();
+        child_ivs.sort_by_key(|(_, c)| c.start);
+        for (k, (child_id, child_iv)) in child_ivs.iter().enumerate() {
+            if child_iv.start < iv.start || child_iv.end > iv.end - 1 {
+                out.push(violation(
+                    "reachability",
+                    Some(*child_id),
+                    format!(
+                        "interval [{}, {}) escapes the parent's usable range [{}, {})",
+                        child_iv.start,
+                        child_iv.end,
+                        iv.start,
+                        iv.end - 1
+                    ),
+                ));
+            }
+            if k > 0 && child_ivs[k - 1].1.end > child_iv.start {
+                out.push(violation(
+                    "reachability",
+                    Some(*child_id),
+                    format!(
+                        "interval [{}, {}) overlaps sibling {} ending at {}",
+                        child_iv.start,
+                        child_iv.end,
+                        child_ivs[k - 1].0,
+                        child_ivs[k - 1].1.end
+                    ),
+                ));
+            }
+        }
+    }
 }
 
 /// Checks that a durable block set agrees with a (possibly pruned)
@@ -309,6 +382,16 @@ mod tests {
             let violations = check_block_tree(&tree);
             assert!(violations.is_empty(), "seed {seed}: {violations:?}");
         }
+    }
+
+    #[test]
+    fn reindexed_trees_keep_the_labeling_invariants() {
+        // A wide star forces interval exhaustion and reindex passes; the
+        // labeling family must stay clean through every pass.
+        let tree = Workload::new(13).forked_tree(0, 200, 1);
+        assert!(tree.reachability_reindexes() > 0, "star must reindex");
+        let violations = check_block_tree(&tree);
+        assert!(violations.is_empty(), "{violations:?}");
     }
 
     #[test]

@@ -23,6 +23,10 @@
 //!   (Definition 4.3, Figure 13) and the Light Reliable Communication
 //!   abstraction (Definition 4.4), as executable checks over
 //!   message-passing histories.
+//! * [`reachability`] — the [`ReachForest`]: all read chains of a history
+//!   interned into one interval-indexed [`btadt_types::BlockTree`], turning
+//!   the checkers' pairwise prefix tests into O(1) containment checks and
+//!   `mcp` into an interval-guided binary ascent.
 //! * [`invariant`] — recompute-and-compare structural checking of
 //!   [`btadt_types::BlockTree`] instances (link consistency, leaf-set
 //!   agreement, cumulative-work monotonicity) for fault-injection monitors.
@@ -38,19 +42,22 @@ pub mod criteria;
 pub mod hierarchy;
 pub mod invariant;
 pub mod ops;
+pub mod reachability;
 pub mod refinement;
 pub mod replica;
 pub mod update_agreement;
 
 pub use blocktree_adt::{BlockTreeAdt, BtState};
 pub use criteria::{
-    eventual_consistency, strong_consistency, BlockValidity, EventualPrefix, EverGrowingTree,
+    eventual_consistency, eventual_consistency_reference, strong_consistency,
+    strong_consistency_reference, BlockValidity, EventualPrefix, EverGrowingTree,
     LocalMonotonicRead, StrongPrefix,
 };
 pub use invariant::{
     assert_block_tree, check_block_tree, check_store_tree_agreement, InvariantViolation,
 };
 pub use ops::{BtHistory, BtOperation, BtRecorder, BtResponse};
+pub use reachability::ReachForest;
 pub use refinement::{RefinedBlockTree, RefinementOutcome};
 pub use replica::{BtReplica, ReplicatedRun};
 pub use update_agreement::{

@@ -1,0 +1,104 @@
+//! Checker equivalence: the reachability-indexed SC/EC checkers must
+//! produce **byte-identical** verdicts to the chain-walking reference
+//! checkers on every history the oracle machinery can produce.
+//!
+//! The reference conjunctions (`*_consistency_reference`) run the same
+//! properties in reference mode — positional chain zipping, no caches —
+//! so any disagreement pins the divergence to the index substitution.
+
+use std::sync::Arc;
+
+use btadt_core::hierarchy::{run_contended, ContendedRunConfig, OracleKind};
+use btadt_core::{
+    eventual_consistency, eventual_consistency_reference, strong_consistency,
+    strong_consistency_reference,
+};
+use btadt_history::ConsistencyCriterion;
+use btadt_types::{AlwaysValid, LengthScore, NoDoubleSpend, WorkScore};
+
+fn config(seed: u64, rounds: usize, sync_probability: f64) -> ContendedRunConfig {
+    ContendedRunConfig {
+        processes: 4,
+        rounds,
+        sync_probability,
+        seed,
+    }
+}
+
+#[test]
+fn contended_histories_get_identical_sc_and_ec_verdicts() {
+    let kinds = [
+        OracleKind::Frugal(1),
+        OracleKind::Frugal(3),
+        OracleKind::Prodigal,
+    ];
+    for kind in kinds {
+        for seed in 0..4u64 {
+            for sync in [0.1, 0.5, 1.0] {
+                let run = run_contended(kind, config(seed, 24, sync));
+                let sc = strong_consistency(Arc::new(LengthScore), Arc::new(AlwaysValid));
+                let sc_ref =
+                    strong_consistency_reference(Arc::new(LengthScore), Arc::new(AlwaysValid));
+                assert_eq!(
+                    sc.check(&run.history),
+                    sc_ref.check(&run.history),
+                    "{} seed {seed} sync {sync}: SC verdicts diverge",
+                    kind.label()
+                );
+                let ec = eventual_consistency(Arc::new(LengthScore), Arc::new(AlwaysValid));
+                let ec_ref =
+                    eventual_consistency_reference(Arc::new(LengthScore), Arc::new(AlwaysValid));
+                assert_eq!(
+                    ec.check(&run.history),
+                    ec_ref.check(&run.history),
+                    "{} seed {seed} sync {sync}: EC verdicts diverge",
+                    kind.label()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn equivalence_holds_under_work_score_and_real_validity() {
+    // A different score function and a non-trivial validity predicate:
+    // the caches and the mcps memoization must not change any verdict.
+    for seed in [3u64, 11] {
+        let run = run_contended(OracleKind::Prodigal, config(seed, 40, 0.3));
+        let sc = strong_consistency(Arc::new(WorkScore), Arc::new(NoDoubleSpend));
+        let sc_ref = strong_consistency_reference(Arc::new(WorkScore), Arc::new(NoDoubleSpend));
+        assert_eq!(sc.check(&run.history), sc_ref.check(&run.history));
+        let ec = eventual_consistency(Arc::new(WorkScore), Arc::new(NoDoubleSpend));
+        let ec_ref = eventual_consistency_reference(Arc::new(WorkScore), Arc::new(NoDoubleSpend));
+        assert_eq!(ec.check(&run.history), ec_ref.check(&run.history));
+    }
+}
+
+#[test]
+fn heavy_contention_verdicts_are_capped_identically() {
+    // The bench configuration: thousands of pairwise Strong Prefix
+    // violations.  Both paths must fold them into the same capped verdict
+    // (first 16 with full detail plus one summary per property).
+    let run = run_contended(
+        OracleKind::Prodigal,
+        ContendedRunConfig {
+            processes: 4,
+            rounds: 60,
+            sync_probability: 0.3,
+            seed: 11,
+        },
+    );
+    let sc = strong_consistency(Arc::new(LengthScore), Arc::new(AlwaysValid));
+    let verdict = sc.check(&run.history);
+    assert!(!verdict.is_admitted(), "the contended run must violate SC");
+    let sp: Vec<_> = verdict
+        .violations
+        .iter()
+        .filter(|v| v.property == "strong-prefix")
+        .collect();
+    assert_eq!(sp.len(), 17, "16 detailed violations plus one summary");
+    assert!(sp.last().unwrap().detail.contains("suppressed"));
+    assert!(sp.last().unwrap().witnesses.is_empty());
+    let sc_ref = strong_consistency_reference(Arc::new(LengthScore), Arc::new(AlwaysValid));
+    assert_eq!(verdict, sc_ref.check(&run.history));
+}

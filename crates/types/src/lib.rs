@@ -38,6 +38,7 @@
 
 pub mod block;
 pub mod chain;
+pub mod reachability;
 pub mod reference;
 pub mod score;
 pub mod selection;
@@ -48,6 +49,7 @@ pub mod workload;
 
 pub use block::{Block, BlockBuilder, BlockId, GENESIS_ID};
 pub use chain::Blockchain;
+pub use reachability::Interval;
 pub use reference::NaiveBlockTree;
 pub use score::{ChainScore, LengthScore, Score, WorkScore};
 pub use selection::{GhostSelection, HeaviestChain, LongestChain, SelectionFunction, TieBreak};

@@ -42,6 +42,7 @@ use std::hash::{BuildHasherDefault, Hasher};
 
 use crate::block::{Block, BlockId, GENESIS_ID};
 use crate::chain::Blockchain;
+use crate::reachability::{Interval, ReachabilityIndex, Topology};
 
 /// A pass-through hasher for [`BlockId`] keys: block identifiers already
 /// *are* structural hashes, so the interning map only needs a cheap avalanche
@@ -160,6 +161,23 @@ pub struct BlockTree {
     best_work_largest: (u64, BlockId),
     best_work_smallest: (u64, BlockId),
     max_fork_degree: usize,
+    /// Interval-labeled reachability over the slab: every node's `[start,
+    /// end)` interval nests inside its parent's, making ancestor queries a
+    /// containment check (see [`crate::reachability`]).
+    reach: ReachabilityIndex,
+}
+
+/// The slab view the reachability index walks during (re)labeling.
+struct SlabTopology<'a>(&'a [BlockNode]);
+
+impl Topology for SlabTopology<'_> {
+    fn parent_of(&self, idx: NodeIdx) -> Option<NodeIdx> {
+        self.0[idx.at()].parent
+    }
+
+    fn children_of(&self, idx: NodeIdx) -> &[NodeIdx] {
+        &self.0[idx.at()].children
+    }
 }
 
 impl BlockTree {
@@ -183,6 +201,7 @@ impl BlockTree {
             best_work_largest: (genesis_work, GENESIS_ID),
             best_work_smallest: (genesis_work, GENESIS_ID),
             max_fork_degree: 0,
+            reach: ReachabilityIndex::with_root(),
         }
     }
 
@@ -221,6 +240,7 @@ impl BlockTree {
             best_work_largest: (root_work, root_id),
             best_work_smallest: (root_work, root_id),
             max_fork_degree: 0,
+            reach: ReachabilityIndex::with_root(),
         }
     }
 
@@ -271,6 +291,53 @@ impl BlockTree {
         self.nodes[idx.at()].cumulative_work
     }
 
+    /// The reachability labeling interval of the node at `idx`.
+    pub fn interval_at(&self, idx: NodeIdx) -> Interval {
+        self.reach.interval(idx)
+    }
+
+    /// The child-allocation cursor of the node at `idx` (exposed for
+    /// invariant checks: the cursor never passes `interval.end - 1`).
+    pub fn interval_cursor_at(&self, idx: NodeIdx) -> u64 {
+        self.reach.cursor(idx)
+    }
+
+    /// How many interval reindex passes this tree has run — an amortization
+    /// telemetry counter for stress tests and benches.
+    pub fn reachability_reindexes(&self) -> u64 {
+        self.reach.reindexes()
+    }
+
+    /// Is the node at `a` an ancestor of (or equal to) the node at `b`?
+    ///
+    /// O(1): one interval containment check, no parent walking.
+    #[inline]
+    pub fn is_ancestor_idx(&self, a: NodeIdx, b: NodeIdx) -> bool {
+        self.reach.is_ancestor(a, b)
+    }
+
+    /// Is block `a` an ancestor of (or equal to) block `b`?  `None` when
+    /// either block is not in the tree.
+    pub fn is_ancestor(&self, a: BlockId, b: BlockId) -> Option<bool> {
+        Some(self.is_ancestor_idx(self.idx_of(a)?, self.idx_of(b)?))
+    }
+
+    /// The maximal common prefix point (lowest common ancestor) of the
+    /// nodes at `a` and `b`.
+    ///
+    /// Walks up from `a` with O(1) containment checks per step, so the cost
+    /// is the distance from `a` to the answer — not to the root — and zero
+    /// when one argument is an ancestor of the other.
+    pub fn mcp_idx(&self, a: NodeIdx, b: NodeIdx) -> NodeIdx {
+        let mut cursor = a;
+        while !self.is_ancestor_idx(cursor, b) {
+            cursor = self.nodes[cursor.at()]
+                .parent
+                .expect("the root is an ancestor of every node");
+        }
+        cursor
+    }
+
     /// The genesis block.
     pub fn genesis(&self) -> &Block {
         &self.nodes[NodeIdx::GENESIS.at()].block
@@ -305,6 +372,10 @@ impl BlockTree {
         let parent_work = parent.cumulative_work;
         let cumulative_work = parent_work + block.work;
         let idx = NodeIdx(u32::try_from(self.nodes.len()).expect("arena capacity exceeded"));
+
+        // Label the new node before linking it, so a reindex pass walks the
+        // consistent pre-insertion topology.
+        self.reach.attach(parent_idx, &SlabTopology(&self.nodes));
 
         // Link into the parent and maintain the incremental indices.
         let parent = &mut self.nodes[parent_idx.at()];
