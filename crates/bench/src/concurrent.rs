@@ -276,7 +276,9 @@ fn locked_pure_reads(threads: usize, params: SuiteParams) -> f64 {
     let tree = Mutex::new(BlockTree::new());
     let selection = LongestChain::new();
     {
-        let mut t = tree.lock().unwrap();
+        let mut t = tree
+            .lock()
+            .expect("bench threads do not panic under the lock");
         for i in 0..params.prepopulate {
             let parent = selection.select(&t).tip().clone();
             let block = BlockBuilder::new(&parent).nonce(i as u64).build();
@@ -293,7 +295,9 @@ fn locked_pure_reads(threads: usize, params: SuiteParams) -> f64 {
             scope.spawn(move || {
                 barrier.wait();
                 for _ in 0..per_thread {
-                    let t = tree.lock().unwrap();
+                    let t = tree
+                        .lock()
+                        .expect("bench threads do not panic under the lock");
                     let chain = selection.select(&t);
                     std::hint::black_box(chain.height());
                 }

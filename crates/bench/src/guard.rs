@@ -311,10 +311,30 @@ pub fn verdicts_from_report(doc: &Json) -> Result<Vec<VerdictRow>, String> {
             push_bool_fields(&mut rows, cell, &prefix, &["healed", "converged", "clean"])?;
         }
     }
+    if let Some(cells) = doc.get("model").and_then(Json::as_array) {
+        for (i, cell) in cells.iter().enumerate() {
+            let name = cell
+                .get("cell")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("model[{i}] has no \"cell\""))?;
+            let prefix = format!("model/{name}");
+            push_bool_fields(&mut rows, cell, &prefix, &["exhausted", "as_expected"])?;
+        }
+    }
+    if let Some(probes) = doc.get("race").and_then(Json::as_array) {
+        for (i, probe) in probes.iter().enumerate() {
+            let name = probe
+                .get("probe")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("race[{i}] has no \"probe\""))?;
+            let prefix = format!("race/{name}");
+            push_bool_fields(&mut rows, probe, &prefix, &["as_expected"])?;
+        }
+    }
     if rows.is_empty() {
         return Err(
             "report has none of the verdict sections (cells / verification / chaos / recovery / \
-             sync / steady / corruption)"
+             sync / steady / corruption / model / race)"
                 .to_string(),
         );
     }
@@ -516,6 +536,33 @@ mod tests {
         assert_eq!(rows.len(), 1 + 2 + 1);
         assert!(rows.iter().all(|r| r.admitted));
         assert!(verdicts_from_str("{\"bench\": \"tree\"}").is_err());
+    }
+
+    #[test]
+    fn model_checker_report_sections_yield_verdicts() {
+        let rows = verdicts_from_str(
+            r#"{"model": [
+                    {"cell": "strong-2c", "exhausted": true, "as_expected": true},
+                    {"cell": "racy-2c", "exhausted": true, "as_expected": true}
+                ],
+                "race": [
+                    {"probe": "strong-cas", "races": 0, "as_expected": true},
+                    {"probe": "racy-scripted", "races": 1, "as_expected": true}
+                ]}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            rows,
+            vec![
+                verdict("model/strong-2c/exhausted", true),
+                verdict("model/strong-2c/as_expected", true),
+                verdict("model/racy-2c/exhausted", true),
+                verdict("model/racy-2c/as_expected", true),
+                verdict("race/strong-cas/as_expected", true),
+                verdict("race/racy-scripted/as_expected", true),
+            ]
+        );
+        assert!(verdicts_from_str(r#"{"model": [{"cell": "x"}]}"#).is_err());
     }
 
     #[test]

@@ -198,7 +198,12 @@ fn grow(replica: &mut CheckpointedReplica, n: usize, seed: u64) -> Vec<Block> {
             .work(1 + state % 3)
             .build();
         replica.ingest(block.clone()).expect("parent is hot");
-        if block.height > tips.last().unwrap().height {
+        if block.height
+            > tips
+                .last()
+                .expect("tips starts with genesis and never empties")
+                .height
+        {
             tips.push(block.clone());
             if tips.len() > 4 {
                 tips.remove(0);

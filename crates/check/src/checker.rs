@@ -1,0 +1,456 @@
+//! Cell definitions and terminal-state judging for the model checker,
+//! plus the real-replica race probes.
+//!
+//! A **cell** is one model configuration swept exhaustively: `(path,
+//! clients, appends, mutation)` with a named expectation.  Every terminal
+//! state of every schedule is judged on four structural axes and the
+//! path's claimed consistency criterion:
+//!
+//! 1. `core::invariant::check_block_tree` on the writer tree, plus
+//!    published-view coherence (at quiescence the published length equals
+//!    the tree length and the tip is committed);
+//! 2. `reachability_disagreements` — the interval labels agree with
+//!    parent walks on the full tree;
+//! 3. the **rerooted window**: the tree rebased onto the first block of
+//!    the selected chain must re-intern all its descendants, keep its
+//!    labels walk-consistent, and still contain the published tip (and,
+//!    on mediated paths, select it);
+//! 4. the **ReachForest** over the quiescent reads must agree with the
+//!    positional `prefix_compatible`/`mcp_len` chain operations;
+//! 5. the claimed criterion (Theorems 4.1–4.3): Strong Consistency for
+//!    `strong-cas` *and* `racy-unmediated` (the racy path's claim is what
+//!    the checker refutes), Eventual Consistency for
+//!    `eventual-snapshot`.
+//!
+//! Each schedule's synchronization-event trace additionally runs through
+//! the vector-clock race detector, so the race verdicts are themselves
+//! exhaustive over the bounded schedule space — and the same detector is
+//! pointed at *real* traced replica runs by [`traced_run_races`] /
+//! [`scripted_racy_overlap`].
+
+use btadt_concurrent::trace::SyncTraceHub;
+use btadt_concurrent::{
+    claimed_criterion, reachability_disagreements, run_workload_with_on, AppendPath,
+    ConcurrentBlockTree, DriverConfig, TipRule,
+};
+use btadt_core::invariant::check_block_tree;
+use btadt_core::reachability::ReachForest;
+use btadt_types::{BlockTree, Blockchain, NodeIdx};
+
+use crate::model::{ModelConfig, ModelState};
+use crate::scheduler::{explore, replay, ExploreOptions, ExploreOutcome, TerminalSummary};
+use crate::vclock::{self, RaceReport};
+
+/// Judges one terminal state on every axis.  This is the `judge` closure
+/// the exploration and replay entry points use.
+pub fn judge_terminal(state: &ModelState) -> TerminalSummary {
+    let mut structural = Vec::new();
+    for v in check_block_tree(state.tree()) {
+        structural.push(format!("invariant {}: {}", v.invariant, v.detail));
+    }
+    let (len, tip) = state.head();
+    if len as usize != state.tree().len() {
+        structural.push(format!(
+            "published length {len} disagrees with the quiescent tree length {}",
+            state.tree().len()
+        ));
+    }
+    if tip >= len {
+        structural.push(format!("published tip {tip} is not committed (len {len})"));
+    }
+    for d in reachability_disagreements(state.tree()) {
+        structural.push(format!("reachability: {d}"));
+    }
+    structural.extend(rerooted_disagreements(
+        state.tree(),
+        state.head(),
+        state.config().path != AppendPath::Racy,
+    ));
+    structural.extend(forest_disagreements(&state.quiescent_chains()));
+    let verdict =
+        claimed_criterion(state.config().path, TipRule::default()).check(&state.history());
+    let criterion = verdict.violations.iter().map(|v| v.to_string()).collect();
+    let races = vclock::analyze(state.events()).races.len();
+    TerminalSummary {
+        structural,
+        criterion,
+        races,
+    }
+}
+
+/// Rebases the tree onto the first block of the selected chain (the
+/// `rerooted` pruning-window operation) and checks the window agrees with
+/// itself and with the published head.  `selected_tip` distinguishes the
+/// mediated paths (the published tip must be the window's best leaf) from
+/// the racy one (the published tip is only guaranteed to be *in* the
+/// window).
+fn rerooted_disagreements(tree: &BlockTree, head: (u32, u32), selected_tip: bool) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut path = Vec::new();
+    let mut cursor = Some(NodeIdx(head.1));
+    while let Some(idx) = cursor {
+        path.push(idx);
+        cursor = tree.parent_idx(idx);
+    }
+    path.reverse();
+    let Some(&root_idx) = path.get(1) else {
+        return out; // nothing appended: the window is the whole tree
+    };
+    let mut window = BlockTree::rerooted(tree.block_at(root_idx).clone());
+    for (i, block) in tree.blocks().enumerate() {
+        let idx = NodeIdx(i as u32);
+        if idx != root_idx && tree.is_ancestor_idx(root_idx, idx) {
+            if let Err(e) = window.insert(block.clone()) {
+                out.push(format!("rerooted window rejected a descendant: {e}"));
+            }
+        }
+    }
+    for d in reachability_disagreements(&window) {
+        out.push(format!("rerooted reachability: {d}"));
+    }
+    let tip_id = tree.block_at(NodeIdx(head.1)).id;
+    if !window.contains(tip_id) {
+        out.push("the published tip fell outside its own rerooted window".to_string());
+    } else if selected_tip && window.best_leaf_by_height(true) != tip_id {
+        out.push("the rerooted window selects a different tip than the published one".to_string());
+    }
+    out
+}
+
+/// Cross-validates the interval-indexed [`ReachForest`] against the
+/// positional chain operations on the quiescent reads.
+fn forest_disagreements(chains: &[Blockchain]) -> Vec<String> {
+    if chains.is_empty() {
+        return Vec::new();
+    }
+    let Some(forest) = ReachForest::from_chains(chains.iter()) else {
+        return vec!["quiescent reads failed to intern into one ReachForest".to_string()];
+    };
+    let mut out = Vec::new();
+    for i in 0..chains.len() {
+        for j in 0..chains.len() {
+            if i == j {
+                continue;
+            }
+            let indexed = forest.compatible(i, j);
+            let positional = chains[i].prefix_compatible(&chains[j]);
+            if indexed != positional {
+                out.push(format!(
+                    "ReachForest::compatible({i},{j}) = {indexed} but the positional check \
+                     says {positional}"
+                ));
+            }
+            let m_indexed = forest.mcp_len(&chains[i], forest.tip(j));
+            let m_positional = chains[i].mcp_len(&chains[j]);
+            if m_indexed != m_positional {
+                out.push(format!(
+                    "ReachForest::mcp_len({i},{j}) = {m_indexed} but the positional \
+                     mcp_len is {m_positional}"
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// What a cell's sweep is expected to establish.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Expectation {
+    /// Every schedule admitted, structurally clean and race-free; sweep
+    /// exhausted (the Strong/Eventual soundness cells).
+    AlwaysAdmitted,
+    /// Structurally clean, but at least one schedule rejected by the
+    /// claimed criterion *and* at least one schedule with a detected
+    /// race; the counterexample must replay (the racy positive control).
+    CaughtViolation,
+    /// Structurally clean, at least one rejected schedule, and **zero**
+    /// races: the weakened-CAS fork is a mediation bug, not a head-
+    /// protocol race, so only the model checker may catch it (the
+    /// mutation test of the checker itself).
+    CaughtFork,
+}
+
+impl Expectation {
+    /// Stable label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Expectation::AlwaysAdmitted => "always-admitted",
+            Expectation::CaughtViolation => "caught-violation",
+            Expectation::CaughtFork => "caught-fork",
+        }
+    }
+}
+
+/// One model-checking cell: a named configuration plus its expectation.
+#[derive(Clone, Copy, Debug)]
+pub struct CellSpec {
+    /// Stable cell name (report key).
+    pub name: &'static str,
+    /// The model configuration swept.
+    pub config: ModelConfig,
+    /// What the sweep must establish.
+    pub expect: Expectation,
+}
+
+/// The judged result of one cell sweep.
+#[derive(Clone, Debug)]
+pub struct CellResult {
+    /// The spec that ran.
+    pub spec: CellSpec,
+    /// The exploration tallies.
+    pub outcome: ExploreOutcome,
+    /// Whether the stored counterexample replayed to the same rejection
+    /// (`None` when the expectation requires no counterexample).
+    pub replay_confirmed: Option<bool>,
+    /// The cell verdict.
+    pub as_expected: bool,
+}
+
+/// The shipped cell grid.  `smoke` restricts to the 2-client cells the
+/// CI smoke job sweeps; the full grid adds the 3-client soundness cells.
+pub fn cells(smoke: bool) -> Vec<CellSpec> {
+    let mut cells = vec![
+        CellSpec {
+            name: "strong-2c",
+            config: ModelConfig::smoke(AppendPath::Strong),
+            expect: Expectation::AlwaysAdmitted,
+        },
+        CellSpec {
+            name: "eventual-2c",
+            config: ModelConfig::smoke(AppendPath::Eventual),
+            expect: Expectation::AlwaysAdmitted,
+        },
+        CellSpec {
+            name: "racy-2c",
+            config: ModelConfig::smoke(AppendPath::Racy),
+            expect: Expectation::CaughtViolation,
+        },
+        CellSpec {
+            name: "strong-2c-weakened-cas",
+            config: ModelConfig {
+                weaken_cas: true,
+                ..ModelConfig::smoke(AppendPath::Strong)
+            },
+            expect: Expectation::CaughtFork,
+        },
+    ];
+    if !smoke {
+        let wide = |path| ModelConfig {
+            path,
+            clients: 3,
+            appends_per_client: 1,
+            read_between: false,
+            weaken_cas: false,
+        };
+        cells.push(CellSpec {
+            name: "strong-3c",
+            config: wide(AppendPath::Strong),
+            expect: Expectation::AlwaysAdmitted,
+        });
+        cells.push(CellSpec {
+            name: "eventual-3c",
+            config: wide(AppendPath::Eventual),
+            expect: Expectation::AlwaysAdmitted,
+        });
+        cells.push(CellSpec {
+            name: "racy-3c",
+            // The racy cell needs the mid-run read: without it every
+            // quiescent read lands after all publishes and last-writer-
+            // wins still satisfies SC on every schedule.
+            config: ModelConfig {
+                read_between: true,
+                ..wide(AppendPath::Racy)
+            },
+            expect: Expectation::CaughtViolation,
+        });
+    }
+    cells
+}
+
+/// Sweeps one cell and judges it against its expectation.
+pub fn run_cell(spec: CellSpec) -> CellResult {
+    let outcome = explore(spec.config, &ExploreOptions::default(), judge_terminal);
+    let replay_confirmed = match spec.expect {
+        Expectation::AlwaysAdmitted => None,
+        Expectation::CaughtViolation | Expectation::CaughtFork => {
+            Some(outcome.counterexample.as_ref().is_some_and(|ce| {
+                let (_, summary) = replay(spec.config, &ce.schedule, judge_terminal);
+                !summary.clean()
+            }))
+        }
+    };
+    let o = &outcome;
+    let as_expected = match spec.expect {
+        Expectation::AlwaysAdmitted => {
+            o.exhausted
+                && o.structural_violations == 0
+                && o.rejected == 0
+                && o.racy_schedules == 0
+                && o.counterexample.is_none()
+        }
+        Expectation::CaughtViolation => {
+            o.exhausted
+                && o.structural_violations == 0
+                && o.rejected > 0
+                && o.racy_schedules > 0
+                && replay_confirmed == Some(true)
+        }
+        Expectation::CaughtFork => {
+            o.exhausted
+                && o.structural_violations == 0
+                && o.rejected > 0
+                && o.racy_schedules == 0
+                && replay_confirmed == Some(true)
+        }
+    };
+    CellResult {
+        spec,
+        outcome,
+        replay_confirmed,
+        as_expected,
+    }
+}
+
+/// Runs a real multi-threaded, sync-traced workload on the given path and
+/// returns the race analysis.  Clean verdicts (the Strong/Eventual rows)
+/// are schedule-independent: every lock-decided store is ordered with
+/// every other store and with its own deciding read.
+pub fn traced_run_races(path: AppendPath, threads: usize, ops: usize, seed: u64) -> RaceReport {
+    let hub = SyncTraceHub::new();
+    let replica = match path {
+        AppendPath::Strong => ConcurrentBlockTree::strong(threads, seed),
+        AppendPath::Eventual => ConcurrentBlockTree::eventual(threads),
+        AppendPath::Racy => ConcurrentBlockTree::racy(threads),
+    }
+    .with_sync_trace(hub.clone());
+    let config = DriverConfig {
+        threads,
+        ops_per_thread: ops,
+        append_percent: 60,
+        path,
+        seed,
+        record: false,
+    };
+    run_workload_with_on(&config, None, &replica);
+    vclock::analyze(&hub.take())
+}
+
+/// The deterministic scripted positive control: two clients prepare on
+/// the same published head, then both publish — single-threaded, so the
+/// verdict is byte-stable, unlike a 2-thread racy run that a 1-CPU box
+/// may happen to serialize.
+pub fn scripted_racy_overlap() -> RaceReport {
+    let hub = SyncTraceHub::new();
+    let replica = ConcurrentBlockTree::racy(2).with_sync_trace(hub.clone());
+    let a = replica.prepare(0, vec![]);
+    let b = replica.prepare(1, vec![]);
+    replica.commit(a);
+    replica.commit(b);
+    vclock::analyze(&hub.take())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::ExploreOptions;
+
+    #[test]
+    fn strong_smoke_cell_is_always_admitted() {
+        let result = run_cell(cells(true)[0]);
+        assert!(result.as_expected, "outcome: {:?}", result.outcome);
+        assert!(result.outcome.exhausted);
+        assert!(result.outcome.schedules > 0);
+    }
+
+    #[test]
+    fn racy_smoke_cell_is_caught_with_a_replayable_counterexample() {
+        let spec = cells(true)[2];
+        assert_eq!(spec.name, "racy-2c");
+        let result = run_cell(spec);
+        assert!(result.as_expected, "outcome: {:?}", result.outcome);
+        let ce = result.outcome.counterexample.expect("counterexample");
+        assert!(!ce.reasons.is_empty());
+        assert!(ce.schedule.len() <= spec.config.max_schedule_len());
+        assert_eq!(ce.seams.len(), ce.schedule.len());
+        assert_eq!(result.replay_confirmed, Some(true));
+    }
+
+    #[test]
+    fn weakened_cas_mutation_is_caught_without_races() {
+        let spec = cells(true)[3];
+        assert_eq!(spec.name, "strong-2c-weakened-cas");
+        let result = run_cell(spec);
+        assert!(result.as_expected, "outcome: {:?}", result.outcome);
+        assert_eq!(result.outcome.racy_schedules, 0);
+        assert!(result.outcome.rejected > 0);
+    }
+
+    #[test]
+    fn eventual_smoke_cell_is_always_admitted() {
+        let result = run_cell(cells(true)[1]);
+        assert!(result.as_expected, "outcome: {:?}", result.outcome);
+    }
+
+    /// The differential gate for the pruner: sleep sets must not change
+    /// any smoke-cell verdict relative to the unpruned sweep.
+    #[test]
+    fn pruned_and_unpruned_sweeps_agree_on_every_smoke_verdict() {
+        for spec in cells(true) {
+            let pruned = explore(spec.config, &ExploreOptions::default(), judge_terminal);
+            let unpruned = explore(
+                spec.config,
+                &ExploreOptions {
+                    prune: false,
+                    max_schedules: u64::MAX,
+                },
+                judge_terminal,
+            );
+            assert!(pruned.exhausted && unpruned.exhausted);
+            assert_eq!(
+                pruned.structural_violations == 0,
+                unpruned.structural_violations == 0,
+                "{}: structural-violation presence differs",
+                spec.name
+            );
+            assert_eq!(
+                pruned.rejected == 0,
+                unpruned.rejected == 0,
+                "{}: rejection presence differs",
+                spec.name
+            );
+            assert_eq!(
+                pruned.racy_schedules == 0,
+                unpruned.racy_schedules == 0,
+                "{}: race presence differs",
+                spec.name
+            );
+            assert!(
+                pruned.schedules <= unpruned.schedules,
+                "{}: pruning cannot add schedules",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn threaded_strong_and_eventual_runs_are_race_free() {
+        for path in [AppendPath::Strong, AppendPath::Eventual] {
+            let report = traced_run_races(path, 3, 20, 0xC0FFEE);
+            assert!(report.stores > 0, "{path:?}: the run published blocks");
+            assert!(
+                report.race_free(),
+                "{path:?}: unexpected races {:?}",
+                report.races
+            );
+        }
+    }
+
+    #[test]
+    fn scripted_racy_overlap_is_flagged() {
+        let report = scripted_racy_overlap();
+        assert_eq!(report.stores, 2);
+        assert_eq!(report.races.len(), 1, "races: {:?}", report.races);
+        assert_eq!(report.races[0].client, 1);
+        assert_eq!(report.races[0].other, 0);
+    }
+}

@@ -1,0 +1,25 @@
+//! Offline analysis battery for the BT-ADT oracle reductions: a
+//! bounded-schedule model checker, a vector-clock race detector, and a
+//! dependency-free lint pass.
+//!
+//! | Module | What it does |
+//! |---|---|
+//! | [`model`] | Step-wise re-implementation of the Strong/Eventual/Racy append paths with the fault seams as explicit yield points |
+//! | [`scheduler`] | Exhaustive DFS over client interleavings with sleep-set pruning, counterexample capture and deterministic replay |
+//! | [`vclock`] | Happens-before race detection over the replica's synchronization-event traces (`btadt_concurrent::trace`) |
+//! | [`checker`] | Cell grid, per-terminal judging (invariants, reachability, rerooted window, ReachForest, claimed criteria), real-replica race probes |
+//! | [`lint`] | Token-level source lint: `SAFETY`/`ORDERING` justification comments and bare-`unwrap` hygiene |
+//!
+//! Binaries: `check` sweeps the cell grid and writes `BENCH_check.json`;
+//! `lint` scans the workspace sources.
+
+pub mod checker;
+pub mod lint;
+pub mod model;
+pub mod scheduler;
+pub mod vclock;
+
+pub use checker::{cells, judge_terminal, run_cell, CellResult, CellSpec, Expectation};
+pub use model::{ModelConfig, ModelState};
+pub use scheduler::{explore, replay, Counterexample, ExploreOptions, ExploreOutcome};
+pub use vclock::{analyze, RaceFinding, RaceReport};

@@ -1,0 +1,590 @@
+//! Dependency-free, token-level lint pass for the workspace sources.
+//!
+//! Three rules, all about keeping the concurrency story auditable:
+//!
+//! | Rule id | Requirement |
+//! |---|---|
+//! | `unsafe-needs-safety` | every `unsafe` token carries a `// SAFETY:` comment on the same line or within the 3 lines above |
+//! | `atomic-ordering-needs-justification` | every *atomic* `Ordering::` variant (`Relaxed`, `Acquire`, `Release`, `AcqRel`, `SeqCst`) carries a `// ORDERING:` comment within the same window that **names the variant** |
+//! | `no-bare-unwrap` | no `.unwrap()` and no `.expect(` with a non-literal argument in non-test library code unless the line (or a line in the window above) carries `// LINT-ALLOW: <reason>` — `.expect("message")` with a string-literal invariant message *is* the annotated form |
+//!
+//! `std::cmp::Ordering` variants (`Less`/`Equal`/`Greater`) never trigger
+//! the ordering rule — only the five atomic variants are matched.
+//!
+//! The scanner is a small hand-rolled tokenizer, not a regex pass: it
+//! masks out string literals (including raw and byte strings), char
+//! literals (without eating lifetimes), and line/nested-block comments,
+//! so `"contains .unwrap()"` in a string or an `unsafe` in a doc comment
+//! cannot produce findings.  Test code is exempt from `no-bare-unwrap`
+//! only: files under a `tests/` directory, `src/bin/` entry points,
+//! `main.rs`/`build.rs`, and `#[cfg(test)]` brace regions (tracked by
+//! depth).  The justification rules apply *everywhere*, tests included —
+//! a memory ordering deserves a reason even in a test.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Rule id: `unsafe` without a `// SAFETY:` comment.
+pub const RULE_SAFETY: &str = "unsafe-needs-safety";
+/// Rule id: atomic `Ordering::` variant without a naming `// ORDERING:` comment.
+pub const RULE_ORDERING: &str = "atomic-ordering-needs-justification";
+/// Rule id: bare `.unwrap()` / `.expect(` in non-test library code.
+pub const RULE_UNWRAP: &str = "no-bare-unwrap";
+
+const ATOMIC_VARIANTS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+/// How many lines above a site a justification comment may sit.
+const LOOKBACK: usize = 3;
+
+/// One lint violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LintFinding {
+    /// Path as scanned (workspace-relative when walked).
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// One of the `RULE_*` ids.
+    pub rule: &'static str,
+    /// Human-readable description of the site.
+    pub detail: String,
+}
+
+/// One source line split into its code part and its comment part, with
+/// strings/chars blanked out of the code part.
+#[derive(Clone, Debug, Default)]
+struct LineView {
+    code: String,
+    comment: String,
+    /// Brace depth of *code* at the start of the line (for cfg(test)
+    /// region tracking).
+    depth_at_start: i64,
+}
+
+/// Masks comments, strings and char literals out of `source`, returning
+/// one [`LineView`] per line.
+fn mask(source: &str) -> Vec<LineView> {
+    enum S {
+        Code,
+        Line,
+        Block(u32),
+        Str,
+        RawStr(u32),
+    }
+    let cs: Vec<char> = source.chars().collect();
+    let mut lines = Vec::new();
+    let mut cur = LineView::default();
+    let mut depth: i64 = 0;
+    let mut st = S::Code;
+    let mut i = 0usize;
+    while i < cs.len() {
+        let c = cs[i];
+        if c == '\n' {
+            if matches!(st, S::Line) {
+                st = S::Code;
+            }
+            let mut done = std::mem::take(&mut cur);
+            lines.push(std::mem::take(&mut done));
+            cur.depth_at_start = depth;
+            i += 1;
+            continue;
+        }
+        match st {
+            S::Code => {
+                let next = cs.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    st = S::Line;
+                    cur.comment.push_str("//");
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    st = S::Block(1);
+                    i += 2;
+                } else if c == '"' {
+                    // The opening quote survives masking so rules can tell
+                    // a string-literal argument from an expression.
+                    st = S::Str;
+                    cur.code.push('"');
+                    i += 1;
+                } else if c == 'r' && !ident_tail(&cur.code) && raw_hashes(&cs, i + 1).is_some() {
+                    let h = raw_hashes(&cs, i + 1).expect("checked by the branch guard");
+                    st = S::RawStr(h);
+                    cur.code.push('"');
+                    i += 2 + h as usize;
+                } else if c == 'b' && !ident_tail(&cur.code) && next == Some('"') {
+                    st = S::Str;
+                    cur.code.push(' ');
+                    i += 2;
+                } else if c == 'b'
+                    && !ident_tail(&cur.code)
+                    && next == Some('r')
+                    && raw_hashes(&cs, i + 2).is_some()
+                {
+                    let h = raw_hashes(&cs, i + 2).expect("checked by the branch guard");
+                    st = S::RawStr(h);
+                    cur.code.push(' ');
+                    i += 3 + h as usize;
+                } else if (c == '\'' || (c == 'b' && next == Some('\'') && !ident_tail(&cur.code)))
+                    && char_literal_len(&cs, if c == 'b' { i + 1 } else { i }).is_some()
+                {
+                    let start = if c == 'b' { i + 1 } else { i };
+                    cur.code.push(' ');
+                    i = start + char_literal_len(&cs, start).expect("checked by the branch guard");
+                } else {
+                    if c == '{' {
+                        depth += 1;
+                    } else if c == '}' {
+                        depth -= 1;
+                    }
+                    cur.code.push(c);
+                    i += 1;
+                }
+            }
+            S::Line => {
+                cur.comment.push(c);
+                i += 1;
+            }
+            S::Block(d) => {
+                let next = cs.get(i + 1).copied();
+                if c == '/' && next == Some('*') {
+                    st = S::Block(d + 1);
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    st = if d == 1 { S::Code } else { S::Block(d - 1) };
+                    i += 2;
+                } else {
+                    cur.comment.push(c);
+                    i += 1;
+                }
+            }
+            S::Str => {
+                if c == '\\' {
+                    i += 2;
+                } else if c == '"' {
+                    st = S::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            S::RawStr(h) => {
+                if c == '"' && (0..h as usize).all(|k| cs.get(i + 1 + k) == Some(&'#')) {
+                    st = S::Code;
+                    i += 1 + h as usize;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    lines.push(cur);
+    lines
+}
+
+/// `true` if the code buffer ends mid-identifier (so a following `r`/`b`
+/// is part of a name, not a literal prefix).
+fn ident_tail(code: &str) -> bool {
+    code.chars()
+        .next_back()
+        .is_some_and(|c| c.is_alphanumeric() || c == '_')
+}
+
+/// If `cs[at..]` starts `#*"` (a raw-string opener minus the `r`),
+/// returns the hash count.
+fn raw_hashes(cs: &[char], at: usize) -> Option<u32> {
+    let mut h = 0u32;
+    let mut j = at;
+    while cs.get(j) == Some(&'#') {
+        h += 1;
+        j += 1;
+    }
+    (cs.get(j) == Some(&'"')).then_some(h)
+}
+
+/// If `cs[at..]` is a char literal (`'x'`, `'\n'`, `'\u{1F600}'`),
+/// returns its length in chars; `None` for lifetimes.
+fn char_literal_len(cs: &[char], at: usize) -> Option<usize> {
+    if cs.get(at) != Some(&'\'') {
+        return None;
+    }
+    if cs.get(at + 1) == Some(&'\\') {
+        let mut j = at + 2;
+        while j < cs.len() && cs[j] != '\'' && cs[j] != '\n' {
+            j += 1;
+        }
+        (cs.get(j) == Some(&'\'')).then_some(j + 1 - at)
+    } else if cs.get(at + 2) == Some(&'\'') && cs.get(at + 1) != Some(&'\'') {
+        Some(3)
+    } else {
+        None // a lifetime tick
+    }
+}
+
+/// Finds `needle` as a whole word in `hay`, returning true if present.
+fn has_word(hay: &str, needle: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = hay[from..].find(needle) {
+        let start = from + pos;
+        let end = start + needle.len();
+        let pre = hay[..start].chars().next_back();
+        let post = hay[end..].chars().next();
+        let boundary = |c: Option<char>| !c.is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if boundary(pre) && boundary(post) {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+/// `true` iff the site at `idx` carries a comment containing `marker`
+/// (and, if given, `must_name`) on the same line or in the window above.
+/// Comment-only lines extend the window for free, so a multi-line
+/// justification block counts in full; other lines consume the
+/// `LOOKBACK` budget.
+fn justified(lines: &[LineView], idx: usize, marker: &str, must_name: Option<&str>) -> bool {
+    let hit = |l: &LineView| {
+        l.comment.contains(marker) && must_name.is_none_or(|name| l.comment.contains(name))
+    };
+    if hit(&lines[idx]) {
+        return true;
+    }
+    let mut budget = LOOKBACK;
+    for l in lines[..idx].iter().rev() {
+        let comment_only = l.code.trim().is_empty() && !l.comment.is_empty();
+        if !comment_only {
+            if budget == 0 {
+                return false;
+            }
+            budget -= 1;
+        }
+        if hit(l) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Lints one source file.  `unwrap_exempt` marks whole-file exemption
+/// from [`RULE_UNWRAP`] (test files, binaries); `#[cfg(test)]` regions
+/// are detected internally on top of it.
+pub fn lint_source(file: &str, source: &str, unwrap_exempt: bool) -> Vec<LintFinding> {
+    let lines = mask(source);
+    let mut findings = Vec::new();
+    // cfg(test) region tracking: after a line mentions #[cfg(test)], the
+    // region opened by the next brace (at whatever depth the opener sits)
+    // is test code until that brace closes.
+    let mut pending_cfg_test = false;
+    let mut test_floor: Option<i64> = None;
+    let mut entered = false;
+    for (idx, line) in lines.iter().enumerate() {
+        let lineno = idx + 1;
+        // A test region opens at the brace following #[cfg(test)] and is
+        // active on every line whose starting depth is below (inside) it;
+        // it closes once the depth returns to the floor after entry.
+        if let Some(floor) = test_floor {
+            if line.depth_at_start > floor {
+                entered = true;
+            } else if entered {
+                test_floor = None;
+                entered = false;
+            }
+        }
+        if line.code.contains("#[cfg(test)]") {
+            pending_cfg_test = true;
+        }
+        if pending_cfg_test && test_floor.is_none() && line.code.contains('{') {
+            test_floor = Some(line.depth_at_start);
+            entered = false;
+            pending_cfg_test = false;
+        }
+        let in_test = test_floor.is_some_and(|floor| line.depth_at_start > floor);
+
+        if has_word(&line.code, "unsafe") && !justified(&lines, idx, "SAFETY:", None) {
+            findings.push(LintFinding {
+                file: file.to_string(),
+                line: lineno,
+                rule: RULE_SAFETY,
+                detail: "`unsafe` without a `// SAFETY:` justification".to_string(),
+            });
+        }
+        for variant in ATOMIC_VARIANTS {
+            let pat = format!("Ordering::{variant}");
+            if line.code.contains(&pat) && !justified(&lines, idx, "ORDERING:", Some(variant)) {
+                findings.push(LintFinding {
+                    file: file.to_string(),
+                    line: lineno,
+                    rule: RULE_ORDERING,
+                    detail: format!("`{pat}` without a `// ORDERING:` comment naming `{variant}`"),
+                });
+            }
+        }
+        if !unwrap_exempt && !in_test {
+            let allowed = justified(&lines, idx.min(lines.len() - 1), "LINT-ALLOW:", None);
+            let bare_unwrap = line.code.contains(".unwrap()");
+            // `.expect("…")` with a string-literal message is the annotated
+            // form; only non-literal arguments are flagged.  The argument
+            // may start on the next line (rustfmt wraps long messages).
+            let bare_expect = line.code.match_indices(".expect(").any(|(p, pat)| {
+                let after = line.code[p + pat.len()..].trim_start();
+                let head = if after.is_empty() {
+                    lines
+                        .get(idx + 1)
+                        .map(|l| l.code.trim_start())
+                        .unwrap_or("")
+                } else {
+                    after
+                };
+                !head.starts_with('"')
+            });
+            if bare_unwrap && !allowed {
+                findings.push(LintFinding {
+                    file: file.to_string(),
+                    line: lineno,
+                    rule: RULE_UNWRAP,
+                    detail: "bare `.unwrap()` in library code (annotate `// LINT-ALLOW: <reason>` \
+                             or handle the error)"
+                        .to_string(),
+                });
+            }
+            if bare_expect && !allowed {
+                findings.push(LintFinding {
+                    file: file.to_string(),
+                    line: lineno,
+                    rule: RULE_UNWRAP,
+                    detail: "`.expect(..)` without a string-literal invariant message (give it \
+                             one, or annotate `// LINT-ALLOW: <reason>`)"
+                        .to_string(),
+                });
+            }
+        }
+    }
+    findings
+}
+
+/// Whether a path is exempt from [`RULE_UNWRAP`] as a whole file.
+fn unwrap_exempt_path(path: &Path) -> bool {
+    let in_dir = |name: &str| path.components().any(|c| c.as_os_str() == name);
+    let file = path.file_name().and_then(|f| f.to_str()).unwrap_or("");
+    in_dir("tests")
+        || in_dir("bin")
+        || in_dir("benches")
+        || in_dir("examples")
+        || file == "main.rs"
+        || file == "build.rs"
+}
+
+/// Recursively collects the workspace `.rs` files under `root`, skipping
+/// `target/`, `.git/` and the dependency shims (vendored idiom, not ours
+/// to annotate).  Sorted for deterministic output.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+        for entry in fs::read_dir(dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_str().unwrap_or("");
+            if path.is_dir() {
+                if matches!(name, "target" | ".git" | "shims" | "node_modules") {
+                    continue;
+                }
+                walk(&path, out)?;
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+        Ok(())
+    }
+    let mut out = Vec::new();
+    walk(root, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+/// Lints every workspace source under `root`.  Returns the number of
+/// files scanned and all findings, sorted by (file, line).
+pub fn lint_workspace(root: &Path) -> io::Result<(usize, Vec<LintFinding>)> {
+    let files = workspace_files(root)?;
+    let mut findings = Vec::new();
+    for path in &files {
+        let source = fs::read_to_string(path)?;
+        let label = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .into_owned();
+        findings.extend(lint_source(&label, &source, unwrap_exempt_path(path)));
+    }
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok((files.len(), findings))
+}
+
+/// One corpus case: `(name, source, expected (rule, line) findings)`.
+type CorpusCase = (&'static str, &'static str, Vec<(&'static str, usize)>);
+
+/// Built-in corpus.
+/// Exercises every rule positively and negatively; `--self-test` runs it.
+fn corpus() -> Vec<CorpusCase> {
+    vec![
+        (
+            "unsafe-missing",
+            "fn f() {\n    unsafe { core::hint::unreachable_unchecked() }\n}\n",
+            vec![(RULE_SAFETY, 2)],
+        ),
+        (
+            "unsafe-justified",
+            "fn f() {\n    // SAFETY: the branch is unreachable by construction\n    unsafe { core::hint::unreachable_unchecked() }\n}\n",
+            vec![],
+        ),
+        (
+            "unsafe-in-string-or-comment",
+            "fn f() {\n    let _ = \"unsafe .unwrap()\";\n    // unsafe in a comment is fine\n}\n",
+            vec![],
+        ),
+        (
+            "ordering-missing",
+            "fn f(a: &AtomicU64) {\n    a.load(Ordering::Acquire);\n}\n",
+            vec![(RULE_ORDERING, 2)],
+        ),
+        (
+            "ordering-wrong-variant-named",
+            "fn f(a: &AtomicU64) {\n    // ORDERING: Relaxed is fine here\n    a.load(Ordering::Acquire);\n}\n",
+            vec![(RULE_ORDERING, 3)],
+        ),
+        (
+            "ordering-justified",
+            "fn f(a: &AtomicU64) {\n    // ORDERING: Acquire pairs with the Release store in publish()\n    a.load(Ordering::Acquire);\n}\n",
+            vec![],
+        ),
+        (
+            "cmp-ordering-ignored",
+            "fn f(x: u32) -> std::cmp::Ordering {\n    if x == 0 { std::cmp::Ordering::Less } else { std::cmp::Ordering::Greater }\n}\n",
+            vec![],
+        ),
+        (
+            "bare-unwrap",
+            "fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n",
+            vec![(RULE_UNWRAP, 2)],
+        ),
+        (
+            "literal-expect-is-annotated",
+            "fn f(x: Option<u32>) -> u32 {\n    x.expect(\"present by the caller contract\")\n}\n",
+            vec![],
+        ),
+        (
+            "non-literal-expect",
+            "fn f(x: Option<u32>, msg: &str) -> u32 {\n    x.expect(msg)\n}\n",
+            vec![(RULE_UNWRAP, 2)],
+        ),
+        (
+            "wrapped-literal-expect-is-annotated",
+            "fn f(x: Option<u32>) -> u32 {\n    x.expect(\n        \"a long invariant message that rustfmt wrapped\",\n    )\n}\n",
+            vec![],
+        ),
+        (
+            "allowed-unwrap",
+            "fn f(x: Option<u32>) -> u32 {\n    // LINT-ALLOW: x is Some by the caller contract\n    x.unwrap()\n}\n",
+            vec![],
+        ),
+        (
+            "unwrap-or-is-fine",
+            "fn f(x: Option<u32>) -> u32 {\n    x.unwrap_or(0) + x.unwrap_or_default()\n}\n",
+            vec![],
+        ),
+        (
+            "expect-named-method-is-fine",
+            "fn f(p: &mut Parser) {\n    p.expect_byte(b'{');\n}\n",
+            vec![],
+        ),
+        (
+            "cfg-test-region-exempt",
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        Some(1).unwrap();\n    }\n}\n",
+            vec![],
+        ),
+        (
+            "unwrap-after-test-region-still-checked",
+            "#[cfg(test)]\nmod tests {\n    fn t() { Some(1).unwrap(); }\n}\nfn lib(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n",
+            vec![(RULE_UNWRAP, 6)],
+        ),
+        (
+            "raw-string-and-char-masked",
+            "fn f<'a>(s: &'a str) -> usize {\n    let r = r#\"contains .unwrap() and unsafe\"#;\n    let c = '\\'';\n    r.len() + s.len() + (c as usize)\n}\n",
+            vec![],
+        ),
+        (
+            "block-comment-masked",
+            "/* unsafe\n   .unwrap()\n   Ordering::SeqCst */\nfn f() {}\n",
+            vec![],
+        ),
+    ]
+}
+
+/// Runs the embedded corpus; returns the number of cases on success or a
+/// description of the first mismatch.
+pub fn self_test() -> Result<usize, String> {
+    let cases = corpus();
+    for (name, source, expected) in &cases {
+        let got: Vec<(&'static str, usize)> = lint_source(name, source, false)
+            .into_iter()
+            .map(|f| (f.rule, f.line))
+            .collect();
+        if &got != expected {
+            return Err(format!(
+                "corpus case `{name}`: expected {expected:?}, got {got:?}"
+            ));
+        }
+    }
+    Ok(cases.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_self_test_passes() {
+        let n = self_test().expect("corpus verdicts match");
+        assert!(n >= 12);
+    }
+
+    #[test]
+    fn lifetimes_do_not_confuse_the_char_scanner() {
+        let src = "fn f<'a, 'b>(x: &'a str, y: &'b str) -> usize { x.len() + y.len() }\n";
+        assert!(lint_source("t", src, false).is_empty());
+    }
+
+    #[test]
+    fn same_line_justification_counts() {
+        let src =
+            "fn f(a: &AtomicU64) { a.load(Ordering::Relaxed) } // ORDERING: Relaxed, a counter\n";
+        assert!(lint_source("t", src, false).is_empty());
+    }
+
+    #[test]
+    fn lookback_window_is_bounded() {
+        let src = "// ORDERING: SeqCst explained too far away\n\n\n\n\nfn f(a: &AtomicU64) { a.load(Ordering::SeqCst); }\n";
+        let findings = lint_source("t", src, false);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, RULE_ORDERING);
+    }
+
+    #[test]
+    fn exempt_paths_skip_only_the_unwrap_rule() {
+        let src =
+            "fn main() { std::fs::read(\"x\").unwrap(); let _ = A.load(Ordering::SeqCst); }\n";
+        let findings = lint_source("src/bin/tool.rs", src, true);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, RULE_ORDERING);
+    }
+
+    #[test]
+    fn workspace_walk_finds_this_file_and_skips_target() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let files = workspace_files(&root).expect("walk");
+        assert!(files
+            .iter()
+            .any(|p| p.ends_with("crates/check/src/lint.rs")));
+        assert!(files.iter().all(|p| {
+            !p.components().any(|c| c.as_os_str() == "target")
+                && !p.components().any(|c| c.as_os_str() == "shims")
+        }));
+    }
+}

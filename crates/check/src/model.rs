@@ -1,0 +1,692 @@
+//! Step-wise state machines of the three append paths for the bounded
+//! model checker.
+//!
+//! The real replica ([`btadt_concurrent::ConcurrentBlockTree`]) runs its
+//! appends as straight-line code whose preemption points are the eight
+//! *schedule* seams of [`btadt_concurrent::fault::Seam`] (the five
+//! storage seams corrupt the durable medium and never occur on the
+//! in-memory append path).  This module re-expresses exactly that
+//! straight-line code as explicit steps so a scheduler can stop a client
+//! at any seam and run another: each step performs the shared-memory
+//! access *after* one seam and parks the client at the next.
+//!
+//! | step executed            | shared access              | seam the client is parked at next |
+//! |--------------------------|----------------------------|-----------------------------------|
+//! | `Ready` (append prepare) | head load (acquire)        | `cas-pre-consume` / `snapshot-pre-consume` / lock |
+//! | `AtCas`                  | CAS on `K[parent]`         | `cas-win-pre-install` / `cas-loss-pre-help`      |
+//! | `AtCasRead`+`AtCasWrite` | *weakened* CAS (mutation)  | the injected read/write gap       |
+//! | `AtToken`                | snapshot `update; scan`    | `snapshot-pre-install`            |
+//! | `AtLock`                 | writer-mutex acquire       | `writer-pre-insert`               |
+//! | `AtInstall`              | tree insert + arena push   | `writer-pre-publish`              |
+//! | `AtPublish`              | head store (release)       | lock release                      |
+//! | `AtRelease`              | writer-mutex release       | op response                       |
+//! | `Ready` (read)           | head load + frozen walk    | `reader-pre-walk` crossed         |
+//!
+//! The machine mirrors the replica's semantics faithfully: CAS losers
+//! *help* (install the winner, idempotently, skipping the publish when
+//! the winner already installed — the replica's `contains` early
+//! return); mediated installs re-select the best tip under the lock;
+//! the racy install publishes its own arena index.  Each client's
+//! program is `appends_per_client × (append [, read])` followed by one
+//! quiescent read gated on every client finishing its main program —
+//! the model analogue of the driver's barrier, which the finite-trace
+//! Eventual Prefix criterion is specified against.
+//!
+//! Every step also appends to the same synchronization-event trace the
+//! instrumented replica emits, so one race detector
+//! ([`crate::vclock`]) serves both the model checker and real runs.
+//!
+//! The `weaken_cas` flag is the checker's own mutation test: it splits
+//! the CAS into a read step and an *unconditional* write step with a
+//! yield point between them.  Two clients can then both "win" one
+//! parent, fork the strong path, and the checker must produce the
+//! counterexample.
+
+use std::collections::HashMap;
+
+use btadt_concurrent::trace::{pack_version, SyncEvent, SyncEventKind};
+use btadt_concurrent::AppendPath;
+use btadt_core::{BtHistory, BtOperation, BtResponse};
+use btadt_history::{ConcurrentHistory, OpId, OperationRecord, ProcessId, Timestamp};
+use btadt_types::{Block, BlockBuilder, BlockId, BlockTree, Blockchain, NodeIdx};
+
+/// Configuration of one model-checking cell.
+#[derive(Clone, Copy, Debug)]
+pub struct ModelConfig {
+    /// Which append path the clients run.
+    pub path: AppendPath,
+    /// Number of model clients (2–3 is the practical range).
+    pub clients: usize,
+    /// Appends per client (the step bound grows linearly with this).
+    pub appends_per_client: usize,
+    /// Whether each append is followed by a mid-run read — needed for the
+    /// racy path: the mid-run read pins the client's *own* fork so the
+    /// quiescent read can diverge from it.
+    pub read_between: bool,
+    /// Mutation switch: replace the atomic CAS with a read step and an
+    /// unconditional write step (yield point in between).
+    pub weaken_cas: bool,
+}
+
+impl ModelConfig {
+    /// The smoke-sized cell: 2 clients, one append + mid-run read each.
+    pub fn smoke(path: AppendPath) -> Self {
+        ModelConfig {
+            path,
+            clients: 2,
+            appends_per_client: 1,
+            read_between: true,
+            weaken_cas: false,
+        }
+    }
+
+    /// Upper bound on the steps a schedule of this config executes.
+    /// Every step strictly advances one client's program, but a helping
+    /// install that finds the winner already present skips its publish
+    /// step (the replica's `contains` early return), so a schedule can
+    /// run up to one step short per helped append.
+    pub fn max_schedule_len(&self) -> usize {
+        let append_steps = match (self.path, self.weaken_cas) {
+            // Ready, AtCas, AtLock, AtInstall, AtPublish, AtRelease.
+            (AppendPath::Strong, false) => 6,
+            // The split CAS adds one step.
+            (AppendPath::Strong, true) => 7,
+            // Ready, AtToken, AtLock, AtInstall, AtPublish, AtRelease.
+            (AppendPath::Eventual, _) => 6,
+            // Ready, AtLock, AtInstall, AtPublish, AtRelease.
+            (AppendPath::Racy, _) => 5,
+        };
+        let per_client =
+            self.appends_per_client * (append_steps + usize::from(self.read_between)) + 1; // the quiescent read
+        per_client * self.clients
+    }
+}
+
+/// One entry of a client's program.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum OpKind {
+    Append,
+    Read,
+    /// The final read, gated on every client finishing its main program.
+    QuiescentRead,
+}
+
+/// What a parked client will do when scheduled next.
+#[derive(Clone, Debug)]
+enum Phase {
+    /// About to start the next program op (or finished).
+    Ready,
+    /// Strong path: about to run the atomic CAS on `K[parent]`.
+    AtCas { block: Block, parent: BlockId },
+    /// Weakened strong path: about to *read* `K[parent]`.
+    AtCasRead { block: Block, parent: BlockId },
+    /// Weakened strong path: about to *write* `K[parent]` unconditionally
+    /// (the injected race window sits right before this step).
+    AtCasWrite {
+        block: Block,
+        parent: BlockId,
+        saw: Option<Block>,
+    },
+    /// Eventual path: about to run `update; scan` on the parent's slot.
+    AtToken { block: Block, parent: BlockId },
+    /// About to acquire the writer mutex (blocked while it is held).
+    AtLock {
+        install: Block,
+        own_tip: bool,
+        appended: bool,
+        seam: &'static str,
+    },
+    /// Lock held: about to insert into the tree and push into the arena.
+    AtInstall {
+        install: Block,
+        own_tip: bool,
+        appended: bool,
+    },
+    /// Lock held: about to publish the new head.
+    AtPublish {
+        install: Block,
+        own_tip: bool,
+        appended: bool,
+    },
+    /// About to release the writer mutex and respond.
+    AtRelease { appended: bool },
+    /// Program exhausted.
+    Done,
+}
+
+#[derive(Clone, Debug)]
+struct ClientState {
+    program: Vec<OpKind>,
+    pc: usize,
+    phase: Phase,
+    seq: u64,
+    /// Index into `records` of the op awaiting its response.
+    pending: Option<usize>,
+}
+
+impl ClientState {
+    fn main_done(&self) -> bool {
+        // The only op at or past `main_len` is the quiescent read.
+        matches!(self.phase, Phase::Ready | Phase::Done) && self.pc + 1 >= self.program.len()
+    }
+}
+
+/// The shared-access footprint of a pending step, for the independence
+/// relation of the sleep-set pruner: two steps commute iff their
+/// footprints do not conflict.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Footprint {
+    /// Acquire load of the packed head.
+    HeadRead,
+    /// Release store of the packed head.
+    HeadWrite,
+    /// RMW (or read, or write) of the CAS register for one parent.
+    Cas(BlockId),
+    /// `update; scan` on the token slot of one parent.
+    Token(BlockId),
+    /// Writer-mutex acquire or release.
+    Lock,
+    /// Only lock-protected or client-local state (tree insert, arena
+    /// push): no concurrently enabled step can observe it.
+    Local,
+}
+
+impl Footprint {
+    /// Whether two footprints conflict (steps with conflicting footprints
+    /// are dependent and must not be commuted by the pruner).
+    pub fn conflicts(self, other: Footprint) -> bool {
+        use Footprint::*;
+        match (self, other) {
+            (HeadRead, HeadWrite) | (HeadWrite, HeadRead) | (HeadWrite, HeadWrite) => true,
+            (Cas(a), Cas(b)) => a == b,
+            (Token(a), Token(b)) => a == b,
+            (Lock, Lock) => true,
+            _ => false,
+        }
+    }
+}
+
+/// The complete model state: shared memory, per-client machines, and the
+/// observation side (history records, sync events, seam trace).
+#[derive(Clone)]
+pub struct ModelState {
+    config: ModelConfig,
+    /// The writer-side tree; doubles as the arena (the replica asserts
+    /// store indices mirror tree indices, so the model shares one).
+    tree: BlockTree,
+    /// The packed published head: `(len, tip-node-index)`.
+    head: (u32, u32),
+    /// Writer-mutex holder.
+    lock: Option<usize>,
+    /// The strong path's `K[parent]` registers.
+    cas: HashMap<BlockId, Block>,
+    /// The eventual path's per-parent token slots (every consume retained).
+    tokens: HashMap<BlockId, Vec<Block>>,
+    nonce: u64,
+    clock: u64,
+    clients: Vec<ClientState>,
+    records: Vec<OperationRecord<BtOperation, BtResponse>>,
+    events: Vec<SyncEvent>,
+    /// `(client, seam label)` per executed step — the replayable trace.
+    seams: Vec<(usize, &'static str)>,
+}
+
+impl ModelState {
+    /// The initial state of a cell: genesis tree, head `(1, 0)`, all
+    /// clients at the start of their programs.
+    pub fn new(config: ModelConfig) -> ModelState {
+        assert!(config.clients >= 1);
+        let mut program = Vec::new();
+        for _ in 0..config.appends_per_client {
+            program.push(OpKind::Append);
+            if config.read_between {
+                program.push(OpKind::Read);
+            }
+        }
+        program.push(OpKind::QuiescentRead);
+        let clients = (0..config.clients)
+            .map(|_| ClientState {
+                program: program.clone(),
+                pc: 0,
+                phase: Phase::Ready,
+                seq: 0,
+                pending: None,
+            })
+            .collect();
+        ModelState {
+            config,
+            tree: BlockTree::new(),
+            head: (1, 0),
+            lock: None,
+            cas: HashMap::new(),
+            tokens: HashMap::new(),
+            nonce: 0,
+            clock: 0,
+            clients,
+            records: Vec::new(),
+            events: Vec::new(),
+            seams: Vec::new(),
+        }
+    }
+
+    /// The configuration this state was built from.
+    pub fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    /// Clients with an enabled step, ascending.
+    pub fn enabled(&self) -> Vec<usize> {
+        (0..self.clients.len())
+            .filter(|&c| self.is_enabled(c))
+            .collect()
+    }
+
+    /// Whether `client` has an enabled step.
+    pub fn is_enabled(&self, client: usize) -> bool {
+        let cs = &self.clients[client];
+        match &cs.phase {
+            Phase::Done => false,
+            Phase::Ready => match cs.program.get(cs.pc) {
+                None => false,
+                Some(OpKind::QuiescentRead) => {
+                    (0..self.clients.len()).all(|o| self.clients[o].main_done())
+                }
+                Some(_) => true,
+            },
+            Phase::AtLock { .. } => self.lock.is_none(),
+            _ => true,
+        }
+    }
+
+    /// `true` iff every client has completed its program.
+    pub fn is_terminal(&self) -> bool {
+        self.clients.iter().all(|c| matches!(c.phase, Phase::Done))
+    }
+
+    /// The footprint of `client`'s pending step (must be enabled).
+    pub fn footprint(&self, client: usize) -> Footprint {
+        let cs = &self.clients[client];
+        match &cs.phase {
+            Phase::Ready => Footprint::HeadRead,
+            Phase::AtCas { parent, .. }
+            | Phase::AtCasRead { parent, .. }
+            | Phase::AtCasWrite { parent, .. } => Footprint::Cas(*parent),
+            Phase::AtToken { parent, .. } => Footprint::Token(*parent),
+            Phase::AtLock { .. } | Phase::AtRelease { .. } => Footprint::Lock,
+            Phase::AtInstall { .. } => Footprint::Local,
+            Phase::AtPublish { .. } => Footprint::HeadWrite,
+            Phase::Done => Footprint::Local,
+        }
+    }
+
+    fn emit(&mut self, client: usize, kind: SyncEventKind) {
+        let tick = self.events.len() as u64;
+        self.events.push(SyncEvent { tick, client, kind });
+    }
+
+    fn tick(&mut self) -> Timestamp {
+        self.clock += 1;
+        Timestamp(self.clock)
+    }
+
+    fn invoke(&mut self, client: usize, op: BtOperation) {
+        let cs = &mut self.clients[client];
+        cs.seq += 1;
+        let seq = cs.seq;
+        let id = OpId((client as u64) << 32 | seq);
+        let invoked_at = self.tick();
+        self.records.push(OperationRecord {
+            id,
+            process: ProcessId(client as u32),
+            seq,
+            invoked_at,
+            responded_at: None,
+            op,
+            response: None,
+        });
+        self.clients[client].pending = Some(self.records.len() - 1);
+    }
+
+    fn respond(&mut self, client: usize, response: BtResponse) {
+        let at = self.tick();
+        let idx = self.clients[client]
+            .pending
+            .take()
+            .expect("a pending invocation to respond to");
+        self.records[idx].responded_at = Some(at);
+        self.records[idx].response = Some(response);
+    }
+
+    fn head_version(&self) -> u64 {
+        pack_version(self.head.0, self.head.1)
+    }
+
+    /// Materializes the published chain (genesis ⌢ selected path).
+    pub fn published_chain(&self) -> Blockchain {
+        let mut blocks = Vec::new();
+        let mut cursor = Some(NodeIdx(self.head.1));
+        while let Some(idx) = cursor {
+            blocks.push(self.tree.block_at(idx).clone());
+            cursor = self.tree.parent_idx(idx);
+        }
+        blocks.reverse();
+        Blockchain::from_blocks_trusted(blocks)
+    }
+
+    fn finish_op(&mut self, client: usize) {
+        let cs = &mut self.clients[client];
+        cs.pc += 1;
+        cs.phase = if cs.pc >= cs.program.len() {
+            Phase::Done
+        } else {
+            Phase::Ready
+        };
+    }
+
+    /// Executes `client`'s pending step.  Panics if it is not enabled —
+    /// the scheduler (and schedule replay) must only pick enabled clients.
+    pub fn step(&mut self, client: usize) {
+        assert!(self.is_enabled(client), "step on a disabled client");
+        let phase = self.clients[client].phase.clone();
+        match phase {
+            Phase::Done => unreachable!("disabled"),
+            Phase::Ready => {
+                let op = self.clients[client].program[self.clients[client].pc];
+                match op {
+                    OpKind::Append => {
+                        self.seams.push((client, "append-prepare"));
+                        let version = self.head_version();
+                        self.emit(client, SyncEventKind::HeadLoad { version });
+                        let parent = self.tree.block_at(NodeIdx(self.head.1)).clone();
+                        self.nonce += 1;
+                        let block = BlockBuilder::new(&parent)
+                            .producer(client as u32)
+                            .nonce(self.nonce)
+                            .build();
+                        self.invoke(client, BtOperation::Append(block.clone()));
+                        self.clients[client].phase =
+                            match (self.config.path, self.config.weaken_cas) {
+                                (AppendPath::Strong, false) => Phase::AtCas {
+                                    block,
+                                    parent: parent.id,
+                                },
+                                (AppendPath::Strong, true) => Phase::AtCasRead {
+                                    block,
+                                    parent: parent.id,
+                                },
+                                (AppendPath::Eventual, _) => Phase::AtToken {
+                                    block,
+                                    parent: parent.id,
+                                },
+                                (AppendPath::Racy, _) => Phase::AtLock {
+                                    install: block,
+                                    own_tip: true,
+                                    appended: true,
+                                    seam: "racy-pre-install",
+                                },
+                            };
+                    }
+                    OpKind::Read | OpKind::QuiescentRead => {
+                        self.seams.push((client, "reader-pre-walk"));
+                        let version = self.head_version();
+                        self.emit(client, SyncEventKind::HeadLoad { version });
+                        let chain = self.published_chain();
+                        self.invoke(client, BtOperation::Read);
+                        self.respond(client, BtResponse::Chain(chain));
+                        self.finish_op(client);
+                    }
+                }
+            }
+            Phase::AtCas { block, parent } => {
+                self.seams.push((client, "cas-pre-consume"));
+                match self.cas.get(&parent).cloned() {
+                    None => {
+                        self.cas.insert(parent, block.clone());
+                        self.emit(client, SyncEventKind::CasWin { parent });
+                        self.clients[client].phase = Phase::AtLock {
+                            install: block,
+                            own_tip: false,
+                            appended: true,
+                            seam: "cas-win-pre-install",
+                        };
+                    }
+                    Some(winner) => {
+                        self.emit(client, SyncEventKind::CasLoss { parent });
+                        self.clients[client].phase = Phase::AtLock {
+                            install: winner,
+                            own_tip: false,
+                            appended: false,
+                            seam: "cas-loss-pre-help",
+                        };
+                    }
+                }
+            }
+            Phase::AtCasRead { block, parent } => {
+                self.seams.push((client, "cas-pre-consume"));
+                let saw = self.cas.get(&parent).cloned();
+                self.clients[client].phase = Phase::AtCasWrite { block, parent, saw };
+            }
+            Phase::AtCasWrite { block, parent, saw } => {
+                self.seams.push((client, "cas-weakened-write"));
+                match saw {
+                    None => {
+                        // The mutation: an unconditional write based on the
+                        // stale read — a concurrent winner is clobbered.
+                        self.cas.insert(parent, block.clone());
+                        self.emit(client, SyncEventKind::CasWin { parent });
+                        self.clients[client].phase = Phase::AtLock {
+                            install: block,
+                            own_tip: false,
+                            appended: true,
+                            seam: "cas-win-pre-install",
+                        };
+                    }
+                    Some(winner) => {
+                        self.emit(client, SyncEventKind::CasLoss { parent });
+                        self.clients[client].phase = Phase::AtLock {
+                            install: winner,
+                            own_tip: false,
+                            appended: false,
+                            seam: "cas-loss-pre-help",
+                        };
+                    }
+                }
+            }
+            Phase::AtToken { block, parent } => {
+                self.seams.push((client, "snapshot-pre-consume"));
+                self.tokens.entry(parent).or_default().push(block.clone());
+                self.emit(client, SyncEventKind::TokenConsume { parent });
+                self.clients[client].phase = Phase::AtLock {
+                    install: block,
+                    own_tip: true,
+                    appended: true,
+                    seam: "snapshot-pre-install",
+                };
+            }
+            Phase::AtLock {
+                install,
+                own_tip,
+                appended,
+                seam,
+            } => {
+                self.seams.push((client, seam));
+                debug_assert!(self.lock.is_none());
+                self.lock = Some(client);
+                self.emit(client, SyncEventKind::LockAcquire);
+                self.clients[client].phase = Phase::AtInstall {
+                    install,
+                    own_tip,
+                    appended,
+                };
+            }
+            Phase::AtInstall {
+                install,
+                own_tip,
+                appended,
+            } => {
+                self.seams.push((client, "writer-pre-insert"));
+                if self.tree.contains(install.id) {
+                    // Helping found the winner already installed: the
+                    // replica's `contains` early return — no publish.
+                    self.clients[client].phase = Phase::AtRelease { appended };
+                } else {
+                    self.tree
+                        .insert(install.clone())
+                        .expect("model installs chain onto published parents");
+                    let idx = self.tree.idx_of(install.id).expect("just inserted").0;
+                    self.emit(client, SyncEventKind::ArenaPush { idx });
+                    self.clients[client].phase = Phase::AtPublish {
+                        install,
+                        own_tip,
+                        appended,
+                    };
+                }
+            }
+            Phase::AtPublish {
+                install,
+                own_tip,
+                appended,
+            } => {
+                self.seams.push((client, "writer-pre-publish"));
+                let tip = if own_tip && self.config.path == AppendPath::Racy {
+                    // Last-writer-wins: publish the block's own index.
+                    self.tree.idx_of(install.id).expect("installed above").0
+                } else {
+                    // Mediated installs re-select the best tip under the
+                    // lock (height rule, largest id — `TipRule::default()`).
+                    let best = self.tree.best_leaf_by_height(true);
+                    self.tree.idx_of(best).expect("best leaf is present").0
+                };
+                self.head = (self.tree.len() as u32, tip);
+                let version = self.head_version();
+                self.emit(
+                    client,
+                    SyncEventKind::HeadStore {
+                        version,
+                        locked: self.config.path != AppendPath::Racy,
+                    },
+                );
+                self.clients[client].phase = Phase::AtRelease { appended };
+            }
+            Phase::AtRelease { appended } => {
+                self.seams.push((client, "writer-release"));
+                debug_assert_eq!(self.lock, Some(client));
+                self.lock = None;
+                self.emit(client, SyncEventKind::LockRelease);
+                self.respond(client, BtResponse::Appended(appended));
+                self.finish_op(client);
+            }
+        }
+    }
+
+    /// The recorded history (clone), for the consistency criteria.
+    pub fn history(&self) -> BtHistory {
+        ConcurrentHistory::from_records(self.records.clone())
+    }
+
+    /// The writer-side tree.
+    pub fn tree(&self) -> &BlockTree {
+        &self.tree
+    }
+
+    /// The published `(len, tip)` head.
+    pub fn head(&self) -> (u32, u32) {
+        self.head
+    }
+
+    /// The synchronization-event trace of the schedule so far.
+    pub fn events(&self) -> &[SyncEvent] {
+        &self.events
+    }
+
+    /// The `(client, seam)` trace of the schedule so far.
+    pub fn seams(&self) -> &[(usize, &'static str)] {
+        &self.seams
+    }
+
+    /// The chains returned by each client's quiescent (final) read, in
+    /// client order — the reference points for the fork-agreement checks.
+    pub fn quiescent_chains(&self) -> Vec<Blockchain> {
+        let mut chains = Vec::new();
+        for c in 0..self.clients.len() {
+            let last =
+                self.records.iter().rev().find(|r| {
+                    r.process == ProcessId(c as u32) && matches!(r.op, BtOperation::Read)
+                });
+            if let Some(record) = last {
+                if let Some(BtResponse::Chain(chain)) = &record.response {
+                    chains.push(chain.clone());
+                }
+            }
+        }
+        chains
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_round_robin(config: ModelConfig) -> ModelState {
+        let mut state = ModelState::new(config);
+        let mut steps = 0;
+        while !state.is_terminal() {
+            let enabled = state.enabled();
+            assert!(!enabled.is_empty(), "no deadlock in the model");
+            state.step(enabled[steps % enabled.len()]);
+            steps += 1;
+        }
+        assert!(
+            steps <= config.max_schedule_len(),
+            "schedules never exceed the step bound"
+        );
+        state
+    }
+
+    #[test]
+    fn strong_smoke_round_robin_reaches_a_single_chain() {
+        let state = run_round_robin(ModelConfig::smoke(AppendPath::Strong));
+        assert_eq!(state.tree().len(), 2, "k = 1: one winner per parent");
+        assert_eq!(state.head().0, 2);
+        let chains = state.quiescent_chains();
+        assert_eq!(chains.len(), 2);
+        assert_eq!(chains[0], chains[1], "quiescent reads agree");
+    }
+
+    #[test]
+    fn eventual_smoke_round_robin_retains_every_append() {
+        let state = run_round_robin(ModelConfig::smoke(AppendPath::Eventual));
+        assert_eq!(state.tree().len(), 3, "the prodigal oracle never rejects");
+    }
+
+    #[test]
+    fn racy_smoke_round_robin_retains_every_append() {
+        let state = run_round_robin(ModelConfig::smoke(AppendPath::Racy));
+        assert_eq!(state.tree().len(), 3);
+    }
+
+    #[test]
+    fn weakened_cas_exists_as_an_extra_step() {
+        let base = ModelConfig::smoke(AppendPath::Strong);
+        let mutated = ModelConfig {
+            weaken_cas: true,
+            ..base
+        };
+        assert_eq!(mutated.max_schedule_len(), base.max_schedule_len() + 2);
+        let state = run_round_robin(mutated);
+        // Round-robin interleaves the two CAS read steps before either
+        // write: both clients win and the strong tree forks.
+        assert_eq!(state.tree().len(), 3, "the mutation forked the chain");
+    }
+
+    #[test]
+    fn seam_trace_matches_executed_steps() {
+        let state = run_round_robin(ModelConfig::smoke(AppendPath::Strong));
+        assert!(state.seams().len() <= state.config().max_schedule_len());
+        assert!(state.seams().iter().any(|(_, s)| *s == "cas-pre-consume"));
+        assert!(state
+            .seams()
+            .iter()
+            .any(|(_, s)| *s == "writer-pre-publish"));
+    }
+}

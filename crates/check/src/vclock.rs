@@ -1,0 +1,438 @@
+//! Vector-clock happens-before analysis over replica sync-event traces.
+//!
+//! The replica is data-race-free at the memory level on *every* path —
+//! even the deliberately broken racy path publishes under the writer lock
+//! with a release store — so a byte-level detector would report nothing.
+//! What this module detects instead is the **lost-update race on the
+//! head protocol**: a head store whose tip decision is based on a read
+//! that a concurrent head store never happened-before.
+//!
+//! ## Happens-before edges
+//!
+//! Events arrive in tick order (a real-time linearization of the emission
+//! points, see [`btadt_concurrent::trace`]).  The partial order is built
+//! from:
+//!
+//! * **program order** — consecutive events of the same client;
+//! * **lock order** — each `LockAcquire` after the latest earlier
+//!   `LockRelease` (writer critical sections cannot overlap, and both
+//!   ends are emitted while holding the lock, so tick order is exact);
+//! * **reads-from** — each `HeadLoad{version}` after the `HeadStore`
+//!   that published that version (versions are unique: the published
+//!   length strictly increases);
+//! * **CAS order** — each `CasLoss{parent}` after the `CasWin{parent}`
+//!   it observed (matched by parent, not tick: the loser may *record*
+//!   before the winner does);
+//! * **token order** — each `TokenConsume{parent}` after earlier-tick
+//!   consumes on the same parent (`update; scan` on one snapshot object;
+//!   these edges are belt-and-braces, not load-bearing for the verdicts).
+//!
+//! Because the CAS and reads-from edges may point at later-tick events,
+//! clocks are computed by relaxation to a fixpoint rather than one
+//! left-to-right sweep.
+//!
+//! ## The race rule (lost update)
+//!
+//! Every `HeadStore` `W` has a **deciding read** `R`: the read its
+//! published tip derives from.  For mediated installs (`locked: true`)
+//! the tip is re-selected from the tree under the writer lock, so `R` is
+//! the client's `LockAcquire`; for the racy publish (`locked: false`)
+//! the tip derives from the client's latest *unlocked* `HeadLoad`.
+//! `W` loses an update iff some other client's store `W_o` satisfies
+//!
+//! ```text
+//! ¬hb(W_o, R)  ∧  ¬hb(W, W_o)
+//! ```
+//!
+//! — `W_o` was neither visible to the decision nor a later overwrite.
+//! Under this rule the Strong and Eventual paths are clean in every
+//! schedule (their deciding reads are lock-ordered with all stores),
+//! a *sequential* racy run is clean (each prepare reads-from the prior
+//! publish), and an overlapping racy run is flagged.
+
+use btadt_concurrent::trace::{SyncEvent, SyncEventKind};
+
+/// A fixed-width vector clock, one component per client.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VectorClock {
+    inner: Vec<u64>,
+}
+
+impl VectorClock {
+    /// The zero clock over `clients` components.
+    pub fn zero(clients: usize) -> Self {
+        VectorClock {
+            inner: vec![0; clients],
+        }
+    }
+
+    /// Component-wise maximum with `other` (in place).
+    pub fn join(&mut self, other: &VectorClock) {
+        for (a, b) in self.inner.iter_mut().zip(&other.inner) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// The component for `client`.
+    pub fn get(&self, client: usize) -> u64 {
+        self.inner.get(client).copied().unwrap_or(0)
+    }
+
+    /// Raises the component for `client` to at least `value`.
+    pub fn raise(&mut self, client: usize, value: u64) {
+        if let Some(slot) = self.inner.get_mut(client) {
+            *slot = (*slot).max(value);
+        }
+    }
+}
+
+/// One detected lost-update race between two head stores.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RaceFinding {
+    /// The client whose store lost the update.
+    pub client: usize,
+    /// The other client whose store was neither seen nor a later overwrite.
+    pub other: usize,
+    /// Tick of the losing store.
+    pub store_tick: u64,
+    /// Tick of the unordered store.
+    pub other_tick: u64,
+    /// Human-readable account of the violation.
+    pub detail: String,
+}
+
+/// The analysis result for one event stream.
+#[derive(Clone, Debug, Default)]
+pub struct RaceReport {
+    /// Detected lost-update races, deduplicated per store pair.
+    pub races: Vec<RaceFinding>,
+    /// Number of events analyzed.
+    pub events: usize,
+    /// Number of head stores analyzed.
+    pub stores: usize,
+}
+
+impl RaceReport {
+    /// `true` iff no race was found.
+    pub fn race_free(&self) -> bool {
+        self.races.is_empty()
+    }
+}
+
+struct Indexed<'a> {
+    event: &'a SyncEvent,
+    /// This event's own component value: 1-based program-order index.
+    own: u64,
+    /// Edge sources (indices into the sorted event vector).
+    sources: Vec<usize>,
+}
+
+/// Runs the happens-before analysis over one trace.  Events may arrive
+/// unsorted; clients are sized from the largest index seen.
+pub fn analyze(events: &[SyncEvent]) -> RaceReport {
+    let mut sorted: Vec<&SyncEvent> = events.iter().collect();
+    sorted.sort_by_key(|e| e.tick);
+    let clients = sorted.iter().map(|e| e.client + 1).max().unwrap_or(0);
+
+    // Pass 1: own components and edge sources.
+    let mut po_counts = vec![0u64; clients];
+    let mut po_prev: Vec<Option<usize>> = vec![None; sorted.len()];
+    let mut last_of_client: Vec<Option<usize>> = vec![None; clients];
+    let mut indexed: Vec<Indexed<'_>> = Vec::with_capacity(sorted.len());
+    for (i, event) in sorted.iter().enumerate() {
+        po_counts[event.client] += 1;
+        po_prev[i] = last_of_client[event.client];
+        last_of_client[event.client] = Some(i);
+        indexed.push(Indexed {
+            event,
+            own: po_counts[event.client],
+            sources: Vec::new(),
+        });
+    }
+    let store_by_version: std::collections::HashMap<u64, usize> = indexed
+        .iter()
+        .enumerate()
+        .filter_map(|(i, x)| match x.event.kind {
+            SyncEventKind::HeadStore { version, .. } => Some((version, i)),
+            _ => None,
+        })
+        .collect();
+    let cas_win_by_parent: std::collections::HashMap<_, usize> = indexed
+        .iter()
+        .enumerate()
+        .filter_map(|(i, x)| match x.event.kind {
+            SyncEventKind::CasWin { parent } => Some((parent, i)),
+            _ => None,
+        })
+        .collect();
+    let mut last_release: Option<usize> = None;
+    let mut consumes_seen: std::collections::HashMap<_, Vec<usize>> =
+        std::collections::HashMap::new();
+    for i in 0..indexed.len() {
+        let mut sources = Vec::new();
+        if let Some(p) = po_prev[i] {
+            sources.push(p);
+        }
+        match indexed[i].event.kind {
+            SyncEventKind::LockAcquire => {
+                if let Some(r) = last_release {
+                    sources.push(r);
+                }
+            }
+            SyncEventKind::LockRelease => {
+                last_release = Some(i);
+            }
+            SyncEventKind::HeadLoad { version } => {
+                if let Some(&w) = store_by_version.get(&version) {
+                    sources.push(w);
+                }
+            }
+            SyncEventKind::CasLoss { parent } => {
+                if let Some(&w) = cas_win_by_parent.get(&parent) {
+                    sources.push(w);
+                }
+            }
+            SyncEventKind::TokenConsume { parent } => {
+                let seen = consumes_seen.entry(parent).or_default();
+                sources.extend(seen.iter().copied());
+                seen.push(i);
+            }
+            _ => {}
+        }
+        indexed[i].sources = sources;
+    }
+
+    // Pass 2: relax clocks to a fixpoint (edges may point forward in tick
+    // order, so one sweep is not enough; joins are monotone, so this
+    // terminates).
+    let mut clocks: Vec<VectorClock> = indexed
+        .iter()
+        .map(|x| {
+            let mut vc = VectorClock::zero(clients);
+            vc.raise(x.event.client, x.own);
+            vc
+        })
+        .collect();
+    for _pass in 0..=indexed.len() {
+        let mut changed = false;
+        for i in 0..indexed.len() {
+            let mut vc = clocks[i].clone();
+            for &s in &indexed[i].sources {
+                vc.join(&clocks[s]);
+            }
+            vc.raise(indexed[i].event.client, indexed[i].own);
+            if vc != clocks[i] {
+                clocks[i] = vc;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // `a` happened-before `b` iff `a`'s own component is in `b`'s past.
+    let hb = |a: usize, b: usize| -> bool {
+        a != b && clocks[b].get(indexed[a].event.client) >= indexed[a].own
+    };
+
+    // Pass 3: the lost-update rule over head stores.
+    let store_indices: Vec<usize> = indexed
+        .iter()
+        .enumerate()
+        .filter(|(_, x)| matches!(x.event.kind, SyncEventKind::HeadStore { .. }))
+        .map(|(i, _)| i)
+        .collect();
+    let deciding_read = |w: usize| -> usize {
+        let client = indexed[w].event.client;
+        let locked = matches!(
+            indexed[w].event.kind,
+            SyncEventKind::HeadStore { locked: true, .. }
+        );
+        let mut read = w;
+        for i in (0..w).rev() {
+            if indexed[i].event.client != client {
+                continue;
+            }
+            let is_read = if locked {
+                matches!(indexed[i].event.kind, SyncEventKind::LockAcquire)
+            } else {
+                matches!(indexed[i].event.kind, SyncEventKind::HeadLoad { .. })
+            };
+            if is_read {
+                read = i;
+                break;
+            }
+        }
+        read
+    };
+    let mut report = RaceReport {
+        races: Vec::new(),
+        events: sorted.len(),
+        stores: store_indices.len(),
+    };
+    for &w in &store_indices {
+        let r = deciding_read(w);
+        for &wo in &store_indices {
+            if indexed[wo].event.client == indexed[w].event.client {
+                continue;
+            }
+            if !hb(wo, r) && !hb(w, wo) {
+                report.races.push(RaceFinding {
+                    client: indexed[w].event.client,
+                    other: indexed[wo].event.client,
+                    store_tick: indexed[w].event.tick,
+                    other_tick: indexed[wo].event.tick,
+                    detail: format!(
+                        "head store by client {} (tick {}) decided on a read (tick {}) that \
+                         never observed client {}'s store (tick {}), and the unseen store is \
+                         not a later overwrite — a lost tip update",
+                        indexed[w].event.client,
+                        indexed[w].event.tick,
+                        indexed[r].event.tick,
+                        indexed[wo].event.client,
+                        indexed[wo].event.tick,
+                    ),
+                });
+            }
+        }
+    }
+    report.races.sort_by_key(|f| (f.store_tick, f.other_tick));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btadt_concurrent::trace::pack_version;
+
+    fn ev(tick: u64, client: usize, kind: SyncEventKind) -> SyncEvent {
+        SyncEvent { tick, client, kind }
+    }
+
+    /// Mediated pattern: both stores decided under the lock.
+    #[test]
+    fn lock_ordered_stores_are_clean() {
+        let v0 = pack_version(1, 0);
+        let events = vec![
+            ev(0, 0, SyncEventKind::HeadLoad { version: v0 }),
+            ev(1, 1, SyncEventKind::HeadLoad { version: v0 }),
+            ev(2, 0, SyncEventKind::LockAcquire),
+            ev(
+                3,
+                0,
+                SyncEventKind::HeadStore {
+                    version: pack_version(2, 1),
+                    locked: true,
+                },
+            ),
+            ev(4, 0, SyncEventKind::LockRelease),
+            ev(5, 1, SyncEventKind::LockAcquire),
+            ev(
+                6,
+                1,
+                SyncEventKind::HeadStore {
+                    version: pack_version(3, 2),
+                    locked: true,
+                },
+            ),
+            ev(7, 1, SyncEventKind::LockRelease),
+        ];
+        let report = analyze(&events);
+        assert_eq!(report.stores, 2);
+        assert!(report.race_free(), "races: {:?}", report.races);
+    }
+
+    /// Overlapping racy pattern: both prepares read the genesis head,
+    /// both publish tips derived from those unlocked reads.
+    #[test]
+    fn overlapping_unlocked_stores_race() {
+        let v0 = pack_version(1, 0);
+        let events = vec![
+            ev(0, 0, SyncEventKind::HeadLoad { version: v0 }),
+            ev(1, 1, SyncEventKind::HeadLoad { version: v0 }),
+            ev(2, 0, SyncEventKind::LockAcquire),
+            ev(
+                3,
+                0,
+                SyncEventKind::HeadStore {
+                    version: pack_version(2, 1),
+                    locked: false,
+                },
+            ),
+            ev(4, 0, SyncEventKind::LockRelease),
+            ev(5, 1, SyncEventKind::LockAcquire),
+            ev(
+                6,
+                1,
+                SyncEventKind::HeadStore {
+                    version: pack_version(3, 2),
+                    locked: false,
+                },
+            ),
+            ev(7, 1, SyncEventKind::LockRelease),
+        ];
+        let report = analyze(&events);
+        assert_eq!(report.races.len(), 1, "races: {:?}", report.races);
+        let race = &report.races[0];
+        assert_eq!(race.client, 1, "the second publisher lost the update");
+        assert_eq!(race.other, 0);
+    }
+
+    /// Sequential racy pattern: the second prepare reads-from the first
+    /// publish, so nothing is lost.
+    #[test]
+    fn sequential_unlocked_stores_are_clean() {
+        let v0 = pack_version(1, 0);
+        let v1 = pack_version(2, 1);
+        let events = vec![
+            ev(0, 0, SyncEventKind::HeadLoad { version: v0 }),
+            ev(1, 0, SyncEventKind::LockAcquire),
+            ev(
+                2,
+                0,
+                SyncEventKind::HeadStore {
+                    version: v1,
+                    locked: false,
+                },
+            ),
+            ev(3, 0, SyncEventKind::LockRelease),
+            ev(4, 1, SyncEventKind::HeadLoad { version: v1 }),
+            ev(5, 1, SyncEventKind::LockAcquire),
+            ev(
+                6,
+                1,
+                SyncEventKind::HeadStore {
+                    version: pack_version(3, 2),
+                    locked: false,
+                },
+            ),
+            ev(7, 1, SyncEventKind::LockRelease),
+        ];
+        let report = analyze(&events);
+        assert!(report.race_free(), "races: {:?}", report.races);
+    }
+
+    /// A CAS loss records *before* the win it observed; the forward edge
+    /// must still be found.
+    #[test]
+    fn cas_edges_tolerate_tick_inversion() {
+        let parent = btadt_types::Block::genesis().id;
+        let events = vec![
+            ev(0, 1, SyncEventKind::CasLoss { parent }),
+            ev(1, 0, SyncEventKind::CasWin { parent }),
+        ];
+        let report = analyze(&events);
+        assert_eq!(report.events, 2);
+        // No stores, no races — but the clocks must have converged with
+        // the loss ordered after the win.
+        assert!(report.race_free());
+    }
+
+    #[test]
+    fn empty_trace_is_clean() {
+        let report = analyze(&[]);
+        assert!(report.race_free());
+        assert_eq!(report.events, 0);
+    }
+}

@@ -55,6 +55,7 @@ use crate::cas_from_oracle::OracleCas;
 use crate::fault::{FaultAction, FaultSession, Seam};
 use crate::prodigal_from_snapshot::SnapshotConsumeToken;
 use crate::store::{SnapshotStore, SnapshotView, StoreExhausted};
+use crate::trace::{pack_version, SyncEventKind, SyncTraceHub};
 
 /// Which oracle reduction mediates appends (plus the deliberately broken
 /// unmediated variant).
@@ -195,6 +196,10 @@ pub struct ConcurrentBlockTree {
     /// observable evidence that a monitor or helper *healed* a dead
     /// writer's lock instead of propagating its panic.
     poison_heals: AtomicU64,
+    /// Optional synchronization-event trace sink for the happens-before
+    /// race detector (see [`crate::trace`]).  `None` (the default) keeps
+    /// the instrumented points to a single branch.
+    trace: Option<Arc<SyncTraceHub>>,
 }
 
 impl ConcurrentBlockTree {
@@ -260,6 +265,7 @@ impl ConcurrentBlockTree {
             clients: clients.max(1),
             durable: Mutex::new(None),
             poison_heals: AtomicU64::new(0),
+            trace: None,
         }
     }
 
@@ -267,6 +273,23 @@ impl ConcurrentBlockTree {
     pub fn with_tip_rule(mut self, rule: TipRule) -> Self {
         self.tip_rule = rule;
         self
+    }
+
+    /// Attaches a synchronization-event trace hub (builder style; call
+    /// before use).  Every head load/store, writer-lock acquire/release,
+    /// CAS win/loss, token consume, and arena push is then recorded for
+    /// the happens-before race detector.  Poison-heal republishes are
+    /// *not* traced — they run on behalf of a dead writer, not a client.
+    pub fn with_sync_trace(mut self, hub: Arc<SyncTraceHub>) -> Self {
+        self.trace = Some(hub);
+        self
+    }
+
+    #[inline]
+    fn emit(&self, client: usize, kind: SyncEventKind) {
+        if let Some(hub) = &self.trace {
+            hub.record(client, kind);
+        }
     }
 
     /// Attaches a durable block store (builder style; call before use).
@@ -287,6 +310,9 @@ impl ConcurrentBlockTree {
     /// How many times `lock_writer` recovered the writer mutex from
     /// poison (a panic while the lock was held).
     pub fn poison_heals(&self) -> u64 {
+        // ORDERING: Relaxed — a monotone diagnostic counter; readers only
+        // need an eventually-visible tally, never an ordering with replica
+        // state (the heal itself synchronizes via the writer mutex).
         self.poison_heals.load(Ordering::Relaxed)
     }
 
@@ -324,9 +350,19 @@ impl ConcurrentBlockTree {
     }
 
     /// Creates a per-thread reader handle with tip-versioned memoization.
+    /// Traced reads attribute to client 0; use
+    /// [`reader_for`](Self::reader_for) when the client index matters.
     pub fn reader(&self) -> BtReader<'_> {
+        self.reader_for(0)
+    }
+
+    /// Creates a reader handle whose traced head loads attribute to
+    /// `client` — the race detector needs reads tied to the issuing
+    /// client's program order.
+    pub fn reader_for(&self, client: usize) -> BtReader<'_> {
         BtReader {
             replica: self,
+            client,
             cached: None,
         }
     }
@@ -375,6 +411,9 @@ impl ConcurrentBlockTree {
                 self.writer.clear_poison();
                 let guard = poisoned.into_inner();
                 self.heal_after_poison(&guard);
+                // ORDERING: Relaxed — counter increment only; the heal's
+                // republish already synchronized via the store's release
+                // publish, and the mutex orders this against other writers.
                 self.poison_heals.fetch_add(1, Ordering::Relaxed);
                 guard
             }
@@ -452,7 +491,14 @@ impl ConcurrentBlockTree {
     /// is the `b_h ← last_block(f(bt))` step of Definition 3.7, performed
     /// before the `append(b)` operation is invoked with the resulting `b`.
     pub fn prepare(&self, client: usize, payload: Vec<Transaction>) -> PreparedAppend {
-        let parent = self.tip_block();
+        let view = self.store.snapshot();
+        self.emit(
+            client,
+            SyncEventKind::HeadLoad {
+                version: pack_version(view.len, view.tip),
+            },
+        );
+        let parent = self.store.block(view.tip).clone();
         self.prepare_on(client, parent, payload)
     }
 
@@ -464,6 +510,9 @@ impl ConcurrentBlockTree {
         parent: Block,
         payload: Vec<Transaction>,
     ) -> PreparedAppend {
+        // ORDERING: Relaxed — only uniqueness of the fetched value matters
+        // (each candidate gets a distinct nonce); no other memory is
+        // published or consumed through this counter.
         let nonce = self.nonce.fetch_add(1, Ordering::Relaxed);
         let block = BlockBuilder::new(&parent)
             .producer(client as u32)
@@ -517,8 +566,14 @@ impl ConcurrentBlockTree {
                         // We won the register K[h]: ours is the unique child
                         // of this parent; install and publish it.  A stall
                         // here is exactly the window helping covers.
+                        self.emit(
+                            prepared.client,
+                            SyncEventKind::CasWin {
+                                parent: prepared.parent.id,
+                            },
+                        );
                         session.apply(Seam::CasWinPreInstall);
-                        self.install(&grant.block, session)?;
+                        self.install(prepared.client, &grant.block, session)?;
                         Ok(AppendOutcome {
                             appended: true,
                             block: grant.block,
@@ -529,8 +584,14 @@ impl ConcurrentBlockTree {
                     Some(winner) => {
                         // Helping: make sure the winner is installed even if
                         // the winning thread has not gotten there yet.
+                        self.emit(
+                            prepared.client,
+                            SyncEventKind::CasLoss {
+                                parent: prepared.parent.id,
+                            },
+                        );
                         session.apply(Seam::CasLossPreHelp);
-                        self.install(&winner, session)?;
+                        self.install(prepared.client, &winner, session)?;
                         Ok(AppendOutcome {
                             appended: false,
                             block: prepared.block,
@@ -571,8 +632,14 @@ impl ConcurrentBlockTree {
                         );
                     }
                 }
+                self.emit(
+                    prepared.client,
+                    SyncEventKind::TokenConsume {
+                        parent: prepared.parent.id,
+                    },
+                );
                 session.apply(Seam::SnapshotPreInstall);
-                self.install(&prepared.block, session)?;
+                self.install(prepared.client, &prepared.block, session)?;
                 Ok(AppendOutcome {
                     appended: true,
                     block: prepared.block,
@@ -581,7 +648,7 @@ impl ConcurrentBlockTree {
                 })
             }
             Mediator::Racy => {
-                self.install_racy(&prepared.block, session)?;
+                self.install_racy(prepared.client, &prepared.block, session)?;
                 Ok(AppendOutcome {
                     appended: true,
                     block: prepared.block,
@@ -611,11 +678,32 @@ impl ConcurrentBlockTree {
     /// republish.
     fn install_with_tip(
         &self,
+        client: usize,
         block: &Block,
         session: &mut FaultSession<'_>,
+        locked_tip: bool,
         choose_tip: impl FnOnce(&BlockTree, u32) -> u32,
     ) -> Result<(), IngestError> {
         let mut tree = self.lock_writer();
+        self.emit(client, SyncEventKind::LockAcquire);
+        let result = self.install_locked(client, &mut tree, block, session, locked_tip, choose_tip);
+        // Emitted while still holding the guard, so the next acquirer's
+        // LockAcquire necessarily records after this.
+        self.emit(client, SyncEventKind::LockRelease);
+        result
+    }
+
+    /// The body of [`install_with_tip`](Self::install_with_tip), run with
+    /// the writer lock held.
+    fn install_locked(
+        &self,
+        client: usize,
+        tree: &mut BlockTree,
+        block: &Block,
+        session: &mut FaultSession<'_>,
+        locked_tip: bool,
+        choose_tip: impl FnOnce(&BlockTree, u32) -> u32,
+    ) -> Result<(), IngestError> {
         if tree.contains(block.id) {
             return Ok(());
         }
@@ -638,6 +726,7 @@ impl ConcurrentBlockTree {
             .store
             .try_push(block.clone(), Some(parent_idx.0))
             .map_err(IngestError::StoreExhausted)?;
+        self.emit(client, SyncEventKind::ArenaPush { idx: store_idx });
         tree.insert(block.clone())
             .expect("chaining was validated above");
         debug_assert_eq!(
@@ -654,15 +743,27 @@ impl ConcurrentBlockTree {
             durable.append(block);
         }
         session.apply(Seam::WriterPrePublish);
-        let tip = choose_tip(&tree, store_idx);
+        let tip = choose_tip(tree, store_idx);
         self.store.publish(tree.len() as u32, tip);
+        self.emit(
+            client,
+            SyncEventKind::HeadStore {
+                version: pack_version(tree.len() as u32, tip),
+                locked: locked_tip,
+            },
+        );
         Ok(())
     }
 
     /// The mediated install: publishes the freshly re-selected best tip.
-    fn install(&self, block: &Block, session: &mut FaultSession<'_>) -> Result<(), IngestError> {
+    fn install(
+        &self,
+        client: usize,
+        block: &Block,
+        session: &mut FaultSession<'_>,
+    ) -> Result<(), IngestError> {
         let rule = self.tip_rule;
-        self.install_with_tip(block, session, |tree, _| {
+        self.install_with_tip(client, block, session, true, |tree, _| {
             let best = match rule {
                 TipRule::Height { prefer_largest_id } => {
                     tree.best_leaf_by_height(prefer_largest_id)
@@ -679,10 +780,14 @@ impl ConcurrentBlockTree {
     /// the tip choice, not memory corruption).
     fn install_racy(
         &self,
+        client: usize,
         block: &Block,
         session: &mut FaultSession<'_>,
     ) -> Result<(), IngestError> {
-        self.install_with_tip(block, session, |_, store_idx| store_idx)
+        // `locked_tip: false`: the published tip derives from the client's
+        // *unlocked* prepare-time head load, which is exactly what the
+        // race detector keys on.
+        self.install_with_tip(client, block, session, false, |_, store_idx| store_idx)
     }
 }
 
@@ -696,6 +801,7 @@ impl ConcurrentBlockTree {
 /// tip moved, one walk over frozen nodes.
 pub struct BtReader<'a> {
     replica: &'a ConcurrentBlockTree,
+    client: usize,
     cached: Option<(u32, Blockchain)>,
 }
 
@@ -703,6 +809,12 @@ impl BtReader<'_> {
     /// The wait-free, memoizing `read()`.
     pub fn read(&mut self) -> Blockchain {
         let view = self.replica.store.snapshot();
+        self.replica.emit(
+            self.client,
+            SyncEventKind::HeadLoad {
+                version: pack_version(view.len, view.tip),
+            },
+        );
         if let Some((tip, chain)) = &self.cached {
             if *tip == view.tip {
                 return chain.clone();

@@ -198,17 +198,23 @@ pub fn run_chaos_cell(cell: &ChaosCell) -> ChaosOutcome {
             // writer lock serializes each check against installs, so every
             // observation is of a committed state — what must *always*
             // hold, faults or not.
+            // ORDERING: Relaxed — a pure stop flag; no data is passed
+            // through it, and monitor.join() is the synchronization point.
             while !stop.load(Ordering::Relaxed) {
                 let violations = replica.check_invariants();
                 if !violations.is_empty() {
                     let mut log = monitor_log.lock().expect("monitor log lock");
                     log.extend(violations.iter().map(|v| v.to_string()));
                 }
+                // ORDERING: Relaxed — a statistics counter; read only
+                // after join() below.
                 checks.fetch_add(1, Ordering::Relaxed);
                 thread::yield_now();
             }
         });
         let run = run_workload_with_on(&config, Some(&cell.plan), &replica);
+        // ORDERING: Relaxed — pairs with the monitor's Relaxed stop
+        // poll; the subsequent join() orders everything that matters.
         stop.store(true, Ordering::Relaxed);
         monitor
             .join()
@@ -254,6 +260,8 @@ pub fn run_chaos_cell(cell: &ChaosCell) -> ChaosOutcome {
         height: run.height,
         max_fork_degree: run.max_fork_degree,
         violations,
+        // ORDERING: Relaxed — the monitor thread was joined above, so
+        // this reads a quiescent counter.
         monitor_checks: checks.load(Ordering::Relaxed) as u64,
         storage,
         storage_report,
@@ -271,6 +279,8 @@ pub fn chaos_grid(cells: &[ChaosCell], workers: usize) -> Vec<ChaosOutcome> {
     thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
+                // ORDERING: Relaxed — a work-ticket cursor; the result
+                // slot mutexes publish the outcomes.
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 let Some(cell) = cells.get(i) else { break };
                 let outcome = run_chaos_cell(cell);
@@ -291,6 +301,7 @@ pub fn chaos_grid(cells: &[ChaosCell], workers: usize) -> Vec<ChaosOutcome> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::Seam;
 
     #[test]
     fn a_strong_cell_under_stalls_stays_admitted() {
@@ -392,9 +403,13 @@ mod tests {
         thread::scope(|scope| {
             // The same background monitor loop `run_chaos_cell` runs.
             let monitor = scope.spawn(|| {
+                // ORDERING: Relaxed — stop flag only; join() below is
+                // the synchronization point.
                 while !stop.load(Ordering::Relaxed) {
                     let violations = t.check_invariants();
                     assert!(violations.is_empty(), "{violations:?}");
+                    // ORDERING: Relaxed — statistics counter read after
+                    // join().
                     monitor_checks.fetch_add(1, Ordering::Relaxed);
                     thread::yield_now();
                 }
@@ -411,15 +426,38 @@ mod tests {
             while t.poison_heals() == 0 {
                 thread::yield_now();
             }
+            // ORDERING: Relaxed — pairs with the monitor's Relaxed poll;
+            // join() orders the rest.
             stop.store(true, Ordering::Relaxed);
             monitor.join().expect("the monitor absorbed the poison");
         });
+        // ORDERING: Relaxed — the monitor was joined; quiescent read.
         assert!(monitor_checks.load(Ordering::Relaxed) > 0);
         assert!(t.poison_heals() >= 1, "the heal was counted");
         assert_eq!(t.height(), doomed_height, "healing published the orphan");
         // The replica keeps serving after the heal.
         assert!(t.append(1, vec![]).appended || t.height() > doomed_height);
         assert!(t.check_invariants().is_empty());
+    }
+
+    #[test]
+    fn every_seam_is_armed_by_at_least_one_default_plan() {
+        // Coverage gate for the fault surface: a seam that no default plan
+        // arms is dead chaos — its label still parses, but no grid run ever
+        // exercises it, so regressions behind it go unnoticed.
+        let plans = default_plans(7);
+        for seam in Seam::all() {
+            assert!(
+                plans.iter().any(|p| p.arms_seam(seam)),
+                "seam {:?} ({}) is armed by no default plan",
+                seam,
+                seam.label()
+            );
+        }
+        // And every label round-trips, so `--seam <label>` can reach each.
+        for seam in Seam::all() {
+            assert_eq!(Seam::from_label(seam.label()), Some(seam));
+        }
     }
 
     #[test]

@@ -174,7 +174,10 @@ pub fn run_workload_with_on(
                     let mut session = plan
                         .map(|p| FaultSession::new(p, t))
                         .unwrap_or_else(FaultSession::passthrough);
-                    let mut reader = replica.reader();
+                    // Per-client attribution matters when the replica is
+                    // sync-traced: the race detector ties each head load
+                    // to the issuing client's program order.
+                    let mut reader = replica.reader_for(t);
                     let mut stats = (0u64, 0u64, 0u64);
                     for _ in 0..config.ops_per_thread {
                         if (mix.next() % 100) < u64::from(config.append_percent) {

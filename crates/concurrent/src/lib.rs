@@ -52,7 +52,10 @@
 //! * [`chaos`] — the chaos driver: a grid of `(seed, plan, threads, path)`
 //!   cells, each re-running the workload under injected faults with a
 //!   background invariant monitor, asserting the Theorem 4.1–4.3 verdicts
-//!   survive every injected schedule.
+//!   survive every injected schedule;
+//! * [`trace`] — opt-in synchronization-event tracing (head loads/stores,
+//!   lock acquire/release, CAS wins/losses, token consumes, arena pushes)
+//!   feeding the happens-before race detector in `btadt-check`.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -70,6 +73,7 @@ pub mod register;
 pub mod snapshot;
 pub mod storage;
 pub mod store;
+pub mod trace;
 
 pub use blocktree::{
     AppendOutcome, AppendPath, BtReader, ConcurrentBlockTree, IngestError, PreparedAppend, TipRule,
@@ -91,3 +95,4 @@ pub use register::AtomicRegister;
 pub use snapshot::AtomicSnapshot;
 pub use storage::{crash_recover_heal, faulted_store, PlanInjector, StorageReport, STORAGE_CLIENT};
 pub use store::{SnapshotStore, SnapshotView, StoreExhausted};
+pub use trace::{pack_version, SyncEvent, SyncEventKind, SyncTraceHub};

@@ -51,7 +51,11 @@ impl RecorderHub {
 
     /// Current value of the global clock.
     pub fn now(&self) -> Timestamp {
-        Timestamp(self.clock.load(Ordering::SeqCst))
+        // ORDERING: Relaxed — an advisory monitoring read; no data is
+        // published through the clock value itself, and the timestamp
+        // total order is fixed by the SeqCst tick RMWs, not this load.
+        // (Audited down from SeqCst: the stronger fence bought nothing.)
+        Timestamp(self.clock.load(Ordering::Relaxed))
     }
 
     /// Merges per-thread buffers into one history.  Records are ordered by
@@ -83,6 +87,11 @@ pub struct ThreadRecorder<Op, Resp> {
 
 impl<Op: Clone, Resp: Clone> ThreadRecorder<Op, Resp> {
     fn tick(&self) -> Timestamp {
+        // ORDERING: SeqCst — the whole point of the shared clock is one
+        // total order of ticks across threads that every thread agrees
+        // on; the criteria compare timestamps drawn by different
+        // processes, so the RMWs must be in the single modification
+        // order AND sequentially consistent with each other.
         Timestamp(self.clock.fetch_add(1, Ordering::SeqCst) + 1)
     }
 

@@ -113,11 +113,16 @@ impl SnapshotStore {
     /// surface this as [`crate::blocktree::IngestError::StoreExhausted`]
     /// rather than tearing the process down mid-install.
     pub fn try_push(&self, block: Block, parent: Option<u32>) -> Result<u32, StoreExhausted> {
+        // ORDERING: Relaxed — the cursor is only advanced under the
+        // writer mutex; publication of the slot contents happens through
+        // the OnceLock set + the Release head store, not this counter.
         let idx = self.next.fetch_add(1, Ordering::Relaxed) as usize;
         if idx >= CHUNK_CAP * NUM_CHUNKS {
             // Back the cursor out so repeated attempts fail cleanly instead
             // of wrapping; callers hold the writer mutex, so no other push
             // can have advanced the cursor in between.
+            // ORDERING: Relaxed — same single-writer regime as the
+            // fetch_add above; this only backs the private cursor out.
             self.next.fetch_sub(1, Ordering::Relaxed);
             return Err(StoreExhausted {
                 capacity: CHUNK_CAP * NUM_CHUNKS,
@@ -135,6 +140,8 @@ impl SnapshotStore {
     /// path compares this against the writer tree's length to find blocks
     /// whose mirror step was lost to a poisoned lock.
     pub fn pushed(&self) -> u32 {
+        // ORDERING: Relaxed — a monitoring read; the value is advisory
+        // (healing re-checks under the writer mutex before acting).
         self.next.load(Ordering::Relaxed)
     }
 
@@ -143,12 +150,17 @@ impl SnapshotStore {
     pub fn publish(&self, len: u32, tip: u32) {
         debug_assert!(tip < len, "published tip must be committed");
         self.head
+            // ORDERING: Release — pairs with the Acquire in snapshot(): a
+            // reader that observes the new head also observes every slot
+            // write sequenced before this store.
             .store(u64::from(len) << 32 | u64::from(tip), Ordering::Release);
     }
 
     /// The wait-free snapshot: one acquire load decoding the committed
     /// length and the selected tip together.
     pub fn snapshot(&self) -> SnapshotView {
+        // ORDERING: Acquire — pairs with the Release in publish(); all
+        // slots below the loaded len are visible after this load.
         let packed = self.head.load(Ordering::Acquire);
         SnapshotView {
             len: (packed >> 32) as u32,

@@ -166,7 +166,13 @@ impl<Op: Clone, Resp: Clone> ConcurrentHistory<Op, Resp> {
     /// operation id), which is the natural order in which to inspect reads.
     pub fn by_response_time(&self) -> Vec<&OperationRecord<Op, Resp>> {
         let mut ops: Vec<&OperationRecord<Op, Resp>> = self.complete().collect();
-        ops.sort_by_key(|r| (r.responded_at.unwrap(), r.id));
+        ops.sort_by_key(|r| {
+            (
+                r.responded_at
+                    .expect("complete() yields only responded records"),
+                r.id,
+            )
+        });
         ops
     }
 

@@ -400,6 +400,8 @@ impl ScenarioMatrix {
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
+                    // ORDERING: Relaxed — a work-ticket cursor; results are
+                    // published through the slot mutex, not this counter.
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     let Some(&(idx, scenario, seed)) = cells.get(i) else {
                         break;

@@ -69,7 +69,7 @@ impl Tape {
             let cell = self.generate();
             self.lookahead = Some(cell);
         }
-        self.lookahead.unwrap()
+        self.lookahead.expect("the lookahead cell was just filled")
     }
 
     /// `pop(tape)`: consumes and returns the first cell of the tape.

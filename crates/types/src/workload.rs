@@ -109,14 +109,16 @@ impl Workload {
         let mut tip = tree.genesis().clone();
         for _ in 0..prefix_len {
             let b = self.block_on(&tip, 0, 1, 1);
-            tree.insert(b.clone()).unwrap();
+            tree.insert(b.clone())
+                .expect("the parent is already in the tree");
             tip = b;
         }
         for f in 0..forks {
             let mut branch_tip = tip.clone();
             for _ in 0..branch_len {
                 let b = self.block_on(&branch_tip, f as u32, 1, 1);
-                tree.insert(b.clone()).unwrap();
+                tree.insert(b.clone())
+                    .expect("the parent is already in the tree");
                 branch_tip = b;
             }
         }
