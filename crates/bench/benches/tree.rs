@@ -16,6 +16,7 @@
 use std::sync::Arc;
 
 use btadt_bench::harness::{workspace_root, Harness};
+use btadt_concurrent::ConcurrentBlockTree;
 use btadt_core::hierarchy::{run_contended, ContendedRunConfig, OracleKind};
 use btadt_core::ops::BtHistoryExt;
 use btadt_core::{
@@ -106,6 +107,40 @@ fn main() {
                 let chain = naive.select_ghost(TieBreak::LargestId);
                 assert!(chain.height() > 0);
             });
+        }
+
+        // --- batch ingest: one writer-lock round per batch ----------------
+        //
+        // The ISSUE 10 acceptance metric: the same pre-generated stream
+        // pushed through `ConcurrentBlockTree::ingest_batch` in chunks of
+        // 1 (the degenerate batch — one lock round and one tip publish
+        // per block, the old per-block door) vs 64 and 1024.  Batching
+        // amortises the lock round, the tip re-selection and the publish
+        // across the chunk.
+        if n <= 10_000 {
+            let ingest_chunked = |chunk: usize| {
+                let t = ConcurrentBlockTree::eventual(1);
+                let mut accepted = 0usize;
+                for batch in stream.chunks(chunk) {
+                    let report = t.ingest_batch(0, batch.to_vec());
+                    accepted += report.accepted;
+                }
+                assert_eq!(accepted, n);
+            };
+            // The rows feed a speedup gate, so they are measured
+            // interleaved: chunk-size drift in host performance would
+            // otherwise masquerade as a (de)speedup.
+            let mut per_block = || ingest_chunked(1);
+            let mut batch_64 = || ingest_chunked(64);
+            let mut batch_1024 = || ingest_chunked(1024);
+            h.bench_interleaved(
+                &group("append_batch"),
+                &mut [
+                    ("per_block", &mut per_block),
+                    ("batch_64", &mut batch_64),
+                    ("batch_1024", &mut batch_1024),
+                ],
+            );
         }
 
         // --- leaves() -----------------------------------------------------
@@ -286,6 +321,22 @@ fn main() {
         }
         for (key, ratio) in speedups {
             h.record_metric(&key, ratio);
+        }
+        // Batch-vs-per-block ingest (the ISSUE 10 acceptance metric: the
+        // 1024-chunk pipeline must beat the per-block door by >= 2x at
+        // 10k blocks).
+        for &n in sizes {
+            let group = format!("append_batch_{n}");
+            for (chunk, name) in [(64, "batch_64"), (1024, "batch_1024")] {
+                if let (Some(per_block), Some(batched)) =
+                    (h.median_of(&group, "per_block"), h.median_of(&group, name))
+                {
+                    h.record_metric(
+                        &format!("speedup_append_batch_{chunk}_{n}"),
+                        per_block / batched.max(1e-9),
+                    );
+                }
+            }
         }
         for (metric, index, walk) in [
             ("reach_is_ancestor", "is_ancestor_index", "is_ancestor_walk"),

@@ -66,6 +66,15 @@ impl Harness {
                 _ => {}
             }
         }
+        // Allocator hygiene: glibc malloc serves allocations above its
+        // *adaptive* mmap threshold with fresh mmap/munmap pairs — every
+        // benchmark iteration then pays page faults for its big transient
+        // buffers, and whether a given size is above the threshold depends
+        // on what earlier benchmarks happened to free.  Allocating and
+        // dropping one chunk at the 32 MiB adaptation cap pins the
+        // threshold to its maximum up front, so large buffers come from
+        // the reusable heap in every run and row order stops mattering.
+        drop(std::hint::black_box(vec![0u8; 32 << 20]));
         Harness {
             label: label.to_string(),
             test_mode,
@@ -143,6 +152,84 @@ impl Harness {
             mean_ns,
             median_ns,
         });
+    }
+
+    /// Measures a group of benchmark bodies in interleaved rounds: every
+    /// measurement round times each body back-to-back instead of finishing
+    /// one body's rounds before starting the next.  On a shared or
+    /// frequency-scaled host, performance drifts on the scale of seconds —
+    /// sequential [`bench`](Self::bench) calls put that drift entirely
+    /// between rows, which corrupts any ratio derived from them.
+    /// Interleaving lands the drift on every row of the group equally, so
+    /// ratios between the recorded medians stay meaningful even when the
+    /// absolute numbers wander.  Use this for rows whose *relative* speed
+    /// is the tracked metric (e.g. speedup gates).
+    pub fn bench_interleaved(&mut self, group: &str, bodies: &mut [(&str, &mut dyn FnMut())]) {
+        if bodies.is_empty() || bodies.iter().all(|(name, _)| self.skip(group, name)) {
+            return;
+        }
+        if self.test_mode {
+            for (name, body) in bodies.iter_mut() {
+                body();
+                println!("{group}/{name}: ok (--test)");
+            }
+            return;
+        }
+
+        // Warm up and calibrate each body separately: bodies of one group
+        // can differ in cost by orders of magnitude, so each gets its own
+        // per-round iteration count towards an equal share of the budget.
+        let rounds = 10u64;
+        let warmup_each = WARMUP / bodies.len() as u32;
+        let mut per_round: Vec<u64> = Vec::with_capacity(bodies.len());
+        for (_, body) in bodies.iter_mut() {
+            let warm_start = Instant::now();
+            let mut warm_iters: u64 = 0;
+            while warm_start.elapsed() < warmup_each {
+                body();
+                warm_iters += 1;
+            }
+            let per_iter = warm_start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64;
+            let total_iters = ((TARGET_MEASURE.as_nanos() as f64 / per_iter.max(1.0)) as u64)
+                .clamp(10, MAX_ITERS);
+            per_round.push((total_iters / rounds).max(1));
+        }
+
+        let mut round_means: Vec<Vec<f64>> =
+            vec![Vec::with_capacity(rounds as usize); bodies.len()];
+        let mut elapsed_ns: Vec<f64> = vec![0.0; bodies.len()];
+        for _ in 0..rounds {
+            for (i, (_, body)) in bodies.iter_mut().enumerate() {
+                let start = Instant::now();
+                for _ in 0..per_round[i] {
+                    body();
+                }
+                let ns = start.elapsed().as_nanos() as f64;
+                elapsed_ns[i] += ns;
+                round_means[i].push(ns / per_round[i] as f64);
+            }
+        }
+
+        for (i, (name, _)) in bodies.iter().enumerate() {
+            let iters = per_round[i] * rounds;
+            let mean_ns = elapsed_ns[i] / iters as f64;
+            let mut means = std::mem::take(&mut round_means[i]);
+            means.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+            let median_ns = means[means.len() / 2];
+            println!(
+                "{group}/{name}: {:>12} ns/iter (median {:>12} ns, {} iters, interleaved)",
+                fmt_ns(mean_ns),
+                fmt_ns(median_ns),
+                iters
+            );
+            self.measurements.push(Measurement {
+                group: group.to_string(),
+                name: name.to_string(),
+                iters,
+                mean_ns,
+                median_ns,
+            });
+        }
     }
 
     /// Records a derived top-level metric (e.g. a speedup ratio).

@@ -500,8 +500,8 @@ mod tests {
         assert!(report.all_clean());
         assert_eq!(
             report.chaos.len(),
-            5 * 3 * 2,
-            "1 seed x 5 plans x 3 threads x 2 paths"
+            6 * 3 * 2,
+            "1 seed x 6 plans x 3 threads x 2 paths"
         );
         assert_eq!(
             report.recovery.len(),

@@ -37,17 +37,17 @@
 //! checker is expected to *catch* (see `tests/histories.rs`).
 
 use std::collections::HashMap;
-use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::sync::{Mutex as StdMutex, MutexGuard};
 
 use btadt_core::invariant::{check_block_tree, InvariantViolation};
 use btadt_oracle::{FrugalOracle, MeritTable, OracleConfig, OracleStats, SharedOracle};
+use btadt_pipeline::{stage_batch, BatchReport, Ingest, IngestError, IngestVerdict, StagedBatch};
 use btadt_store::BlockStore;
-use btadt_types::tree::InsertError;
 use btadt_types::{
-    Block, BlockBuilder, BlockTree, Blockchain, LengthScore, Score, Transaction, WorkScore,
+    Block, BlockBuilder, BlockId, BlockTree, Blockchain, LengthScore, NodeIdx, Score, Transaction,
+    WorkScore,
 };
 use parking_lot::Mutex;
 
@@ -141,29 +141,17 @@ pub struct PreparedAppend {
     pub block: Block,
 }
 
-/// Why an ingest (install) could not complete.
-///
-/// Ingest failures are *structured*, not panics: a fault-injected or
-/// byzantine block must not tear down the replica mid-install.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum IngestError {
-    /// The block does not chain onto the writer tree (unknown or missing
-    /// parent, inconsistent height, …).
-    Tree(InsertError),
-    /// The wait-free block arena is out of capacity.
-    StoreExhausted(StoreExhausted),
-}
-
-impl fmt::Display for IngestError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            IngestError::Tree(e) => write!(f, "block rejected by the writer tree: {e}"),
-            IngestError::StoreExhausted(e) => write!(f, "{e}"),
+// Ingest failures are *structured*, not panics: a fault-injected or
+// byzantine block must not tear down the replica mid-install.  The replica
+// reports them in the unified [`IngestError`] taxonomy; the store-side
+// exhaustion error converts in here, next to the type it wraps.
+impl From<StoreExhausted> for IngestError {
+    fn from(e: StoreExhausted) -> Self {
+        IngestError::StoreExhausted {
+            capacity: e.capacity,
         }
     }
 }
-
-impl std::error::Error for IngestError {}
 
 /// Outcome of one committed append.
 #[derive(Clone, Debug)]
@@ -426,11 +414,7 @@ impl ConcurrentBlockTree {
     /// (recovered) writer lock held.
     pub fn heal_after_poison(&self, tree: &BlockTree) {
         let committed = tree.len().min(self.store.pushed() as usize);
-        let best = match self.tip_rule {
-            TipRule::Height { prefer_largest_id } => tree.best_leaf_by_height(prefer_largest_id),
-            TipRule::Work { prefer_largest_id } => tree.best_leaf_by_work(prefer_largest_id),
-        };
-        let tip = tree.idx_of(best).expect("best leaf is in the tree").0;
+        let tip = self.selected_tip(tree);
         if (tip as usize) < committed {
             self.store.publish(committed as u32, tip);
         }
@@ -694,7 +678,8 @@ impl ConcurrentBlockTree {
     }
 
     /// The body of [`install_with_tip`](Self::install_with_tip), run with
-    /// the writer lock held.
+    /// the writer lock held: a batch-of-one through the shared per-block
+    /// installer, followed by the tip publish.
     fn install_locked(
         &self,
         client: usize,
@@ -704,28 +689,56 @@ impl ConcurrentBlockTree {
         locked_tip: bool,
         choose_tip: impl FnOnce(&BlockTree, u32) -> u32,
     ) -> Result<(), IngestError> {
+        let store_idx = match self.install_one_locked(client, tree, block, session)? {
+            // Idempotent helping: the block is already installed (and
+            // therefore already published by whoever installed it).
+            None => return Ok(()),
+            Some(idx) => idx,
+        };
+        session.apply(Seam::WriterPrePublish);
+        let tip = choose_tip(tree, store_idx);
+        self.store.publish(tree.len() as u32, tip);
+        self.emit(
+            client,
+            SyncEventKind::HeadStore {
+                version: pack_version(tree.len() as u32, tip),
+                locked: locked_tip,
+            },
+        );
+        Ok(())
+    }
+
+    /// The tip stage for one block, run with the writer lock held and
+    /// *without* publishing: validates chaining, pushes into the wait-free
+    /// arena, inserts into the writer tree and mirrors into the durable
+    /// sink.  Returns the arena index, or `None` when the block was
+    /// already present.  Both the single-block install and the batch
+    /// ingest loop go through here, so every entry point shares one
+    /// validation and one install order.
+    fn install_one_locked(
+        &self,
+        client: usize,
+        tree: &mut BlockTree,
+        block: &Block,
+        session: &mut FaultSession<'_>,
+    ) -> Result<Option<u32>, IngestError> {
         if tree.contains(block.id) {
-            return Ok(());
+            return Ok(None);
         }
-        let parent_id = block
-            .parent
-            .ok_or(IngestError::Tree(InsertError::MissingParent(block.id)))?;
+        let parent_id = block.parent.ok_or(IngestError::MissingParent(block.id))?;
         let parent_idx = tree
             .idx_of(parent_id)
-            .ok_or(IngestError::Tree(InsertError::UnknownParent(parent_id)))?;
+            .ok_or(IngestError::UnknownParent(parent_id))?;
         let expected = tree.block_at(parent_idx).height + 1;
         if block.height != expected {
-            return Err(IngestError::Tree(InsertError::HeightMismatch {
+            return Err(IngestError::HeightMismatch {
                 block: block.id,
                 recorded: block.height,
                 expected,
-            }));
+            });
         }
         session.apply(Seam::WriterPreInsert);
-        let store_idx = self
-            .store
-            .try_push(block.clone(), Some(parent_idx.0))
-            .map_err(IngestError::StoreExhausted)?;
+        let store_idx = self.store.try_push(block.clone(), Some(parent_idx.0))?;
         self.emit(client, SyncEventKind::ArenaPush { idx: store_idx });
         tree.insert(block.clone())
             .expect("chaining was validated above");
@@ -742,17 +755,172 @@ impl ConcurrentBlockTree {
         if let Some(durable) = self.durable.lock().as_mut() {
             durable.append(block);
         }
-        session.apply(Seam::WriterPrePublish);
-        let tip = choose_tip(tree, store_idx);
-        self.store.publish(tree.len() as u32, tip);
-        self.emit(
-            client,
-            SyncEventKind::HeadStore {
-                version: pack_version(tree.len() as u32, tip),
-                locked: locked_tip,
-            },
-        );
-        Ok(())
+        Ok(Some(store_idx))
+    }
+
+    /// The amortized ready-run install for fault-free batches: per block,
+    /// the same validation and store-first mirror as
+    /// [`install_one_locked`](Self::install_one_locked), but with the tree
+    /// inserts deferred to one [`BlockTree::insert_batch`] so the arena
+    /// reserves once and leaf/incumbent bookkeeping reconciles once per
+    /// batch instead of once per block.  Returns `true` iff at least one
+    /// block was installed.
+    fn install_run_locked(
+        &self,
+        client: usize,
+        tree: &mut BlockTree,
+        ready: Vec<(usize, Block)>,
+        ready_parents: &[Option<usize>],
+        verdicts: &mut [Option<IngestVerdict>],
+    ) -> bool {
+        // Arena slot and height each ready entry landed at (`None` if its
+        // mirror failed): staging's parent resolution indexes straight
+        // into this, so in-batch parents cost a vector read, not a hash.
+        let mut landed: Vec<Option<(u32, u64)>> = Vec::with_capacity(ready.len());
+        let base = tree.len() as u32;
+        let mut accepted: Vec<Block> = Vec::with_capacity(ready.len());
+        let mut accepted_parents: Vec<Option<NodeIdx>> = Vec::with_capacity(ready.len());
+        let mut durable = self.durable.lock();
+        for (k, (pos, block)) in ready.into_iter().enumerate() {
+            let mirrored = (|| -> Result<(u32, u64, u32), IngestError> {
+                let parent_id = block.parent.ok_or(IngestError::MissingParent(block.id))?;
+                let (parent_arena, parent_height) = match ready_parents[k] {
+                    None => {
+                        let idx = tree
+                            .idx_of(parent_id)
+                            .ok_or(IngestError::UnknownParent(parent_id))?;
+                        (idx.0, tree.block_at(idx).height)
+                    }
+                    Some(j) => landed[j].ok_or(IngestError::UnknownParent(parent_id))?,
+                };
+                let expected = parent_height + 1;
+                if block.height != expected {
+                    return Err(IngestError::HeightMismatch {
+                        block: block.id,
+                        recorded: block.height,
+                        expected,
+                    });
+                }
+                let store_idx = self.store.try_push(block.clone(), Some(parent_arena))?;
+                debug_assert_eq!(
+                    store_idx,
+                    base + accepted.len() as u32,
+                    "store indices mirror arena indices"
+                );
+                self.emit(client, SyncEventKind::ArenaPush { idx: store_idx });
+                if let Some(durable) = durable.as_mut() {
+                    durable.append(&block);
+                }
+                Ok((store_idx, block.height, parent_arena))
+            })();
+            match mirrored {
+                Ok((store_idx, height, parent_arena)) => {
+                    landed.push(Some((store_idx, height)));
+                    verdicts[pos] = Some(IngestVerdict::Accepted);
+                    accepted.push(block);
+                    accepted_parents.push(Some(NodeIdx(parent_arena)));
+                }
+                Err(e) => {
+                    landed.push(None);
+                    verdicts[pos] = Some(IngestVerdict::from_result::<IngestError>(Err(e)));
+                }
+            }
+        }
+        let installed_any = !accepted.is_empty();
+        for result in tree.insert_batch_resolved(accepted, &accepted_parents) {
+            result.expect("chaining was validated above");
+        }
+        installed_any
+    }
+
+    /// The tip the current rule selects from the writer tree, as an arena
+    /// index.
+    fn selected_tip(&self, tree: &BlockTree) -> u32 {
+        let best = match self.tip_rule {
+            TipRule::Height { prefer_largest_id } => tree.best_leaf_by_height(prefer_largest_id),
+            TipRule::Work { prefer_largest_id } => tree.best_leaf_by_work(prefer_largest_id),
+        };
+        tree.idx_of(best).expect("best leaf is in the tree").0
+    }
+
+    /// Batch ingest: stages `blocks` against the writer tree and applies
+    /// the topologically-ordered ready set in **one writer-lock round**
+    /// with a single tip publish at the end — the tip stage of the
+    /// batch-ingest pipeline, and the door gossip delta-sync and recovery
+    /// replay enter through.  Unmediated: batches carry blocks that
+    /// already won admission elsewhere (a peer's tree, a journal), so no
+    /// oracle tokens are consumed.  Returns one verdict per input block.
+    pub fn ingest_batch(&self, client: usize, blocks: Vec<Block>) -> BatchReport {
+        self.ingest_batch_with_faults(client, blocks, &mut FaultSession::passthrough())
+    }
+
+    /// [`ingest_batch`](Self::ingest_batch) with a fault session armed at
+    /// the seams.  Between consecutive installs the execution crosses
+    /// [`Seam::WriterMidBatch`] — an injected panic there models a writer
+    /// crashing mid-batch with the lock held: the already-installed
+    /// prefix is mirrored store-first, so the poison heal republishes
+    /// exactly that prefix.
+    ///
+    /// A passthrough session has no seams to offer, so the ready run
+    /// takes an amortized path instead: validate and mirror each block
+    /// store-first, then land the survivors with one
+    /// [`BlockTree::insert_batch`].  The two paths produce identical
+    /// verdicts, tree state, and store contents — only the faulted one
+    /// has observable per-block install boundaries.
+    pub fn ingest_batch_with_faults(
+        &self,
+        client: usize,
+        blocks: Vec<Block>,
+        session: &mut FaultSession<'_>,
+    ) -> BatchReport {
+        let mut tree = self.lock_writer();
+        self.emit(client, SyncEventKind::LockAcquire);
+        let StagedBatch {
+            ready,
+            ready_parents,
+            orphans: _,
+            mut verdicts,
+        } = stage_batch(blocks, |id| tree.contains(id));
+        let mut installed_any = false;
+        if session.is_passthrough() {
+            installed_any =
+                self.install_run_locked(client, &mut tree, ready, &ready_parents, &mut verdicts);
+        } else {
+            for (i, (pos, block)) in ready.iter().enumerate() {
+                if i > 0 {
+                    session.apply(Seam::WriterMidBatch);
+                }
+                let verdict = match self.install_one_locked(client, &mut tree, block, session) {
+                    Ok(Some(_)) => {
+                        installed_any = true;
+                        IngestVerdict::Accepted
+                    }
+                    Ok(None) => IngestVerdict::Duplicate,
+                    Err(e) => IngestVerdict::from_result::<IngestError>(Err(e)),
+                };
+                verdicts[*pos] = Some(verdict);
+            }
+        }
+        if installed_any {
+            session.apply(Seam::WriterPrePublish);
+            let tip = self.selected_tip(&tree);
+            self.store.publish(tree.len() as u32, tip);
+            self.emit(
+                client,
+                SyncEventKind::HeadStore {
+                    version: pack_version(tree.len() as u32, tip),
+                    locked: true,
+                },
+            );
+        }
+        self.emit(client, SyncEventKind::LockRelease);
+        drop(tree);
+        BatchReport::from_verdicts(
+            verdicts
+                .into_iter()
+                .map(|v| v.expect("every input position receives a verdict"))
+                .collect(),
+        )
     }
 
     /// The mediated install: publishes the freshly re-selected best tip.
@@ -762,15 +930,8 @@ impl ConcurrentBlockTree {
         block: &Block,
         session: &mut FaultSession<'_>,
     ) -> Result<(), IngestError> {
-        let rule = self.tip_rule;
         self.install_with_tip(client, block, session, true, |tree, _| {
-            let best = match rule {
-                TipRule::Height { prefer_largest_id } => {
-                    tree.best_leaf_by_height(prefer_largest_id)
-                }
-                TipRule::Work { prefer_largest_id } => tree.best_leaf_by_work(prefer_largest_id),
-            };
-            tree.idx_of(best).expect("best leaf is in the tree").0
+            self.selected_tip(tree)
         })
     }
 
@@ -788,6 +949,30 @@ impl ConcurrentBlockTree {
         // *unlocked* prepare-time head load, which is exactly what the
         // race detector keys on.
         self.install_with_tip(client, block, session, false, |_, store_idx| store_idx)
+    }
+}
+
+/// The unified ingest door.  Trait calls attribute to client 0 (the
+/// trait carries no client identity); callers that care use the inherent
+/// [`ingest_batch`](ConcurrentBlockTree::ingest_batch) with an explicit
+/// client.  Mediated appends stay on [`commit`](ConcurrentBlockTree::commit)
+/// — this door is for blocks that already exist elsewhere (sync, replay).
+impl Ingest for ConcurrentBlockTree {
+    fn knows_block(&self, id: BlockId) -> bool {
+        self.lock_writer().contains(id)
+    }
+
+    fn ingest_block(&mut self, block: Block) -> IngestVerdict {
+        let report = ConcurrentBlockTree::ingest_batch(self, 0, vec![block]);
+        report
+            .verdicts
+            .into_iter()
+            .next()
+            .expect("a batch of one yields one verdict")
+    }
+
+    fn ingest_batch(&mut self, blocks: Vec<Block>) -> BatchReport {
+        ConcurrentBlockTree::ingest_batch(self, 0, blocks)
     }
 }
 
@@ -1005,10 +1190,7 @@ mod tests {
         let err = t
             .try_commit(prepared, &mut crate::fault::FaultSession::passthrough())
             .unwrap_err();
-        assert!(matches!(
-            err,
-            IngestError::Tree(InsertError::UnknownParent(_))
-        ));
+        assert!(matches!(err, IngestError::UnknownParent(_)));
         assert!(err.to_string().contains("rejected"));
         // The failed ingest mutated nothing.
         assert_eq!(t.len(), 2);
@@ -1065,6 +1247,80 @@ mod tests {
                 });
             }
         });
+        assert!(t.check_invariants().is_empty());
+    }
+
+    #[test]
+    fn batch_ingest_installs_a_chain_in_one_lock_round() {
+        let t = ConcurrentBlockTree::eventual(2);
+        t.append(0, vec![]);
+        let tip = t.tip_block();
+        let b1 = BlockBuilder::new(&tip).nonce(1).build();
+        let b2 = BlockBuilder::new(&b1).nonce(2).build();
+        let b3 = BlockBuilder::new(&b2).nonce(3).build();
+        // Shuffled input: staging orders by height before installing.
+        let report = t.ingest_batch(0, vec![b3.clone(), b1.clone(), b2.clone()]);
+        assert_eq!(report.accepted, 3);
+        assert!(report.is_clean());
+        assert_eq!(report.verdicts, vec![IngestVerdict::Accepted; 3]);
+        assert_eq!(t.height(), 4);
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.read().tip().id, b3.id);
+        assert!(t.check_invariants().is_empty());
+        // Re-offering the same batch is all duplicates, and publishes
+        // nothing new.
+        let again = t.ingest_batch(0, vec![b1, b2, b3]);
+        assert_eq!(again.duplicates, 3);
+        assert_eq!(t.len(), 5);
+    }
+
+    #[test]
+    fn batch_ingest_pools_orphans_without_mutating() {
+        let t = ConcurrentBlockTree::eventual(1);
+        let stray = BlockBuilder::child_of(BlockId(0xdead), 7).nonce(5).build();
+        let report = t.ingest_batch(0, vec![stray]);
+        assert_eq!(report.orphaned, 1);
+        assert_eq!(report.verdicts[0], IngestVerdict::Orphaned);
+        assert_eq!(t.len(), 1, "an orphan batch installs nothing");
+        assert!(t.check_invariants().is_empty());
+    }
+
+    #[test]
+    fn a_mid_batch_panic_heals_to_exactly_the_installed_prefix() {
+        use crate::fault::{FaultAction, FaultPlan, FaultSession, Seam};
+        let t = ConcurrentBlockTree::eventual(2);
+        t.append(0, vec![]);
+        let tip = t.tip_block();
+        let b1 = BlockBuilder::new(&tip).nonce(21).build();
+        let b2 = BlockBuilder::new(&b1).nonce(22).build();
+        let b3 = BlockBuilder::new(&b2).nonce(23).build();
+        // The writer dies at the first WriterMidBatch crossing: b1 is
+        // installed and mirrored, b2/b3 are not, no tip was published —
+        // and the writer mutex is poisoned.
+        let plan = FaultPlan::quiet(1).arm(Seam::WriterMidBatch, FaultAction::Panic, 100);
+        let batch = vec![b1.clone(), b2.clone(), b3.clone()];
+        let crashed = std::thread::scope(|scope| {
+            scope
+                .spawn(|| {
+                    let mut session = FaultSession::new(&plan, 0);
+                    t.ingest_batch_with_faults(0, batch, &mut session)
+                })
+                .join()
+        });
+        assert!(crashed.is_err(), "the injected panic propagates to join");
+        assert_eq!(t.height(), 1, "the installed prefix stays unpublished");
+        // The next writer recovers the poisoned mutex; the heal republishes
+        // exactly the installed prefix before the append proceeds.
+        let out = t.append(1, vec![]);
+        assert!(out.appended);
+        let tree = t.writer_tree_snapshot();
+        assert!(tree.contains(b1.id), "the installed prefix survived");
+        assert!(!tree.contains(b2.id), "the uninstalled tail did not");
+        assert!(!tree.contains(b3.id));
+        assert!(t.check_invariants().is_empty());
+        // Batch ingest keeps working post-heal and picks up the tail.
+        let report = t.ingest_batch(1, vec![b2, b3]);
+        assert_eq!(report.accepted, 2);
         assert!(t.check_invariants().is_empty());
     }
 

@@ -119,9 +119,10 @@ impl ChaosOutcome {
     }
 }
 
-/// The five default plans of the grid, all driven by `seed`: three
-/// schedule-perturbing plans plus the two storage plans that grow the
-/// grid its durable-state dimension.
+/// The six default plans of the grid, all driven by `seed`: four
+/// schedule-perturbing plans (including the batch-installer stalls of
+/// crash-mid-batch) plus the two storage plans that grow the grid its
+/// durable-state dimension.
 pub fn default_plans(seed: u64) -> Vec<FaultPlan> {
     vec![
         FaultPlan::stalled_winners(seed),
@@ -129,6 +130,7 @@ pub fn default_plans(seed: u64) -> Vec<FaultPlan> {
         FaultPlan::token_chaos(seed),
         FaultPlan::torn_storage(seed),
         FaultPlan::checkpoint_chaos(seed),
+        FaultPlan::crash_mid_batch(seed),
     ]
 }
 

@@ -16,16 +16,17 @@
 //! The operation *mix* is deterministic per `(seed, thread)`; the
 //! *interleaving* is whatever the scheduler produces — that is the point.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Barrier;
 use std::thread;
 use std::time::{Duration, Instant};
 
 use btadt_core::{eventual_consistency, strong_consistency, BtHistory, BtOperation, BtResponse};
 use btadt_history::{ConsistencyCriterion, ProcessId, Verdict};
-use btadt_types::AlwaysValid;
+use btadt_types::{AlwaysValid, BlockBuilder};
 
 use crate::blocktree::{AppendPath, ConcurrentBlockTree, TipRule};
-use crate::fault::{FaultPlan, FaultSession};
+use crate::fault::{FaultPlan, FaultSession, Seam};
 use crate::recorder::RecorderHub;
 
 /// Configuration of one driver run.
@@ -179,7 +180,62 @@ pub fn run_workload_with_on(
                     // to the issuing client's program order.
                     let mut reader = replica.reader_for(t);
                     let mut stats = (0u64, 0u64, 0u64);
-                    for _ in 0..config.ops_per_thread {
+                    // When the plan arms the batch-installer seam, every
+                    // eighth operation goes through the batch door instead:
+                    // a short chain extending the published tip, ingested in
+                    // one writer-lock round, crossing `WriterMidBatch`
+                    // between installs.  Eventual path only — batch blocks
+                    // bypass the CAS mediation, so on the strong path a
+                    // concurrent winner over the same parent would fork the
+                    // chain and (correctly) refute the SC claim.
+                    let batch_armed = plan.is_some_and(|p| p.arms_seam(Seam::WriterMidBatch))
+                        && config.path == AppendPath::Eventual;
+                    for op in 0..config.ops_per_thread {
+                        if batch_armed && op % 8 == 0 {
+                            let prepared = replica.prepare(t, vec![]);
+                            let b1 = prepared.block;
+                            let b2 = BlockBuilder::new(&b1).nonce(mix.next()).build();
+                            let b3 = BlockBuilder::new(&b2).nonce(mix.next()).build();
+                            let batch = vec![b1, b2, b3];
+                            let idxs: Vec<_> = batch
+                                .iter()
+                                .map(|b| {
+                                    recorder
+                                        .as_mut()
+                                        .map(|r| r.invoke(BtOperation::Append(b.clone())))
+                                })
+                                .collect();
+                            // An injected panic mid-batch poisons the writer
+                            // mutex; the client survives it and the next
+                            // lock round heals the published view.
+                            let report = catch_unwind(AssertUnwindSafe(|| {
+                                replica.ingest_batch_with_faults(t, batch, &mut session)
+                            }));
+                            match report {
+                                Ok(report) => {
+                                    for (idx, verdict) in idxs.into_iter().zip(&report.verdicts) {
+                                        let ok = verdict.is_accepted();
+                                        if let (Some(r), Some(idx)) = (recorder.as_mut(), idx) {
+                                            r.respond(idx, BtResponse::Appended(ok));
+                                        }
+                                        if ok {
+                                            stats.0 += 1;
+                                        } else {
+                                            stats.1 += 1;
+                                        }
+                                    }
+                                }
+                                Err(_) => {
+                                    for idx in idxs {
+                                        if let (Some(r), Some(idx)) = (recorder.as_mut(), idx) {
+                                            r.respond(idx, BtResponse::Appended(false));
+                                        }
+                                        stats.1 += 1;
+                                    }
+                                }
+                            }
+                            continue;
+                        }
                         if (mix.next() % 100) < u64::from(config.append_percent) {
                             let prepared = replica.prepare(t, vec![]);
                             let idx = recorder
@@ -331,6 +387,33 @@ mod tests {
         let verdict = check_claimed(&run);
         assert!(verdict.is_admitted(), "{verdict}");
         assert_eq!(run.appends_failed, 0, "the prodigal oracle never rejects");
+    }
+
+    #[test]
+    fn crash_mid_batch_runs_use_the_batch_door_and_stay_admitted() {
+        let config = DriverConfig::small(AppendPath::Eventual, 2, 33);
+        let plan = FaultPlan::crash_mid_batch(33);
+        let run = run_workload_with(&config, Some(&plan));
+        let verdict = check_claimed(&run);
+        assert!(verdict.is_admitted(), "{verdict}");
+        // Every eighth op per thread went through the batch door (3 blocks
+        // each): 2 threads x 5 batch ops x 3 blocks on top of the regular
+        // append mix.
+        assert!(run.appends_ok > 0);
+        assert!(
+            run.appends_ok + run.appends_failed >= 30,
+            "the batch door contributed its blocks"
+        );
+    }
+
+    #[test]
+    fn batch_door_stays_closed_on_the_strong_path() {
+        let config = DriverConfig::small(AppendPath::Strong, 2, 34);
+        let plan = FaultPlan::crash_mid_batch(34);
+        let run = run_workload_with(&config, Some(&plan));
+        let verdict = check_claimed(&run);
+        assert!(verdict.is_admitted(), "{verdict}");
+        assert_eq!(run.max_fork_degree, 1, "no unmediated blocks on strong");
     }
 
     #[test]

@@ -61,10 +61,18 @@ pub enum Seam {
     /// compacted chunks but before the manifest swap commits them, leaving
     /// old and new layouts superposed for recovery to collapse.
     StorePruneRace,
+    /// Batch installer: writer mutex held, between two installs of one
+    /// batch — some blocks of the batch are installed and mirrored, the
+    /// rest are not, and no tip has been published.  A panic here models a
+    /// writer crashing mid-batch; the poison heal must republish exactly
+    /// the installed prefix.  (Appended last: seam indices feed the
+    /// deterministic trigger hash, so existing plans' decisions must not
+    /// shift.)
+    WriterMidBatch,
 }
 
 /// Number of distinct seams (sizes per-seam occurrence counters).
-pub const SEAM_COUNT: usize = 13;
+pub const SEAM_COUNT: usize = 14;
 
 impl Seam {
     /// Dense index used for counters and rate tables.
@@ -83,6 +91,7 @@ impl Seam {
             Seam::StorePartialCheckpoint => 10,
             Seam::StoreStaleManifest => 11,
             Seam::StorePruneRace => 12,
+            Seam::WriterMidBatch => 13,
         }
     }
 
@@ -102,6 +111,7 @@ impl Seam {
             Seam::StorePartialCheckpoint,
             Seam::StoreStaleManifest,
             Seam::StorePruneRace,
+            Seam::WriterMidBatch,
         ]
     }
 
@@ -121,6 +131,7 @@ impl Seam {
             Seam::StorePartialCheckpoint => "store-partial-checkpoint",
             Seam::StoreStaleManifest => "store-stale-manifest",
             Seam::StorePruneRace => "store-prune-race",
+            Seam::WriterMidBatch => "writer-mid-batch",
         }
     }
 
@@ -282,6 +293,22 @@ impl FaultPlan {
         plan
     }
 
+    /// **Crash mid-batch**: the batch installer stalls between two
+    /// installs of one batch, with the usual publish stall on top — the
+    /// installed-but-unpublished prefix must stay invisible to readers
+    /// until the batch's single publish lands.  (The *panic* flavour of
+    /// this seam, which poisons the writer mutex mid-batch and forces the
+    /// heal to republish exactly the installed prefix, is exercised by
+    /// dedicated unit tests; a default plan must keep the grid's verdicts
+    /// deterministic, so it only stalls.)
+    pub fn crash_mid_batch(seed: u64) -> Self {
+        let mut plan = FaultPlan::quiet(seed)
+            .arm(Seam::WriterMidBatch, FaultAction::Pause(16), 60)
+            .arm(Seam::WriterPrePublish, FaultAction::Pause(8), 25);
+        plan.name = "crash-mid-batch";
+        plan
+    }
+
     /// The arming of one seam.
     pub fn arm_of(&self, seam: Seam) -> SeamArm {
         self.arms[seam.index()]
@@ -408,6 +435,13 @@ impl<'a> FaultSession<'a> {
     pub fn injected(&self) -> u64 {
         self.injected
     }
+
+    /// `true` iff this session carries no plan and can never inject: the
+    /// batch installer uses this to take its amortized path, which has no
+    /// per-block seams to offer.
+    pub fn is_passthrough(&self) -> bool {
+        self.plan.is_none()
+    }
 }
 
 #[cfg(test)]
@@ -450,6 +484,7 @@ mod tests {
             FaultPlan::token_chaos(1),
             FaultPlan::torn_storage(1),
             FaultPlan::checkpoint_chaos(1),
+            FaultPlan::crash_mid_batch(1),
         ] {
             assert!(plan.is_armed(), "{} must arm at least one seam", plan.name);
         }
@@ -478,6 +513,7 @@ mod tests {
             FaultPlan::stalled_winners(1),
             FaultPlan::contention_storm(1),
             FaultPlan::token_chaos(1),
+            FaultPlan::crash_mid_batch(1),
         ] {
             assert!(!plan.arms_storage(), "{} must not arm storage", plan.name);
         }

@@ -76,8 +76,9 @@ pub mod store;
 pub mod trace;
 
 pub use blocktree::{
-    AppendOutcome, AppendPath, BtReader, ConcurrentBlockTree, IngestError, PreparedAppend, TipRule,
+    AppendOutcome, AppendPath, BtReader, ConcurrentBlockTree, PreparedAppend, TipRule,
 };
+pub use btadt_pipeline::{BatchReport, Ingest, IngestError, IngestVerdict};
 pub use cas::CasRegister;
 pub use cas_from_oracle::OracleCas;
 pub use chaos::{

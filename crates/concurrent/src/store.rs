@@ -110,7 +110,7 @@ impl SnapshotStore {
 
     /// [`push`](SnapshotStore::push) with a structured error instead of a
     /// panic when the fixed arena capacity is exhausted — the ingest paths
-    /// surface this as [`crate::blocktree::IngestError::StoreExhausted`]
+    /// surface this as [`btadt_pipeline::IngestError::StoreExhausted`]
     /// rather than tearing the process down mid-install.
     pub fn try_push(&self, block: Block, parent: Option<u32>) -> Result<u32, StoreExhausted> {
         // ORDERING: Relaxed — the cursor is only advanced under the

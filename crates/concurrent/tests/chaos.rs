@@ -1,13 +1,14 @@
 //! The chaos grid: Theorem 4.1–4.3 verdicts under injected fault schedules.
 //!
 //! ISSUE 6's acceptance gate for the shared-memory layer, grown a storage
-//! dimension by ISSUE 7: a grid of at least 3 seeds × 5 fault plans ×
-//! {1, 2, 4} client threads, each cell re-running the workload driver with
-//! seam-point faults armed (stalled CAS winners, pre-consume contention
-//! storms, duplicated/dropped prodigal consumes, paused readers — and,
-//! for the storage plans, torn/bit-flipped chunk writes, partial
-//! checkpoints, stale manifests and crashed pruning compactions on a
-//! durable store) while a background monitor recomputes the tree's
+//! dimension by ISSUE 7 and a batch dimension by ISSUE 10: a grid of at
+//! least 3 seeds × 6 fault plans × {1, 2, 4} client threads, each cell
+//! re-running the workload driver with seam-point faults armed (stalled
+//! CAS winners, pre-consume contention storms, duplicated/dropped
+//! prodigal consumes, paused readers, batch installers stalled between
+//! installs — and, for the storage plans, torn/bit-flipped chunk writes,
+//! partial checkpoints, stale manifests and crashed pruning compactions
+//! on a durable store) while a background monitor recomputes the tree's
 //! structural invariants.  Every frugal/CAS cell must still admit **BT
 //! Strong Consistency**, every prodigal/snapshot cell **BT Eventual
 //! Consistency**, and every storage cell must recover + peer-heal its
@@ -42,8 +43,8 @@ fn the_full_chaos_grid_is_clean() {
     let cells = full_grid();
     assert_eq!(
         cells.len(),
-        3 * 5 * 3 * 2,
-        "3 seeds x 5 plans x 3 thread counts x 2 paths"
+        3 * 6 * 3 * 2,
+        "3 seeds x 6 plans x 3 thread counts x 2 paths"
     );
     let outcomes = chaos_grid(&cells, 2);
     let dirty: Vec<String> = outcomes
@@ -76,7 +77,7 @@ fn the_full_chaos_grid_is_clean() {
     // cost real blocks somewhere, and healing closed every gap (a dirty
     // heal would have failed `is_clean` above).
     let storage: Vec<_> = outcomes.iter().filter(|o| o.storage).collect();
-    assert_eq!(storage.len(), 3 * 2 * 3 * 2, "2 of the 5 plans arm storage");
+    assert_eq!(storage.len(), 3 * 2 * 3 * 2, "2 of the 6 plans arm storage");
     assert!(
         storage
             .iter()

@@ -295,3 +295,51 @@ fn strong_histories_purged_of_failed_appends_stay_admitted() {
     assert!(verdict.is_admitted(), "{verdict}");
     assert_eq!(purged.appends().len() as u64, run.appends_ok);
 }
+
+#[test]
+fn batched_and_per_block_ingest_give_byte_identical_checker_output() {
+    // ISSUE 10 equivalence property at the history level: the same block
+    // stream pushed through the batch door in chunks of one vs chunks of
+    // four must record histories whose SC and EC checker verdicts render
+    // byte-for-byte identically — batching is invisible to the criteria.
+    let chain = btadt_types::workload::Workload::new(5).linear_chain(12, 0);
+    let blocks: Vec<_> = chain.blocks().iter().skip(1).cloned().collect();
+
+    let run_chunked = |chunk: usize| {
+        let replica = ConcurrentBlockTree::eventual(1);
+        let hub = RecorderHub::new();
+        let mut rec = hub.handle::<BtOperation, BtResponse>(ProcessId(0));
+        for (round, offer) in blocks.chunks(chunk).enumerate() {
+            let idxs: Vec<_> = offer
+                .iter()
+                .map(|b| rec.invoke(BtOperation::Append(b.clone())))
+                .collect();
+            let report = replica.ingest_batch(0, offer.to_vec());
+            for (i, verdict) in idxs.into_iter().zip(&report.verdicts) {
+                rec.respond(i, BtResponse::Appended(verdict.is_accepted()));
+            }
+            // Read at the same block positions regardless of chunking
+            // (after every 4th block), so the histories line up.
+            if ((round + 1) * chunk).is_multiple_of(4) {
+                let i = rec.invoke(BtOperation::Read);
+                rec.respond(i, BtResponse::Chain(replica.read()));
+            }
+        }
+        hub.collect(vec![rec.into_records()])
+    };
+
+    let per_block = run_chunked(1);
+    let batched = run_chunked(4);
+
+    let ec = eventual_consistency(Arc::new(LengthScore), Arc::new(AlwaysValid));
+    let sc_a = sc().check(&per_block);
+    let sc_b = sc().check(&batched);
+    assert!(sc_a.is_admitted(), "{sc_a}");
+    assert_eq!(format!("{sc_a}"), format!("{sc_b}"));
+    assert_eq!(format!("{sc_a:?}"), format!("{sc_b:?}"));
+    let ec_a = ec.check(&per_block);
+    let ec_b = ec.check(&batched);
+    assert!(ec_a.is_admitted(), "{ec_a}");
+    assert_eq!(format!("{ec_a}"), format!("{ec_b}"));
+    assert_eq!(format!("{ec_a:?}"), format!("{ec_b:?}"));
+}

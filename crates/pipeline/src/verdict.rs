@@ -1,0 +1,140 @@
+//! Per-block verdicts and per-batch reports.
+
+use crate::error::IngestError;
+
+/// What happened to one block offered to an [`Ingest`](crate::Ingest)
+/// implementor.
+///
+/// The four-way split is the batch analogue of `Result<(), IngestError>`:
+/// the two non-error outcomes that batch callers routinely tolerate
+/// (duplicates and orphans) are first-class, so gossip and recovery loops
+/// stop pattern-matching error variants to decide what is retriable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IngestVerdict {
+    /// The block entered the tip state.
+    Accepted,
+    /// The block was already present; nothing changed.
+    Duplicate,
+    /// The block's parent is not (yet) known.  Implementors with an
+    /// orphan pool retain the block and settle it when the parent
+    /// arrives; implementors without one drop it.  Either way the block
+    /// is retriable once its ancestry is supplied.
+    Orphaned,
+    /// The block is structurally invalid or the ingest failed for a
+    /// non-retriable reason; the cause is attached.
+    Rejected(IngestError),
+}
+
+impl IngestVerdict {
+    /// Classifies a single-block ingest result into a verdict.
+    pub fn from_result<E: Into<IngestError>>(result: Result<(), E>) -> Self {
+        match result.map_err(Into::into) {
+            Ok(()) => IngestVerdict::Accepted,
+            Err(IngestError::Duplicate(_)) => IngestVerdict::Duplicate,
+            Err(e) if e.is_orphan_case() => IngestVerdict::Orphaned,
+            Err(e) => IngestVerdict::Rejected(e),
+        }
+    }
+
+    /// Did the block enter the tip state during this call?
+    pub fn is_accepted(&self) -> bool {
+        matches!(self, IngestVerdict::Accepted)
+    }
+}
+
+/// The outcome of one batch ingest: a verdict per input block (in input
+/// order) plus the four tallies.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BatchReport {
+    /// Verdicts parallel to the input batch.
+    pub verdicts: Vec<IngestVerdict>,
+    /// Number of [`IngestVerdict::Accepted`] verdicts.
+    pub accepted: usize,
+    /// Number of [`IngestVerdict::Duplicate`] verdicts.
+    pub duplicates: usize,
+    /// Number of [`IngestVerdict::Orphaned`] verdicts.
+    pub orphaned: usize,
+    /// Number of [`IngestVerdict::Rejected`] verdicts.
+    pub rejected: usize,
+}
+
+impl BatchReport {
+    /// Builds a report from per-block verdicts, tallying as it goes.
+    pub fn from_verdicts(verdicts: Vec<IngestVerdict>) -> Self {
+        let mut report = BatchReport {
+            verdicts,
+            ..BatchReport::default()
+        };
+        for v in &report.verdicts {
+            match v {
+                IngestVerdict::Accepted => report.accepted += 1,
+                IngestVerdict::Duplicate => report.duplicates += 1,
+                IngestVerdict::Orphaned => report.orphaned += 1,
+                IngestVerdict::Rejected(_) => report.rejected += 1,
+            }
+        }
+        report
+    }
+
+    /// `true` when no block in the batch was rejected outright
+    /// (duplicates and orphans are tolerated outcomes).
+    pub fn is_clean(&self) -> bool {
+        self.rejected == 0
+    }
+
+    /// The first rejection in input order, if any.
+    pub fn first_rejection(&self) -> Option<&IngestError> {
+        self.verdicts.iter().find_map(|v| match v {
+            IngestVerdict::Rejected(e) => Some(e),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btadt_types::BlockId;
+
+    #[test]
+    fn verdict_classification_covers_the_taxonomy() {
+        let ok: Result<(), IngestError> = Ok(());
+        assert_eq!(IngestVerdict::from_result(ok), IngestVerdict::Accepted);
+        assert_eq!(
+            IngestVerdict::from_result::<IngestError>(Err(IngestError::Duplicate(BlockId(1)))),
+            IngestVerdict::Duplicate
+        );
+        assert_eq!(
+            IngestVerdict::from_result::<IngestError>(Err(IngestError::UnknownParent(BlockId(2)))),
+            IngestVerdict::Orphaned
+        );
+        let rejected =
+            IngestVerdict::from_result::<IngestError>(Err(IngestError::MissingParent(BlockId(3))));
+        assert_eq!(
+            rejected,
+            IngestVerdict::Rejected(IngestError::MissingParent(BlockId(3)))
+        );
+        assert!(!rejected.is_accepted());
+    }
+
+    #[test]
+    fn report_tallies_match_verdicts() {
+        let report = BatchReport::from_verdicts(vec![
+            IngestVerdict::Accepted,
+            IngestVerdict::Duplicate,
+            IngestVerdict::Accepted,
+            IngestVerdict::Orphaned,
+            IngestVerdict::Rejected(IngestError::MissingParent(BlockId(9))),
+        ]);
+        assert_eq!(report.accepted, 2);
+        assert_eq!(report.duplicates, 1);
+        assert_eq!(report.orphaned, 1);
+        assert_eq!(report.rejected, 1);
+        assert!(!report.is_clean());
+        assert_eq!(
+            report.first_rejection(),
+            Some(&IngestError::MissingParent(BlockId(9)))
+        );
+        assert!(BatchReport::from_verdicts(Vec::new()).is_clean());
+    }
+}

@@ -189,14 +189,15 @@ impl Process<Msg> for AdversarialMiner {
                 }
                 let batch_len = blocks.len();
                 let batch_max = blocks.iter().map(|b| b.height).max().unwrap_or(0);
-                for block in blocks {
-                    if self.sync.contains(block.id) {
-                        continue;
-                    }
+                let fresh: Vec<Block> = blocks
+                    .into_iter()
+                    .filter(|b| !self.sync.contains(b.id))
+                    .collect();
+                for block in &fresh {
                     self.log.record_received(at, block.clone());
                     self.note_public(block.height);
-                    self.sync.insert_with_orphans(at, block, &mut self.log);
                 }
+                self.sync.apply_batch(at, fresh, &mut self.log);
                 if self.strategy == Strategy::Selfish {
                     self.maybe_release_selfish(ctx);
                 }

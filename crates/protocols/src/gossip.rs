@@ -50,6 +50,7 @@
 //!   healed by the same delta-sync machinery that covers the churn gap.
 
 use btadt_netsim::{Context, SimTime};
+use btadt_pipeline::{stage_batch, BatchReport, IngestVerdict, StagedBatch};
 use btadt_store::{BlockStore, RecoveryReport};
 use btadt_types::{Block, BlockBuilder, BlockId, BlockTree, Transaction};
 
@@ -168,6 +169,16 @@ pub struct SyncStats {
     /// Value of `requests_sent` at the most recent rejoin; the difference
     /// from the current value is the post-recovery sync cost.
     pub requests_at_last_rejoin: u64,
+    /// Batches applied through the staged ingest pipeline (batches of one
+    /// included — every ingest door routes through it).
+    pub batches_applied: u64,
+    /// Blocks newly attached by batch application.
+    pub batch_accepted: u64,
+    /// Blocks staged as orphans (parent unknown at staging time) and
+    /// pooled for delta sync.
+    pub batch_orphaned: u64,
+    /// Blocks a batch recognised as already present.
+    pub batch_duplicates: u64,
 }
 
 impl SyncStats {
@@ -374,42 +385,94 @@ impl GossipSync {
     /// Inserts a block, draining any orphans it unblocks, recording each
     /// application in `log` and journaling it.  Returns `true` iff the
     /// block is in the tree after the call (attached now, or already
-    /// present); `false` iff it was buffered as an orphan.
+    /// present); `false` iff it was buffered as an orphan.  A batch of
+    /// one through [`apply_batch`](Self::apply_batch).
     pub fn insert_with_orphans(&mut self, at: SimTime, block: Block, log: &mut ReplicaLog) -> bool {
-        if self.tree.contains(block.id) {
-            return true;
+        let report = self.apply_batch(at, vec![block], log);
+        matches!(
+            report.verdicts[0],
+            IngestVerdict::Accepted | IngestVerdict::Duplicate
+        )
+    }
+
+    /// Applies a delta batch through the staged ingest pipeline: blocks
+    /// are staged against the local tree (`btadt-pipeline` stage 2), the
+    /// topologically-ordered ready set is inserted — recording each
+    /// application in `log` and journaling it — stage-2 orphans join the
+    /// pool, and the pool is drained against the grown tree.  Returns one
+    /// [`IngestVerdict`] per input block, in input order.
+    pub fn apply_batch(
+        &mut self,
+        at: SimTime,
+        blocks: Vec<Block>,
+        log: &mut ReplicaLog,
+    ) -> BatchReport {
+        self.stats.batches_applied += 1;
+        let StagedBatch {
+            ready,
+            orphans,
+            mut verdicts,
+            ..
+        } = stage_batch(blocks, |id| self.tree.contains(id));
+        for (pos, block) in ready {
+            let verdict = match self.tree.insert(block.clone()) {
+                Ok(()) => {
+                    log.record_applied(at, block.clone());
+                    self.journal_applied(block);
+                    IngestVerdict::Accepted
+                }
+                // Staging resolved the parent, but the insert still
+                // refused (e.g. a height inconsistency): buffer it, as the
+                // single-block path always did.
+                Err(_) => {
+                    self.orphans.push(block);
+                    IngestVerdict::Orphaned
+                }
+            };
+            verdicts[pos] = Some(verdict);
         }
-        if self.tree.insert(block.clone()).is_ok() {
-            log.record_applied(at, block.clone());
-            self.journal_applied(block);
-            // Drain any orphans that can now attach.
-            loop {
-                let mut progressed = false;
-                let mut remaining = Vec::new();
-                for orphan in std::mem::take(&mut self.orphans) {
-                    if self.tree.contains(orphan.id) {
-                        continue;
-                    }
-                    if self.tree.insert(orphan.clone()).is_ok() {
-                        log.record_applied(at, orphan.clone());
-                        self.journal_applied(orphan);
-                        progressed = true;
-                    } else {
-                        remaining.push(orphan);
-                    }
-                }
-                self.orphans = remaining;
-                if !progressed {
-                    break;
-                }
-            }
-            if self.orphans.is_empty() {
-                self.sync_floor = None;
-            }
-            true
-        } else {
+        for (_, block) in orphans {
             self.orphans.push(block);
-            false
+        }
+        self.drain_orphans(at, log);
+        if self.orphans.is_empty() {
+            self.sync_floor = None;
+        }
+        let report = BatchReport::from_verdicts(
+            verdicts
+                .into_iter()
+                .map(|v| v.expect("every input position receives a verdict"))
+                .collect(),
+        );
+        self.stats.batch_accepted += report.accepted as u64;
+        self.stats.batch_orphaned += report.orphaned as u64;
+        self.stats.batch_duplicates += report.duplicates as u64;
+        report
+    }
+
+    /// Drains the orphan pool against the grown tree until a pass makes
+    /// no progress: each pass attaches every orphan whose parent became
+    /// resident, recording and journaling it.
+    fn drain_orphans(&mut self, at: SimTime, log: &mut ReplicaLog) {
+        loop {
+            let mut progressed = false;
+            let mut remaining = Vec::new();
+            for orphan in std::mem::take(&mut self.orphans) {
+                if self.tree.contains(orphan.id) {
+                    continue;
+                }
+                if self.tree.insert(orphan.clone()).is_ok() {
+                    log.record_applied(at, orphan.clone());
+                    self.journal_applied(orphan);
+                    progressed = true;
+                } else {
+                    remaining.push(orphan);
+                }
+            }
+            self.orphans = remaining;
+            if !progressed {
+                break;
+            }
         }
     }
 
@@ -759,6 +822,50 @@ mod tests {
         assert_eq!(lost, 0);
         assert!(!sync.contains(a.id));
         assert!(sync.journal().is_empty());
+    }
+
+    #[test]
+    fn apply_batch_stages_orphans_and_counts_verdicts() {
+        let mut sync = GossipSync::new(0);
+        let mut log = ReplicaLog::new();
+        let genesis = Block::genesis();
+        let a = BlockBuilder::new(&genesis).nonce(1).build();
+        let b = BlockBuilder::new(&a).nonce(2).build();
+        let c = BlockBuilder::new(&b).nonce(3).build();
+        let d = BlockBuilder::new(&c).nonce(4).build();
+
+        // Shuffled batch missing c: b and a stage ready (topologically
+        // reordered), d pools as a stage-2 orphan.
+        let report = sync.apply_batch(SimTime(1), vec![b.clone(), d.clone(), a.clone()], &mut log);
+        assert_eq!(
+            report.verdicts,
+            vec![
+                IngestVerdict::Accepted,
+                IngestVerdict::Orphaned,
+                IngestVerdict::Accepted,
+            ]
+        );
+        assert!(sync.contains(a.id) && sync.contains(b.id));
+        assert!(!sync.contains(d.id));
+        assert_eq!(sync.orphans.len(), 1);
+
+        // Healing batch: c attaches and the drain pulls d in behind it;
+        // re-offering a is a duplicate, not an error.
+        let report = sync.apply_batch(SimTime(2), vec![c.clone(), a.clone()], &mut log);
+        assert_eq!(
+            report.verdicts,
+            vec![IngestVerdict::Accepted, IngestVerdict::Duplicate]
+        );
+        assert!(sync.contains(d.id));
+        assert!(sync.orphans.is_empty());
+
+        let stats = sync.stats();
+        assert_eq!(stats.batches_applied, 2);
+        assert_eq!(stats.batch_accepted, 3);
+        assert_eq!(stats.batch_orphaned, 1);
+        assert_eq!(stats.batch_duplicates, 1);
+        // Every applied block hit the journal exactly once.
+        assert_eq!(sync.journal().len(), 4);
     }
 
     #[test]

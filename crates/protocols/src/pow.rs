@@ -16,7 +16,7 @@ use std::sync::Arc;
 use btadt_netsim::{Context, Process, SimTime};
 use btadt_oracle::{Cell, Tape};
 use btadt_store::{BlockStore, SimMedium, StoreConfig};
-use btadt_types::{BlockTree, Blockchain, SelectionFunction};
+use btadt_types::{Block, BlockTree, Blockchain, SelectionFunction};
 
 use crate::extract::ReplicaLog;
 use crate::gossip::{self, GossipSync, ResponseClass, SyncStats, RETRY_TIMER, SYNC_TAIL_ROUNDS};
@@ -183,13 +183,14 @@ impl Process<Msg> for PowReplica {
                 }
                 let batch_len = blocks.len();
                 let batch_max = blocks.iter().map(|b| b.height).max().unwrap_or(0);
-                for block in blocks {
-                    if self.sync.contains(block.id) {
-                        continue;
-                    }
+                let fresh: Vec<Block> = blocks
+                    .into_iter()
+                    .filter(|b| !self.sync.contains(b.id))
+                    .collect();
+                for block in &fresh {
                     self.log.record_received(at, block.clone());
-                    self.sync.insert_with_orphans(at, block, &mut self.log);
                 }
+                self.sync.apply_batch(at, fresh, &mut self.log);
                 self.maybe_read(at);
                 self.sync.after_blocks(ctx, from, batch_len, batch_max);
             }

@@ -90,6 +90,15 @@ impl std::fmt::Display for DecodeError {
 
 impl std::error::Error for DecodeError {}
 
+/// A decode failure surfacing through an ingest path (recovery replay,
+/// peer-served deltas) folds into the unified taxonomy as a storage
+/// failure.
+impl From<DecodeError> for btadt_pipeline::IngestError {
+    fn from(e: DecodeError) -> Self {
+        btadt_pipeline::IngestError::Storage(e.to_string())
+    }
+}
+
 pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }

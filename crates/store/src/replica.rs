@@ -27,7 +27,8 @@
 
 use std::collections::HashSet;
 
-use btadt_types::{Block, BlockId, BlockTree, InsertError};
+use btadt_pipeline::{stage_batch, BatchReport, Ingest, IngestError, IngestVerdict, StagedBatch};
+use btadt_types::{Block, BlockId, BlockTree};
 
 use crate::medium::SimMedium;
 use crate::store::{BlockStore, RecoveryReport, StoreConfig};
@@ -155,7 +156,7 @@ impl CheckpointedReplica {
     /// Ingests one block: hot insert + durable append, then the pruning
     /// cadence.  Blocks below the pruning point are rejected as
     /// `UnknownParent` — they extend history the replica has retired.
-    pub fn ingest(&mut self, block: Block) -> Result<(), InsertError> {
+    pub fn ingest(&mut self, block: Block) -> Result<(), IngestError> {
         self.hot.insert(block.clone())?;
         self.store.append(&block);
         self.note_resident();
@@ -342,6 +343,53 @@ impl CheckpointedReplica {
     }
 }
 
+/// The unified ingest door: batches stage against everything the replica
+/// knows (hot, cold, pending); orphans wait in the same pending pool that
+/// recovery survivors and peer-served deltas settle through.
+impl Ingest for CheckpointedReplica {
+    fn knows_block(&self, id: BlockId) -> bool {
+        self.knows(id)
+    }
+
+    fn ingest_block(&mut self, block: Block) -> IngestVerdict {
+        IngestVerdict::from_result(self.ingest(block))
+    }
+
+    fn ingest_batch(&mut self, blocks: Vec<Block>) -> BatchReport {
+        let StagedBatch {
+            ready,
+            orphans,
+            mut verdicts,
+            ..
+        } = stage_batch(blocks, |id| self.knows(id));
+        for (pos, block) in ready {
+            verdicts[pos] = Some(IngestVerdict::from_result(self.ingest(block)));
+        }
+        for (_, block) in orphans {
+            self.pending.push(block);
+        }
+        // A settled orphan still reports `Orphaned` — the verdict describes
+        // what staging saw, and pooling (not rejection) is the contract.
+        self.settle_pending();
+        let linked: Vec<Block> = self
+            .hot
+            .blocks()
+            .filter(|b| !b.is_genesis() && !self.store.contains(b.id))
+            .cloned()
+            .collect();
+        for block in linked {
+            self.store.append(&block);
+        }
+        self.note_resident();
+        BatchReport::from_verdicts(
+            verdicts
+                .into_iter()
+                .map(|v| v.expect("every input position receives a verdict"))
+                .collect(),
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -491,6 +539,58 @@ mod tests {
         assert_eq!(recovered.height(), peer.height());
         assert_eq!(recovered.tip(), peer.tip());
         assert_eq!(recovered.store().len(), recovered.hot().len() - 1);
+    }
+
+    #[test]
+    fn batch_ingest_matches_sequential_and_pools_orphans() {
+        let config = small_config();
+        let mut batched = CheckpointedReplica::new(config);
+        let genesis = batched.hot().genesis().clone();
+        let a = BlockBuilder::new(&genesis).nonce(1).build();
+        let b = BlockBuilder::new(&a).nonce(2).build();
+        let c = BlockBuilder::new(&b).nonce(3).build();
+        let d = BlockBuilder::new(&c).nonce(4).build();
+
+        // Shuffled ready set plus an orphan whose parent (c) is missing.
+        let report = batched.ingest_batch(vec![b.clone(), a.clone(), d.clone()]);
+        assert_eq!(
+            report.verdicts,
+            vec![
+                IngestVerdict::Accepted,
+                IngestVerdict::Accepted,
+                IngestVerdict::Orphaned
+            ]
+        );
+        assert!(!batched.is_healed(), "the orphan waits in pending");
+        assert_eq!(batched.missing_parents(), vec![c.id]);
+
+        // Serving the gap settles the pooled orphan and persists it.
+        let heal = batched.ingest_batch(vec![c.clone()]);
+        assert_eq!(heal.accepted, 1);
+        assert!(batched.is_healed());
+        assert!(batched.hot().contains(d.id));
+        assert!(batched.store().contains(d.id));
+
+        // Observationally equivalent to one-at-a-time ingest.
+        let mut seq = CheckpointedReplica::new(config);
+        for block in [&a, &b, &c, &d] {
+            seq.ingest(block.clone()).unwrap();
+        }
+        assert_eq!(batched.height(), seq.height());
+        assert_eq!(batched.tip(), seq.tip());
+        assert_eq!(batched.store().len(), seq.store().len());
+    }
+
+    #[test]
+    fn batch_reingest_is_all_duplicates() {
+        let mut config = small_config();
+        config.prune_every = 0; // retired history would not re-stage as known
+        let mut replica = CheckpointedReplica::new(config);
+        let produced = grow(&mut replica, 40, 13);
+        let report = replica.ingest_batch(produced.clone());
+        assert_eq!(report.duplicates, produced.len());
+        assert_eq!(report.accepted, 0);
+        assert!(report.is_clean());
     }
 
     #[test]

@@ -424,6 +424,216 @@ impl BlockTree {
         Ok(())
     }
 
+    /// Inserts a topologically-sorted batch of blocks in one pass,
+    /// returning one result per input block (in input order) with the same
+    /// per-block semantics as [`insert`](Self::insert): a block that fails
+    /// is skipped, every other block still lands.
+    ///
+    /// This is the tip stage of the batch-ingest pipeline.  Compared to a
+    /// loop of single inserts it amortizes the bookkeeping across the
+    /// batch:
+    ///
+    /// * arena and interning capacity are reserved once up front;
+    /// * chain-shaped batches resolve each parent from a one-entry memo of
+    ///   the previous insertion instead of the interning map;
+    /// * reachability intervals are still labeled per block (allocation
+    ///   order matters for the labels), but the leaf set and the four
+    ///   best-tip incumbents are reconciled once in a single epilogue over
+    ///   the freshly inserted slab range instead of per block.
+    ///
+    /// Blocks must arrive parents-first (any topological order works —
+    /// [`delta_above`](Self::delta_above) and the pipeline's stage-2 both
+    /// produce one); a child that precedes its in-batch parent is
+    /// reported as `UnknownParent`, exactly as the equivalent sequence of
+    /// single inserts would.
+    pub fn insert_batch(&mut self, blocks: &[Block]) -> Vec<Result<(), InsertError>> {
+        self.insert_batch_inner(blocks.iter().cloned(), None)
+    }
+
+    /// [`insert_batch`](Self::insert_batch) with the caller's parent
+    /// resolution: `parents[k]`, when `Some`, names the arena slot of
+    /// `blocks[k]`'s parent (the batch-ingest pipeline's tip stage knows
+    /// it from the store mirror, so the interning map is never probed for
+    /// it).  A hint is *verified* against the slot's id — a stale or
+    /// wrong hint degrades to `UnknownParent`, never a mislinked block —
+    /// and `None` falls back to the memo-and-interning-map resolution.
+    /// Takes the blocks by value: the accepted ones move straight into
+    /// the arena instead of being re-cloned from a slice.
+    pub fn insert_batch_resolved(
+        &mut self,
+        blocks: Vec<Block>,
+        parents: &[Option<NodeIdx>],
+    ) -> Vec<Result<(), InsertError>> {
+        assert_eq!(
+            blocks.len(),
+            parents.len(),
+            "one parent hint slot per block"
+        );
+        self.insert_batch_inner(blocks.into_iter(), Some(parents))
+    }
+
+    fn insert_batch_inner(
+        &mut self,
+        blocks: impl ExactSizeIterator<Item = Block>,
+        parents: Option<&[Option<NodeIdx>]>,
+    ) -> Vec<Result<(), InsertError>> {
+        let start = self.nodes.len();
+        self.nodes.reserve(blocks.len());
+        self.index.reserve(blocks.len());
+        // One-entry memo of the previous insertion: chain-shaped batches
+        // hit it for every block after the first.
+        let mut last: Option<(BlockId, NodeIdx)> = None;
+        // Pre-batch parents that stop being leaves, reconciled in the
+        // epilogue.
+        let mut outside_parents: Vec<BlockId> = Vec::new();
+        let results = blocks
+            .enumerate()
+            .map(|(k, block)| {
+                let hint = parents.and_then(|p| p[k]);
+                self.batch_insert_one(block, hint, start, &mut last, &mut outside_parents)
+            })
+            .collect();
+        self.finish_batch(start, &outside_parents);
+        results
+    }
+
+    /// Resolves and validates one batch block's parent link without
+    /// touching the tree: the slot the parent lives at plus the child's
+    /// cumulative work.  Split out so [`batch_insert_one`] can roll back
+    /// its eager interning on the (rare) failure paths.
+    fn resolve_batch_parent(
+        &self,
+        block: &Block,
+        hint: Option<NodeIdx>,
+        last: Option<(BlockId, NodeIdx)>,
+    ) -> Result<(NodeIdx, u64), InsertError> {
+        let parent_id = block.parent.ok_or(InsertError::MissingParent(block.id))?;
+        let parent_idx = match hint {
+            Some(idx) => idx,
+            None => match last {
+                Some((id, idx)) if id == parent_id => idx,
+                _ => self
+                    .idx_of(parent_id)
+                    .ok_or(InsertError::UnknownParent(parent_id))?,
+            },
+        };
+        // One bounds-checked read serves three checks: a bogus hint, a
+        // self-parenting block (whose eager interning entry resolves to
+        // its own not-yet-pushed slot), and the parent's height.
+        let parent = self
+            .nodes
+            .get(parent_idx.at())
+            .filter(|n| n.block.id == parent_id)
+            .ok_or(InsertError::UnknownParent(parent_id))?;
+        let expected = parent.block.height + 1;
+        if block.height != expected {
+            return Err(InsertError::HeightMismatch {
+                block: block.id,
+                recorded: block.height,
+                expected,
+            });
+        }
+        Ok((parent_idx, parent.cumulative_work + block.work))
+    }
+
+    /// One iteration of the batch loop: validation and slab linking with
+    /// the same checks (and error precedence) as [`insert`](Self::insert),
+    /// but deferring leaf-set and incumbent maintenance to
+    /// [`finish_batch`](Self::finish_batch).
+    fn batch_insert_one(
+        &mut self,
+        block: Block,
+        hint: Option<NodeIdx>,
+        start: usize,
+        last: &mut Option<(BlockId, NodeIdx)>,
+        outside_parents: &mut Vec<BlockId>,
+    ) -> Result<(), InsertError> {
+        let idx = NodeIdx(u32::try_from(self.nodes.len()).expect("arena capacity exceeded"));
+        // Duplicate check and interning share one probe: claim the slot
+        // eagerly, roll the entry back if validation fails below.
+        match self.index.entry(block.id) {
+            std::collections::hash_map::Entry::Occupied(_) => {
+                return Err(InsertError::Duplicate(block.id));
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(idx);
+            }
+        }
+        let (parent_idx, cumulative_work) = match self.resolve_batch_parent(&block, hint, *last) {
+            Ok(resolved) => resolved,
+            Err(e) => {
+                self.index.remove(&block.id);
+                return Err(e);
+            }
+        };
+
+        // Same ordering as `insert`: label before linking.
+        self.reach.attach(parent_idx, &SlabTopology(&self.nodes));
+
+        let parent = &mut self.nodes[parent_idx.at()];
+        if parent.children.is_empty() && parent_idx.at() < start {
+            outside_parents.push(block.parent.expect("resolved above"));
+        }
+        parent.children.push(idx);
+        self.max_fork_degree = self.max_fork_degree.max(parent.children.len());
+        *last = Some((block.id, idx));
+        self.nodes.push(BlockNode {
+            block,
+            parent: Some(parent_idx),
+            children: Vec::new(),
+            cumulative_work,
+        });
+        Ok(())
+    }
+
+    /// The batch epilogue: reconciles the leaf set and the four best-tip
+    /// incumbents for everything inserted since `start`.
+    ///
+    /// Only new *leaves* need comparing — an inserted interior node is
+    /// strictly out-heighted by some inserted descendant leaf, and for
+    /// work the leaf dominates or ties, with the tie (work-0 chains)
+    /// caught by the same not-a-leaf rescan backstop single inserts use.
+    fn finish_batch(&mut self, start: usize, outside_parents: &[BlockId]) {
+        if self.nodes.len() == start {
+            return;
+        }
+        for id in outside_parents {
+            self.leaf_ids.remove(id);
+        }
+        for i in start..self.nodes.len() {
+            let node = &self.nodes[i];
+            if !node.children.is_empty() {
+                continue;
+            }
+            let (h, w, id) = (node.block.height, node.cumulative_work, node.block.id);
+            self.leaf_ids.insert(id);
+            let (best_h, best_id) = self.best_height_largest;
+            if h > best_h || (h == best_h && id > best_id) {
+                self.best_height_largest = (h, id);
+            }
+            let (best_h, best_id) = self.best_height_smallest;
+            if h > best_h || (h == best_h && id < best_id) {
+                self.best_height_smallest = (h, id);
+            }
+            let (best_w, best_id) = self.best_work_largest;
+            if w > best_w || (w == best_w && id > best_id) {
+                self.best_work_largest = (w, id);
+            }
+            let (best_w, best_id) = self.best_work_smallest;
+            if w > best_w || (w == best_w && id < best_id) {
+                self.best_work_smallest = (w, id);
+            }
+        }
+        // A pre-batch work incumbent that gained only work-0 descendants
+        // can survive the comparisons above while no longer being a leaf;
+        // rescan, exactly as `insert`'s backstop does.
+        if !self.leaf_ids.contains(&self.best_work_largest.1)
+            || !self.leaf_ids.contains(&self.best_work_smallest.1)
+        {
+            self.rescan_best_work();
+        }
+    }
+
     /// Recomputes the heaviest-work incumbents from the leaf set.  Only
     /// reached through the work-0 tie backstop in [`insert`](Self::insert).
     fn rescan_best_work(&mut self) {
@@ -920,6 +1130,101 @@ mod tests {
         let delta: Vec<BlockId> = tree.blocks_since(mark).map(|blk| blk.id).collect();
         assert_eq!(delta, vec![d.id, e.id]);
         assert_eq!(tree.blocks_since(tree.len() + 10).count(), 0);
+    }
+
+    /// Asserts every observable of `batch` equals `seq` (used by the
+    /// insert_batch equivalence tests; the cross-implementation and
+    /// shuffled-batch properties live in the pipeline crate).
+    fn assert_same_observables(batch: &BlockTree, seq: &BlockTree) {
+        assert_eq!(batch.sorted_ids(), seq.sorted_ids());
+        assert_eq!(batch.leaves(), seq.leaves());
+        assert_eq!(batch.height(), seq.height());
+        assert_eq!(batch.max_fork_degree(), seq.max_fork_degree());
+        for largest in [true, false] {
+            assert_eq!(
+                batch.best_leaf_by_height(largest),
+                seq.best_leaf_by_height(largest)
+            );
+            assert_eq!(
+                batch.best_leaf_by_work(largest),
+                seq.best_leaf_by_work(largest)
+            );
+        }
+        for id in seq.sorted_ids() {
+            assert_eq!(batch.cumulative_work(id), seq.cumulative_work(id));
+            let b_idx = batch.idx_of(id).unwrap();
+            let s_idx = seq.idx_of(id).unwrap();
+            assert_eq!(batch.interval_at(b_idx), seq.interval_at(s_idx));
+        }
+    }
+
+    #[test]
+    fn insert_batch_results_match_sequential_inserts() {
+        let genesis = Block::genesis();
+        let a = BlockBuilder::new(&genesis).nonce(1).work(3).build();
+        let b = BlockBuilder::new(&a).nonce(2).work(2).build();
+        let c = BlockBuilder::new(&a).nonce(3).work(7).build();
+        let stray = BlockBuilder::child_of(BlockId(0xbad), 5).build();
+        let mut wrong_height = BlockBuilder::new(&b).nonce(9).build();
+        wrong_height.height = 42;
+        // A mixed batch: good chain, fork, duplicate, orphan, bad height.
+        let batch = vec![a.clone(), b.clone(), a.clone(), stray, wrong_height, c];
+
+        let mut batched = BlockTree::new();
+        let results = batched.insert_batch(&batch);
+
+        let mut sequential = BlockTree::new();
+        let expected: Vec<Result<(), InsertError>> = batch
+            .iter()
+            .map(|blk| sequential.insert(blk.clone()))
+            .collect();
+
+        assert_eq!(results, expected);
+        assert_same_observables(&batched, &sequential);
+    }
+
+    #[test]
+    fn insert_batch_work_zero_ties_rescan_like_single_inserts() {
+        let genesis = Block::genesis();
+        let a = BlockBuilder::new(&genesis).nonce(1).work(5).build();
+        let b = BlockBuilder::new(&genesis).nonce(2).work(5).build();
+        let mut zero_a = BlockBuilder::new(&a).nonce(10).build();
+        zero_a.work = 0;
+        let mut zero_b = BlockBuilder::new(&b).nonce(11).build();
+        zero_b.work = 0;
+        let batch = vec![a, b, zero_a, zero_b];
+
+        let mut batched = BlockTree::new();
+        assert!(batched.insert_batch(&batch).iter().all(Result::is_ok));
+        let mut sequential = BlockTree::new();
+        for blk in &batch {
+            sequential.insert(blk.clone()).unwrap();
+        }
+        assert_same_observables(&batched, &sequential);
+    }
+
+    #[test]
+    fn insert_batch_extends_an_existing_tree() {
+        let (mut batched, _a, b, c) = forked_tree();
+        let sequential = batched.clone();
+        let mut sequential = sequential;
+        let d = BlockBuilder::new(&b).nonce(7).build();
+        let e = BlockBuilder::new(&d).nonce(8).build();
+        let f = BlockBuilder::new(&c).nonce(9).build();
+        let delta = vec![d, e, f];
+        assert!(batched.insert_batch(&delta).iter().all(Result::is_ok));
+        for blk in &delta {
+            sequential.insert(blk.clone()).unwrap();
+        }
+        assert_same_observables(&batched, &sequential);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let (mut tree, ..) = forked_tree();
+        let before = tree.clone();
+        assert!(tree.insert_batch(&[]).is_empty());
+        assert_same_observables(&tree, &before);
     }
 
     #[test]
